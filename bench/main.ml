@@ -1,0 +1,291 @@
+(* Bechamel benchmark harness.
+
+   Two layers:
+   1. micro-benchmarks of the hot data structures (level stamps, checkpoint
+      tables, the event engine, RNG, the graph evaluator, the serial
+      evaluator, the voter);
+   2. one benchmark per reproduced figure/table (F1..Q8), each running a
+      reduced instance of the corresponding experiment kernel — the
+      wall-clock cost of regenerating that row of the paper.
+
+   After the Bechamel run the harness regenerates every experiment table in
+   quick mode, so the benchmark log doubles as a reproduction record. *)
+
+open Bechamel
+
+module Stamp = Recflow_recovery.Stamp
+module Ckpt_table = Recflow_recovery.Ckpt_table
+module Packet = Recflow_recovery.Packet
+module Vote = Recflow_recovery.Vote
+module Value = Recflow_lang.Value
+module Graph = Recflow_lang.Graph
+module Inst = Recflow_lang.Instance
+module Engine = Recflow_sim.Engine
+module Rng = Recflow_sim.Rng
+module Config = Recflow_machine.Config
+module Cluster = Recflow_machine.Cluster
+module Workload = Recflow_workload.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let deep_stamp =
+  let rec go s n = if n = 0 then s else go (Stamp.child s (n mod 3)) (n - 1) in
+  go Stamp.root 12
+
+let bench_stamp_ancestor =
+  Test.make ~name:"stamp.is_ancestor depth-12"
+    (Staged.stage (fun () ->
+         ignore (Stamp.is_ancestor deep_stamp (Stamp.child deep_stamp 1))))
+
+let bench_stamp_hash =
+  Test.make ~name:"stamp.hash depth-12" (Staged.stage (fun () -> ignore (Stamp.hash deep_stamp)))
+
+let mk_packet stamp =
+  Packet.make ~stamp ~fname:"f" ~args:[| Value.Int 1 |]
+    ~parent:{ Packet.task = 1; proc = 0; slot = 0 }
+    ~grandparent:None ~ancestors:[]
+
+let bench_ckpt_record =
+  Test.make ~name:"ckpt_table 32x record+discharge"
+    (Staged.stage (fun () ->
+         let t = Ckpt_table.create () in
+         for i = 0 to 31 do
+           let stamp = Stamp.child (Stamp.child Stamp.root (i mod 4)) i in
+           ignore (Ckpt_table.record t ~dest:(i mod 8) (mk_packet stamp))
+         done;
+         for i = 0 to 31 do
+           let stamp = Stamp.child (Stamp.child Stamp.root (i mod 4)) i in
+           ignore (Ckpt_table.discharge t ~dest:(i mod 8) stamp)
+         done))
+
+let bench_engine =
+  Test.make ~name:"engine 1k schedule+dispatch"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 1 to 1000 do
+           Engine.schedule e ~delay:(i mod 17) i
+         done;
+         Engine.run e (fun _ _ -> ())))
+
+let bench_rng =
+  Test.make ~name:"rng 1k bounded ints"
+    (Staged.stage
+       (let t = Rng.create 1 in
+        fun () ->
+          for _ = 1 to 1000 do
+            ignore (Rng.int t 1024)
+          done))
+
+let fib_program =
+  Recflow_lang.Parser.parse_program_exn
+    "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2)"
+
+let fib_library = Graph.compile_program fib_program
+
+let bench_serial_eval =
+  Test.make ~name:"serial eval fib-15"
+    (Staged.stage (fun () ->
+         ignore (Recflow_lang.Eval_serial.eval fib_program "fib" [ Value.Int 15 ])))
+
+let bench_graph_eval =
+  Test.make ~name:"graph eval fib-12"
+    (Staged.stage (fun () ->
+         let rec run fname args =
+           let inst = Inst.create (Graph.find_exn fib_library fname) args in
+           let rec loop () =
+             match Inst.step inst with
+             | Inst.Work _ -> loop ()
+             | Inst.Spawn { slot; fname; args } ->
+               Inst.supply inst slot (run fname args);
+               loop ()
+             | Inst.Finished v -> v
+             | Inst.Blocked | Inst.Failed _ -> assert false
+           in
+           loop ()
+         in
+         ignore (run "fib" [| Value.Int 12 |])))
+
+let bench_vote =
+  Test.make ~name:"vote 5-replica decision"
+    (Staged.stage (fun () ->
+         let v = Vote.create ~replicas:5 ~equal:Int.equal in
+         ignore (Vote.add v 1);
+         ignore (Vote.add v 1);
+         ignore (Vote.add v 1)))
+
+(* ------------------------------------------------------------------ *)
+(* One kernel per reproduced figure/table                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_cluster cfg w size failures =
+  let c = Cluster.create cfg (Workload.program w) in
+  Recflow_fault.Plan.apply c failures;
+  Cluster.start c ~fname:w.Workload.entry ~args:(w.Workload.args size);
+  Cluster.run c
+
+let bench_fig1 =
+  Test.make ~name:"F1+F2 figure-1 structural scenario"
+    (Staged.stage (fun () -> ignore (Recflow_experiments.Exp_fig1.run ~quick:true ())))
+
+let bench_fig3 =
+  Test.make ~name:"F3 splice run w/ twin inheritance"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (Config.default ~nodes:8) with Config.recovery = Config.Splice;
+             policy = Recflow_balance.Policy.Random }
+         in
+         ignore (run_cluster cfg Workload.tree_sum Workload.Small [ (400, 3) ])))
+
+let case_family =
+  {
+    Workload.name = "bench_case_family";
+    description = "";
+    source =
+      "def root_case(cw, dw) = pp(cw, dw) + 1\n\
+       def pp(cw, dw) = dd(dw) + cc(cw)\n\
+       def cc(cw) = spin(cw, 0)\n\
+       def dd(dw) = spin(dw, 0)\n\
+       def spin(k, acc) = if k == 0 then acc else spin(k - 1, acc + 1)";
+    entry = "root_case";
+    args = (fun _ -> [ Value.Int 400; Value.Int 3000 ]);
+  }
+
+let bench_fig5 =
+  Test.make ~name:"F5 one case-analysis schedule"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (Config.default ~nodes:4) with Config.recovery = Config.Splice;
+             policy = Recflow_balance.Policy.Random; inline_depth = 3; adoption_grace = 0 }
+         in
+         ignore (run_cluster cfg case_family Workload.Small [ (120, 2) ])))
+
+let residue_chain =
+  {
+    Workload.name = "bench_residue";
+    description = "";
+    source =
+      "def gg(w) = pp(w) + 1\n\
+       def pp(w) = let r = cc(w) in r + (r - r)\n\
+       def cc(w) = spin(w, 0)\n\
+       def spin(k, acc) = if k == 0 then acc else spin(k - 1, acc + 1)";
+    entry = "gg";
+    args = (fun _ -> [ Value.Int 800 ]);
+  }
+
+let bench_fig6 =
+  Test.make ~name:"F6 one spawn-state failure"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (Config.default ~nodes:4) with Config.recovery = Config.Splice; inline_depth = 3;
+             policy = Recflow_balance.Policy.Random }
+         in
+         ignore (run_cluster cfg residue_chain Workload.Small [ (200, 1) ])))
+
+let synthetic = Workload.synthetic ~branching:2 ~depth:8 ~grain:60
+
+let quant_cfg recovery =
+  { (Config.default ~nodes:8) with Config.recovery; inline_depth = 8;
+    policy = Recflow_balance.Policy.Random }
+
+let bench_q1 =
+  Test.make ~name:"Q1 fault-free synthetic (ckpt armed)"
+    (Staged.stage (fun () ->
+         ignore (run_cluster (quant_cfg Config.Rollback) synthetic Workload.Small [])))
+
+let bench_q2_rollback =
+  Test.make ~name:"Q2+Q3 rollback of one failure"
+    (Staged.stage (fun () ->
+         ignore (run_cluster (quant_cfg Config.Rollback) synthetic Workload.Small [ (3000, 2) ])))
+
+let bench_q2_splice =
+  Test.make ~name:"Q2+Q3 splice of one failure"
+    (Staged.stage (fun () ->
+         ignore (run_cluster (quant_cfg Config.Splice) synthetic Workload.Small [ (3000, 2) ])))
+
+let bench_q4 =
+  Test.make ~name:"Q4 synthetic on 16 processors"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (quant_cfg Config.Splice) with Config.topology = Recflow_net.Topology.Full 16 }
+         in
+         ignore (run_cluster cfg synthetic Workload.Small [])))
+
+let bench_q5 =
+  Test.make ~name:"Q5 double failure, depth-2 links"
+    (Staged.stage (fun () ->
+         let cfg = { (quant_cfg Config.Splice) with Config.ancestor_depth = 2 } in
+         ignore (run_cluster cfg synthetic Workload.Small [ (2000, 1); (2000, 2) ])))
+
+let bench_q6 =
+  Test.make ~name:"Q6 replicate k=3 masking a failure"
+    (Staged.stage (fun () ->
+         let w = Workload.synthetic ~branching:4 ~depth:2 ~grain:150 in
+         let cfg =
+           { (Config.default ~nodes:6) with Config.recovery = Config.Replicate 3;
+             replicate_depth = 3; inline_depth = 3;
+             policy = Recflow_balance.Policy.Random }
+         in
+         ignore (run_cluster cfg w Workload.Medium [ (600, 4) ])))
+
+let bench_q7 =
+  Test.make ~name:"Q7 static placement w/ failure"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (quant_cfg Config.Rollback) with
+             Config.policy = Recflow_balance.Policy.Static_hash }
+         in
+         ignore (run_cluster cfg synthetic Workload.Small [ (3000, 2) ])))
+
+let bench_q8 =
+  Test.make ~name:"Q8 keep-all table w/ failure"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (quant_cfg Config.Rollback) with
+             Config.ckpt_mode = Recflow_recovery.Ckpt_table.Keep_all }
+         in
+         ignore (run_cluster cfg synthetic Workload.Small [ (3000, 2) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_group name tests =
+  let grouped = Test.make_grouped ~name (List.map (fun t -> t) tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Format.printf "  %-45s %14.1f ns/run@." name est
+         | _ -> Format.printf "  %-45s (no estimate)@." name)
+
+let () =
+  Format.printf "=== recflow benchmarks (Bechamel, monotonic clock) ===@.@.";
+  Format.printf "--- data-structure micro-benchmarks ---@.";
+  run_group "micro"
+    [ bench_stamp_ancestor; bench_stamp_hash; bench_ckpt_record; bench_engine; bench_rng;
+      bench_serial_eval; bench_graph_eval; bench_vote ];
+  Format.printf "@.--- experiment kernels (one per reproduced figure/table) ---@.";
+  run_group "experiments"
+    [ bench_fig1; bench_fig3; bench_fig5; bench_fig6; bench_q1; bench_q2_rollback;
+      bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8 ];
+  (* Regenerate the actual tables so the benchmark log carries the rows
+     the paper reports. *)
+  Format.printf "@.=== reproduced tables (quick mode) ===@.";
+  let failed = ref 0 in
+  List.iter
+    (fun (e : Recflow_experiments.Registry.entry) ->
+      let r = e.Recflow_experiments.Registry.run ~quick:true () in
+      Format.printf "%a" Recflow_experiments.Report.pp r;
+      if not (Recflow_experiments.Report.all_checks_pass r) then incr failed)
+    Recflow_experiments.Registry.all;
+  Format.printf "@.experiments with failing checks: %d@." !failed;
+  exit (if !failed = 0 then 0 else 1)

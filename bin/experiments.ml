@@ -1,0 +1,87 @@
+(* Regenerate every reproduced figure/table of the paper.
+
+   Usage:
+     experiments            # run everything at full size
+     experiments --quick    # smaller sweeps (used by CI-style checks)
+     experiments F5 Q2      # only the named experiments
+     experiments --list
+     experiments --markdown out.md *)
+
+module Registry = Recflow_experiments.Registry
+module Report = Recflow_experiments.Report
+
+let run_entries quick markdown entries =
+  let reports =
+    List.map
+      (fun (e : Registry.entry) ->
+        let t0 = Sys.time () in
+        let r = e.Registry.run ~quick () in
+        let dt = Sys.time () -. t0 in
+        Format.printf "%a" Report.pp r;
+        Format.printf "(%.1fs)@." dt;
+        r)
+      entries
+  in
+  (match markdown with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "# Experiment results\n\n";
+    List.iter (fun r -> output_string oc (Report.to_markdown r)) reports;
+    close_out oc;
+    Format.printf "@.markdown written to %s@." path);
+  let failed = List.filter (fun r -> not (Report.all_checks_pass r)) reports in
+  Format.printf "@.%d/%d experiments passed all checks@." (List.length reports - List.length failed)
+    (List.length reports);
+  if failed <> [] then begin
+    List.iter (fun (r : Report.t) -> Format.printf "  FAILED: %s@." r.Report.id) failed;
+    exit 1
+  end
+
+let main quick list_only markdown ids =
+  if list_only then begin
+    List.iter
+      (fun (e : Registry.entry) -> Format.printf "%-4s %s@." e.Registry.id e.Registry.title)
+      Registry.all;
+    0
+  end
+  else begin
+    let entries =
+      match ids with
+      | [] -> Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> e
+            | None ->
+              Format.eprintf "unknown experiment %S (try --list)@." id;
+              exit 2)
+          ids
+    in
+    run_entries quick markdown entries;
+    0
+  end
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Run reduced-size sweeps (faster, same checks).")
+
+let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let markdown =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "markdown" ] ~docv:"FILE" ~doc:"Also write the reports as markdown to $(docv).")
+
+let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids to run.")
+
+let cmd =
+  let doc = "regenerate the figures and tables of Lin & Keller (ICPP 1986)" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const main $ quick $ list_only $ markdown $ ids)
+
+let () = exit (Cmd.eval' cmd)

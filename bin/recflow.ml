@@ -1,0 +1,221 @@
+(* recflow — run an applicative program on the simulated multiprocessor.
+
+   Examples:
+     recflow --workload fib --size medium --nodes 8
+     recflow --workload tree_sum --recovery rollback --fail 3000@2 --journal
+     recflow --program my.rf --entry main --arg 10 --arg 20 --topology mesh:4x4 \
+             --policy random --recovery splice --fail 500@1 --fail 900@5 --trace *)
+
+module Config = Recflow_machine.Config
+module Cluster = Recflow_machine.Cluster
+module Journal = Recflow_machine.Journal
+module Workload = Recflow_workload.Workload
+module Value = Recflow_lang.Value
+module Counter = Recflow_stats.Counter
+
+let parse_failure s =
+  match String.split_on_char '@' s with
+  | [ time; proc ] -> (
+    match (int_of_string_opt time, int_of_string_opt proc) with
+    | Some t, Some p when t >= 0 && p >= 0 -> Ok (t, p)
+    | _ -> Error (`Msg (Printf.sprintf "bad failure spec %S (want TIME@PROC)" s)))
+  | _ -> Error (`Msg (Printf.sprintf "bad failure spec %S (want TIME@PROC)" s))
+
+let size_of_string = function
+  | "tiny" -> Ok Workload.Tiny
+  | "small" -> Ok Workload.Small
+  | "medium" -> Ok Workload.Medium
+  | "large" -> Ok Workload.Large
+  | s -> Error (Printf.sprintf "unknown size %S" s)
+
+let recovery_of_string s =
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Ok Config.No_recovery
+  | [ "rollback" ] -> Ok Config.Rollback
+  | [ "splice" ] -> Ok Config.Splice
+  | [ "replicate"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Config.Replicate k)
+    | _ -> Error (Printf.sprintf "bad replication factor in %S" s))
+  | _ -> Error (Printf.sprintf "unknown recovery %S (none|rollback|splice|replicate:K)" s)
+
+let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
+    detect_delay workload_name size_name program_file entry args failures show_journal
+    show_trace show_stats show_timeline drain =
+  let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
+  let* topology =
+    match topology with
+    | Some t -> Recflow_net.Topology.of_string t
+    | None -> Ok (Recflow_net.Topology.Full nodes)
+  in
+  let* policy = Recflow_balance.Policy.spec_of_string policy in
+  let* recovery = recovery_of_string recovery in
+  let* size = size_of_string size_name in
+  let* program, entry, argv, expected =
+    match (workload_name, program_file) with
+    | Some name, None -> (
+      match Workload.by_name name with
+      | Some w ->
+        Ok
+          ( Workload.program w,
+            w.Workload.entry,
+            w.Workload.args size,
+            Some (Workload.expected w size) )
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S (have: %s)" name
+             (String.concat ", " (List.map (fun w -> w.Workload.name) Workload.all))))
+    | None, Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | source -> (
+        match Recflow_lang.Parser.parse_program source with
+        | Ok p -> Ok (p, entry, List.map (fun n -> Value.Int n) args, None)
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+      | exception Sys_error msg -> Error msg)
+    | Some _, Some _ -> Error "give either --workload or --program, not both"
+    | None, None -> Error "give --workload NAME or --program FILE (see --help)"
+  in
+  let cfg =
+    {
+      (Config.default ~nodes) with
+      Config.topology;
+      policy;
+      recovery;
+      ckpt_mode =
+        (if ckpt_keep_all then Recflow_recovery.Ckpt_table.Keep_all
+         else Recflow_recovery.Ckpt_table.Topmost);
+      ancestor_depth;
+      inline_depth = (match inline_depth with Some d -> d | None -> max_int);
+      seed;
+      detect_delay;
+    }
+  in
+  let* () =
+    match Config.validate cfg with
+    | Ok () -> Ok ()
+    | Error msg -> Error ("invalid configuration: " ^ msg)
+  in
+  let cluster = Cluster.create cfg program in
+  List.iter (fun (t, p) -> Cluster.fail_at cluster ~time:t p) failures;
+  Cluster.start cluster ~fname:entry ~args:argv;
+  let outcome = Cluster.run ~drain cluster in
+  (match outcome.Cluster.answer with
+  | Some v ->
+    Format.printf "answer: %s (at t=%s)@." (Value.to_string v)
+      (match outcome.Cluster.answer_time with Some t -> string_of_int t | None -> "?");
+    (match expected with
+    | Some e when not (Value.equal e v) ->
+      Format.printf "WARNING: differs from serial reference %s@." (Value.to_string e)
+    | _ -> ())
+  | None ->
+    Format.printf "no answer (sim ended at t=%d%s)@." outcome.Cluster.sim_time
+      (match outcome.Cluster.error with Some e -> "; program error: " ^ e | None -> ""));
+  Format.printf "events: %d, simulated time: %d@." outcome.Cluster.events outcome.Cluster.sim_time;
+  if show_stats then begin
+    Format.printf "@.counters:@.";
+    Counter.pp Format.std_formatter (Cluster.counters cluster);
+    Format.printf "total work: %d ticks, wasted: %d ticks@." (Cluster.total_work cluster)
+      (Cluster.total_waste cluster)
+  end;
+  if show_timeline then begin
+    Format.printf "@.timeline:@.";
+    print_string
+      (Recflow_machine.Timeline.render (Cluster.journal cluster)
+         ~nodes:(Recflow_net.Topology.size cfg.Config.topology) ())
+  end;
+  if show_journal then begin
+    Format.printf "@.journal:@.";
+    List.iter
+      (fun e -> Format.printf "%a@." Journal.pp_entry e)
+      (Journal.entries (Cluster.journal cluster))
+  end;
+  if show_trace then begin
+    Format.printf "@.trace:@.";
+    Recflow_sim.Trace.dump Format.std_formatter (Cluster.trace cluster)
+  end;
+  match outcome.Cluster.answer with Some _ -> 0 | None -> 1
+
+open Cmdliner
+
+let failure_conv = Arg.conv (parse_failure, fun ppf (t, p) -> Format.fprintf ppf "%d@@%d" t p)
+
+let nodes = Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Processor count.")
+
+let topology =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"SPEC" ~doc:"full:N, ring:N, mesh:RxC or cube:D (default full).")
+
+let policy =
+  Arg.(
+    value & opt string "gradient"
+    & info [ "policy" ] ~docv:"P" ~doc:"gradient[:W], random, round-robin, static, neighborhood[:R].")
+
+let recovery =
+  Arg.(
+    value & opt string "splice"
+    & info [ "recovery" ] ~docv:"R" ~doc:"none, rollback, splice or replicate:K.")
+
+let ckpt_keep_all =
+  Arg.(value & flag & info [ "keep-all-checkpoints" ] ~doc:"Disable topmost-only pruning (Q8).")
+
+let ancestor_depth =
+  Arg.(
+    value & opt int 1
+    & info [ "ancestor-depth" ] ~docv:"D"
+        ~doc:"Ancestor links per packet: 1 = grandparent, 2 adds great-grandparent (§5.2).")
+
+let inline_depth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inline-depth" ] ~docv:"D" ~doc:"Evaluate calls at stamp depth >= D inline.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Deterministic RNG seed.")
+
+let detect_delay =
+  Arg.(value & opt int 200 & info [ "detect-delay" ] ~docv:"T" ~doc:"Failure detection latency.")
+
+let workload =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Built-in workload (fib, tree_sum, ...).")
+
+let size = Arg.(value & opt string "small" & info [ "size" ] ~docv:"S" ~doc:"tiny|small|medium|large.")
+
+let program_file =
+  Arg.(value & opt (some file) None & info [ "program" ] ~docv:"FILE" ~doc:"Source file to run.")
+
+let entry = Arg.(value & opt string "main" & info [ "entry" ] ~docv:"F" ~doc:"Entry function.")
+
+let args =
+  Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (repeatable).")
+
+let failures =
+  Arg.(
+    value
+    & opt_all failure_conv []
+    & info [ "fail" ] ~docv:"TIME@PROC" ~doc:"Fail-stop a processor (repeatable).")
+
+let show_journal = Arg.(value & flag & info [ "journal" ] ~doc:"Dump the lifecycle journal.")
+
+let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol trace.")
+
+let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print counters and work totals.")
+
+let show_timeline =
+  Arg.(value & flag & info [ "timeline" ] ~doc:"Draw the per-processor activity timeline.")
+
+let drain = Arg.(value & flag & info [ "drain" ] ~doc:"Keep simulating after the answer arrives.")
+
+let cmd =
+  let doc = "run applicative programs on a simulated fault-tolerant multiprocessor" in
+  Cmd.v (Cmd.info "recflow" ~doc)
+    Term.(
+      const main $ nodes $ topology $ policy $ recovery $ ckpt_keep_all $ ancestor_depth
+      $ inline_depth $ seed $ detect_delay $ workload $ size $ program_file $ entry $ args
+      $ failures $ show_journal $ show_trace $ show_stats $ show_timeline $ drain)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,9 @@
+(* The paper's own worked example, executable: Figure 1's call tree on
+   processors A-D, its checkpoint tables, B's failure, and the resulting
+   fragments and re-issue sets; then Figure 2's grandparent pointers.
+
+   Run with:  dune exec examples/paper_walkthrough.exe *)
+
+let () =
+  Format.printf "%a" Recflow_experiments.Report.pp (Recflow_experiments.Exp_fig1.run ());
+  Format.printf "%a" Recflow_experiments.Report.pp (Recflow_experiments.Exp_fig2.run ())

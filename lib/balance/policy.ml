@@ -1,0 +1,127 @@
+module Router = Recflow_net.Router
+
+type spec =
+  | Gradient of { weight : int }
+  | Random
+  | Round_robin
+  | Static_hash
+  | Neighborhood of { radius : int }
+  | Gradient_distributed of { threshold : int }
+
+let spec_to_string = function
+  | Gradient { weight } -> Printf.sprintf "gradient:%d" weight
+  | Random -> "random"
+  | Round_robin -> "round-robin"
+  | Static_hash -> "static"
+  | Neighborhood { radius } -> Printf.sprintf "neighborhood:%d" radius
+  | Gradient_distributed { threshold } -> Printf.sprintf "gradient-distributed:%d" threshold
+
+let spec_of_string s =
+  match String.split_on_char ':' s with
+  | [ "gradient" ] -> Ok (Gradient { weight = 2 })
+  | [ "gradient"; w ] -> (
+    match int_of_string_opt w with
+    | Some w when w >= 0 -> Ok (Gradient { weight = w })
+    | _ -> Error (Printf.sprintf "bad gradient weight in %S" s))
+  | [ "random" ] -> Ok Random
+  | [ "round-robin" ] | [ "rr" ] -> Ok Round_robin
+  | [ "static" ] -> Ok Static_hash
+  | [ "neighborhood" ] -> Ok (Neighborhood { radius = 1 })
+  | [ "neighborhood"; r ] -> (
+    match int_of_string_opt r with
+    | Some r when r >= 0 -> Ok (Neighborhood { radius = r })
+    | _ -> Error (Printf.sprintf "bad neighborhood radius in %S" s))
+  | [ "gradient-distributed" ] -> Ok (Gradient_distributed { threshold = 1 })
+  | [ "gradient-distributed"; t ] -> (
+    match int_of_string_opt t with
+    | Some t when t >= 0 -> Ok (Gradient_distributed { threshold = t })
+    | _ -> Error (Printf.sprintf "bad gradient-distributed threshold in %S" s))
+  | _ -> Error (Printf.sprintf "unknown policy %S" s)
+
+type view = { router : Router.t; pressure : int -> int }
+
+type t = { spec : spec; rng : Recflow_sim.Rng.t; mutable rr_next : int }
+
+let create ?(seed = 0x5eed) spec = { spec; rng = Recflow_sim.Rng.create seed; rr_next = 0 }
+
+let spec t = t.spec
+
+let require_alive view =
+  match Router.alive_nodes view.router with
+  | [] -> invalid_arg "Policy.choose: no live node"
+  | nodes -> nodes
+
+let choose t view ~origin ~key =
+  let alive = require_alive view in
+  match t.spec with
+  | Random ->
+    let arr = Array.of_list alive in
+    Recflow_sim.Rng.pick t.rng arr
+  | Round_robin ->
+    let n = List.length alive in
+    let idx = t.rr_next mod n in
+    t.rr_next <- t.rr_next + 1;
+    List.nth alive idx
+  | Static_hash ->
+    (* Deterministic placement over the *configured* node set, ignoring
+       liveness: exactly what a static allocator does. *)
+    let n = Recflow_net.Topology.size (Router.topology view.router) in
+    (* Knuth multiplicative scrambling keeps consecutive stamps apart. *)
+    abs (key * 2654435761) mod n
+  | Gradient { weight } ->
+    (* Walk downhill on [pressure + weight * distance-from-origin]; the
+       origin itself competes, so light local load keeps tasks nearby. *)
+    let score node =
+      let hops =
+        match Router.distance view.router origin node with
+        | Some h -> h
+        | None ->
+          (* origin dead (it is failing while spawning): fall back to 0 so
+             placement degenerates to pure pressure. *)
+          0
+      in
+      view.pressure node + (weight * hops)
+    in
+    let best =
+      List.fold_left
+        (fun acc node ->
+          let s = score node in
+          match acc with
+          | Some (_, best_s) when best_s <= s -> acc
+          | _ -> Some (node, s))
+        None alive
+    in
+    (match best with Some (node, _) -> node | None -> assert false)
+  | Neighborhood { radius } ->
+    (* Restrict the gradient surface to the origin's r-hop ball; if the
+       whole ball is dead, take the nearest live node anyway (the task
+       must go somewhere). *)
+    let dist node = Router.distance view.router origin node in
+    let in_ball = List.filter (fun n -> match dist n with Some d -> d <= radius | None -> false) alive in
+    let candidates = if in_ball = [] then alive else in_ball in
+    let best =
+      List.fold_left
+        (fun acc node ->
+          let s = (view.pressure node, Option.value ~default:max_int (dist node)) in
+          match acc with
+          | Some (_, best_s) when compare best_s s <= 0 -> acc
+          | _ -> Some (node, s))
+        None candidates
+    in
+    (match best with Some (node, _) -> node | None -> assert false)
+  | Gradient_distributed _ ->
+    (* Placement proper happens node-locally in the machine; this cluster-
+       level fallback (used for the root dispatch and static analyses)
+       degenerates to least pressure among all live nodes. *)
+    let best =
+      List.fold_left
+        (fun acc node ->
+          let s = view.pressure node in
+          match acc with
+          | Some (_, best_s) when best_s <= s -> acc
+          | _ -> Some (node, s))
+        None alive
+    in
+    (match best with Some (node, _) -> node | None -> assert false)
+
+let is_static t = match t.spec with Static_hash -> true | _ -> false

@@ -1,0 +1,12 @@
+let config ~nodes (base : Recflow_machine.Config.t) =
+  if nodes < 2 then invalid_arg "Grit.config: need at least 2 nodes";
+  {
+    base with
+    Recflow_machine.Config.topology = Recflow_net.Topology.Ring nodes;
+    policy = Recflow_balance.Policy.Neighborhood { radius = 1 };
+    recovery = Recflow_machine.Config.Rollback;
+  }
+
+let description =
+  "Grit [6]: spawns restricted to immediate ring neighbours; parent-site checkpoints double as \
+   the fixed recovery sites"

@@ -1,0 +1,17 @@
+(** Grit's neighbour-restricted recovery baseline ([6], §5.4).
+
+    Grit limits every node to spawning children on its immediate
+    neighbours and assigns fixed recovery sites at initialisation.  On our
+    machine that corresponds to: a sparse topology, placement restricted to
+    the 1-hop neighbourhood, rollback-style re-issue (the recovery site in
+    our model is the parent's node, which under the neighbour restriction
+    is always adjacent to the failed node — matching Grit's locality
+    property).  This module just packages that configuration so the Q7
+    experiment can quote it as a named comparator. *)
+
+val config : nodes:int -> Recflow_machine.Config.t -> Recflow_machine.Config.t
+(** Restrict [base] to a ring of [nodes] processors with 1-hop neighbourhood
+    placement and rollback recovery.
+    @raise Invalid_argument if [nodes < 2]. *)
+
+val description : string

@@ -1,0 +1,35 @@
+(** Periodic global checkpointing baseline (Tamir & Sequin [15],
+    Hughes [7], as discussed in §2 of the paper).
+
+    The scheme virtually stops all computation at a fixed interval, saves a
+    global state snapshot, and on any failure rolls the *whole machine*
+    back to the last snapshot.  We model the timeline analytically over a
+    given amount of parallel work: the paper's argument against it is
+    overhead in normal operation (global synchronisation) plus full-machine
+    rollback on failure, and that is exactly what the model exposes — it
+    needs no event-level detail to be compared fairly on those terms. *)
+
+type params = {
+  interval : int;  (** ticks of useful work between checkpoints *)
+  save_cost : int;  (** ticks the whole machine pauses per checkpoint *)
+  restore_cost : int;  (** ticks to reload the last snapshot after a failure *)
+}
+
+type run = {
+  completion_time : int;  (** wall-clock ticks until the work finishes *)
+  checkpoints_taken : int;
+  work_lost : int;  (** useful ticks redone because of rollbacks *)
+  overhead : float;  (** (completion - work) / work *)
+}
+
+val simulate : params -> work:int -> failures:int list -> run
+(** [simulate p ~work ~failures] plays the timeline: useful work
+    accumulates except while checkpointing; a failure at wall-clock time t
+    (sorted internally) rolls accumulated work back to the last snapshot
+    and charges [restore_cost].  Failures landing after completion are
+    ignored.
+    @raise Invalid_argument if [interval <= 0], costs are negative or
+    [work < 0]. *)
+
+val fault_free_overhead : params -> work:int -> float
+(** Overhead with no failures: the steady-state checkpointing tax. *)

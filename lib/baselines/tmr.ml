@@ -1,0 +1,12 @@
+type params = { copies : int; vote_cost : int }
+
+let default = { copies = 3; vote_cost = 1 }
+
+let completion_estimate p ~work ~procs ~tasks =
+  if p.copies < 1 || p.vote_cost < 0 then invalid_arg "Tmr: bad params";
+  if work < 0 || procs < 1 || tasks < 0 then invalid_arg "Tmr: bad workload";
+  ((p.copies * work) + (p.vote_cost * tasks) + procs - 1) / procs
+
+let overhead p = float_of_int (p.copies - 1)
+
+let masked_failures p = (p.copies - 1) / 2

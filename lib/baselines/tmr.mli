@@ -1,0 +1,29 @@
+(** Triple-modular-redundancy dataflow baseline (Misunas [11], §5.4).
+
+    Misunas stores three complete copies of the program, each executed on
+    distinct processors over distinct paths, with voting on results.  We
+    model its cost analytically — the scheme's behaviour under our fail-stop
+    assumptions is fully characterised by "[copies]× the work plus a vote
+    per task, and any ⌊(copies−1)/2⌋ simultaneous per-task failures are
+    masked with no recovery delay".  The executable counterpart (replicated
+    critical sections with voting, §5.3) lives in the machine's
+    [Replicate] recovery mode; this module provides the whole-program
+    closed form the Q6 comparison quotes. *)
+
+type params = { copies : int; vote_cost : int (* ticks per task voted *) }
+
+val default : params
+(** Three copies, one-tick votes. *)
+
+val completion_estimate : params -> work:int -> procs:int -> tasks:int -> int
+(** Ideal parallel completion time: [copies * work / procs + vote_cost *
+    tasks / procs], i.e. perfectly balanced redundant execution.
+    @raise Invalid_argument if any quantity is non-positive. *)
+
+val overhead : params -> float
+(** Steady-state work inflation relative to an unreplicated run:
+    [copies - 1] as a float (votes excluded — they are per-task and
+    reported separately by the experiment). *)
+
+val masked_failures : params -> int
+(** Simultaneous failures masked without any recovery action. *)

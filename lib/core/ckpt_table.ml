@@ -1,0 +1,65 @@
+type mode = Topmost | Keep_all
+
+type t = { mode : mode; entries : (Ids.proc_id, Packet.t list ref) Hashtbl.t }
+
+let create ?(mode = Topmost) () = { mode; entries = Hashtbl.create 16 }
+
+let mode t = t.mode
+
+let entry_ref t dest =
+  match Hashtbl.find_opt t.entries dest with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.entries dest r;
+    r
+
+let record t ~dest (p : Packet.t) =
+  let r = entry_ref t dest in
+  match t.mode with
+  | Keep_all ->
+    r := p :: !r;
+    `Recorded
+  | Topmost ->
+    let covered =
+      List.exists
+        (fun (q : Packet.t) -> Stamp.equal q.stamp p.stamp || Stamp.is_ancestor q.stamp p.stamp)
+        !r
+    in
+    if covered then `Covered
+    else begin
+      (* The new checkpoint may dominate previously-recorded descendants
+         (possible during recovery when an ancestor is re-spawned to the
+         same destination); evict them to keep the entry topmost-only. *)
+      r := p :: List.filter (fun (q : Packet.t) -> not (Stamp.is_ancestor p.stamp q.stamp)) !r;
+      `Recorded
+    end
+
+let discharge t ~dest stamp =
+  match Hashtbl.find_opt t.entries dest with
+  | None -> false
+  | Some r ->
+    let before = List.length !r in
+    r := List.filter (fun (q : Packet.t) -> not (Stamp.equal q.stamp stamp)) !r;
+    List.length !r < before
+
+let by_stamp (a : Packet.t) (b : Packet.t) = Stamp.compare a.stamp b.stamp
+
+let on_failure t ~failed =
+  match Hashtbl.find_opt t.entries failed with
+  | None -> []
+  | Some r ->
+    let ps = List.sort by_stamp !r in
+    Hashtbl.remove t.entries failed;
+    ps
+
+let entry t ~dest =
+  match Hashtbl.find_opt t.entries dest with
+  | None -> []
+  | Some r -> List.sort by_stamp !r
+
+let total_size t = Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.entries 0
+
+let destinations t =
+  Hashtbl.fold (fun dest r acc -> if !r = [] then acc else dest :: acc) t.entries []
+  |> List.sort compare

@@ -1,0 +1,47 @@
+(** Per-processor functional-checkpoint table (§3.2).
+
+    Each processor keeps, for every peer processor N, the checkpoints of
+    tasks it has spawned *to* N.  In [Topmost] mode the table implements
+    the paper's rule: a new packet whose stamp descends from an existing
+    checkpoint in the same entry is *covered* and not recorded (its
+    ancestor's re-issue would regenerate it anyway); symmetrically, a new
+    ancestor evicts the descendants it covers.  [Keep_all] mode records
+    everything — the Q8 ablation baseline.
+
+    On failure of N, {!on_failure} surrenders the entry: exactly the tasks
+    this processor must re-issue to fulfil its share of the collective
+    recovery.  When a child's result returns, {!discharge} drops its
+    checkpoint (strict evaluation means a completed child's whole subtree
+    is complete, so coverage is not lost). *)
+
+type mode = Topmost | Keep_all
+
+type t
+
+val create : ?mode:mode -> unit -> t
+(** Default mode is [Topmost]. *)
+
+val mode : t -> mode
+
+val record : t -> dest:Ids.proc_id -> Packet.t -> [ `Recorded | `Covered ]
+(** File a checkpoint for a task spawned to [dest].  In [Topmost] mode
+    returns [`Covered] (and stores nothing) when an existing checkpoint in
+    the entry is an ancestor or the identical stamp. *)
+
+val discharge : t -> dest:Ids.proc_id -> Stamp.t -> bool
+(** Remove the checkpoint with exactly this stamp from entry [dest];
+    [true] if something was removed. *)
+
+val on_failure : t -> failed:Ids.proc_id -> Packet.t list
+(** Checkpoints held for tasks on the failed processor, ordered by stamp
+    (ancestors first); the entry is cleared — re-issued tasks will be
+    re-checkpointed against their new destinations. *)
+
+val entry : t -> dest:Ids.proc_id -> Packet.t list
+(** Current checkpoints for [dest], ordered by stamp (read-only peek). *)
+
+val total_size : t -> int
+(** Number of checkpoints across all entries (storage metric for Q8). *)
+
+val destinations : t -> Ids.proc_id list
+(** Sorted peers with a non-empty entry. *)

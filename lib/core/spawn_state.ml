@@ -1,0 +1,44 @@
+type t = A | B | C_established | D | E | F | G_done
+
+let all = [ A; B; C_established; D; E; F; G_done ]
+
+let label = function
+  | A -> "a"
+  | B -> "b"
+  | C_established -> "c"
+  | D -> "d"
+  | E -> "e"
+  | F -> "f"
+  | G_done -> "g"
+
+let to_string t = "state " ^ label t
+
+let of_label = function
+  | "a" -> Some A
+  | "b" -> Some B
+  | "c" -> Some C_established
+  | "d" -> Some D
+  | "e" -> Some E
+  | "f" -> Some F
+  | "g" -> Some G_done
+  | _ -> None
+
+let is_transient = function B | D -> true | A | C_established | E | F | G_done -> false
+
+let next = function
+  | A -> Some B
+  | B -> Some C_established
+  | C_established -> Some D
+  | D -> Some E
+  | E -> Some F
+  | F -> Some G_done
+  | G_done -> None
+
+let pointers = function
+  | A -> []
+  | B -> [ "G->P(packet)" ]
+  | C_established -> [ "G->P"; "P->G" ]
+  | D -> [ "G->P"; "P->G"; "P->C(packet)"; "C->G(grandparent)" ]
+  | E -> [ "G->P"; "P->G"; "P->C"; "C->P"; "C->G(grandparent)" ]
+  | F -> [ "G->P"; "P->G" ]
+  | G_done -> []

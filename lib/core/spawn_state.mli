@@ -1,0 +1,41 @@
+(** The spawn/reduction state machine of §4.3.2 (Figures 6–7).
+
+    Evaluation of a three-task chain G → P → C passes through seven states:
+
+    - [A] — G evaluating, P not yet spawned (no pointers);
+    - [B] — P's packet in transit / queued, not yet acknowledged
+      (transient: a consequence of dynamic load balancing);
+    - [C_established] — P absorbed by a processor and acknowledged; G holds
+      a parent→child pointer to P;
+    - [D] — C's packet in transit / queued (transient);
+    - [E] — C absorbed and acknowledged; full G→P→C chain live;
+    - [F] — C has returned its result to P (C reduced);
+    - [G_done] — P has returned to G (P reduced).
+
+    §4.3.2 argues residue-freedom: fail P in any state and neither G nor C
+    is corrupted — G times out and re-issues (states b/c), a stranded C
+    either aborts or returns via the grandparent (states d/e, analysed by
+    the 8 cases of §4.1).  The machine layer tags each task's lifecycle with
+    these states; the F6 experiment fails P in every state and checks the
+    final answer. *)
+
+type t = A | B | C_established | D | E | F | G_done
+
+val all : t list
+
+val to_string : t -> string
+
+val label : t -> string
+(** Lower-case figure label: "a" .. "g". *)
+
+val of_label : string -> t option
+
+val is_transient : t -> bool
+(** [B] and [D]: packet in flight, existence not yet acknowledged. *)
+
+val next : t -> t option
+(** Successor in the normal (fault-free) progression; [None] for [G_done]. *)
+
+val pointers : t -> string list
+(** The inter-task pointers present in the state (Figure 7), as
+    human-readable strings like "G->P", "P->G(gp of C)". *)

@@ -1,0 +1,54 @@
+type case = C1 | C2 | C3 | C4 | C5 | C6 | C7 | C8
+
+type timeline = {
+  c_invoked : int option;
+  c_completed : int option;
+  p_failed : int;
+  p'_invoked : int option;
+  p'_completed : int option;
+  c'_invoked : int option;
+  c'_completed : int option;
+}
+
+let classify tl =
+  match tl.c_invoked with
+  | None -> C1
+  | Some _ -> (
+    match tl.c_completed with
+    | None -> C2
+    | Some done_at ->
+      if done_at < tl.p_failed then C3
+      else begin
+        (* Completion at or after the failure instant counts as "after P
+           dies": the failure event was dispatched first. *)
+        let after threshold = match threshold with Some t -> done_at >= t | None -> false in
+        if after tl.p'_completed then C8
+        else if after tl.c'_completed then C7
+        else if after tl.c'_invoked then C6
+        else if after tl.p'_invoked then C5
+        else C4
+      end)
+
+let case_number = function
+  | C1 -> 1
+  | C2 -> 2
+  | C3 -> 3
+  | C4 -> 4
+  | C5 -> 5
+  | C6 -> 6
+  | C7 -> 7
+  | C8 -> 8
+
+let to_string c = Printf.sprintf "case %d" (case_number c)
+
+let description = function
+  | C1 -> "C has never been invoked"
+  | C2 -> "C will never complete"
+  | C3 -> "C completes before P dies"
+  | C4 -> "C completes after P dies, before P' is invoked"
+  | C5 -> "C completes after P' is invoked, before C' is invoked"
+  | C6 -> "C completes after C' is invoked"
+  | C7 -> "C completes after C' has completed"
+  | C8 -> "C completes after P' has completed"
+
+let all = [ C1; C2; C3; C4; C5; C6; C7; C8 ]

@@ -1,0 +1,46 @@
+(** Classification of the eight orderings of §4.1 / Figure 5.
+
+    For a child task C of a failed parent P, with P′ the recovery twin of P
+    and C′ the clone of C spawned by P′, the paper enumerates every
+    possible ordering of C's completion relative to the recovery timeline
+
+    {v P fails  →  P′ invoked  →  C′ invoked  →  C′ completed v}
+
+    Case 1: C never invoked.            Case 2: C never completes.
+    Case 3: C completes before P dies.  Case 4: C completes after P dies,
+    before P′ invoked.                  Case 5: after P′, before C′ invoked.
+    Case 6: after C′ invoked, before C′ completes.
+    Case 7: after C′ completes.         Case 8: after P′ completes.
+
+    The experiment harness records the relevant timestamps during a run and
+    uses {!classify} to bucket what actually happened; tests drive crafted
+    schedules to reach each case and assert exactly-once result semantics. *)
+
+type case = C1 | C2 | C3 | C4 | C5 | C6 | C7 | C8
+
+type timeline = {
+  c_invoked : int option;
+  c_completed : int option;
+  p_failed : int;
+  p'_invoked : int option;
+  p'_completed : int option;
+  c'_invoked : int option;
+  c'_completed : int option;
+}
+
+val classify : timeline -> case
+(** Buckets a timeline.  Ties (equal timestamps) resolve toward the later
+    case, matching the discrete-event scheduler's FIFO tie-breaking where
+    the completion is processed after the invocation it coincides with.
+    Precedence: case 8 (completion after P′ completed) is checked before
+    cases 6–7, mirroring the paper's narrative where case 8 is "after
+    everything is completed". *)
+
+val case_number : case -> int
+
+val to_string : case -> string
+
+val description : case -> string
+(** The paper's one-line description of the case. *)
+
+val all : case list

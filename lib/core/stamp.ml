@@ -1,0 +1,68 @@
+(* Digits are stored reversed (deepest first) so [child] is O(1). *)
+type t = int list
+
+let root = []
+
+let child s k =
+  if k < 0 then invalid_arg "Stamp.child: negative digit";
+  k :: s
+
+let parent = function [] -> None | _ :: rest -> Some rest
+
+let depth = List.length
+
+let digits s = List.rev s
+
+let of_digits ds =
+  List.iter (fun d -> if d < 0 then invalid_arg "Stamp.of_digits: negative digit") ds;
+  List.rev ds
+
+let equal a b = a = b
+
+let compare a b = Stdlib.compare (digits a) (digits b)
+
+(* [a] proper prefix of [b]. *)
+let is_ancestor a b =
+  let da = digits a and db = digits b in
+  let rec prefix xs ys =
+    match (xs, ys) with
+    | [], [] -> false  (* equal, not proper *)
+    | [], _ :: _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+  in
+  prefix da db
+
+let is_descendant a b = is_ancestor b a
+
+let related a b = equal a b || is_ancestor a b || is_ancestor b a
+
+let common_ancestor a b =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | x :: xs', y :: ys' when x = y -> go xs' ys' (x :: acc)
+    | _ -> List.rev acc
+  in
+  of_digits (go (digits a) (digits b) [])
+
+let to_string s =
+  match digits s with
+  | [] -> "\xce\xb5" (* ε *)
+  | ds -> String.concat "." (List.map string_of_int ds)
+
+let of_string str =
+  if str = "\xce\xb5" || str = "" then Ok root
+  else
+    let parts = String.split_on_char '.' str in
+    let rec go acc = function
+      | [] -> Ok (of_digits (List.rev acc))
+      | p :: rest -> (
+        match int_of_string_opt p with
+        | Some d when d >= 0 -> go (d :: acc) rest
+        | _ -> Error (Printf.sprintf "bad stamp digit %S in %S" p str))
+    in
+    go [] parts
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let hash s = Hashtbl.hash (digits s)

@@ -1,0 +1,77 @@
+type 'a outcome = Undecided | Decided of 'a | Inconclusive
+
+type 'a t = {
+  k : int;
+  equal : 'a -> 'a -> bool;
+  mutable tallies : ('a * int) list;
+  mutable lost : int;
+  mutable decision : 'a option;
+  mutable inconclusive : bool;
+}
+
+let create ~replicas ~equal =
+  if replicas < 1 then invalid_arg "Vote.create: need at least one replica";
+  { k = replicas; equal; tallies = []; lost = 0; decision = None; inconclusive = false }
+
+let replicas t = t.k
+
+let majority t = (t.k / 2) + 1
+
+let received t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.tallies
+
+let lost t = t.lost
+
+let decision t = t.decision
+
+let leader t =
+  List.fold_left
+    (fun acc (v, n) -> match acc with Some (_, m) when m >= n -> acc | _ -> Some (v, n))
+    None t.tallies
+
+let state t =
+  match t.decision with
+  | Some v -> Decided v
+  | None -> if t.inconclusive then Inconclusive else Undecided
+
+(* Re-evaluate after any tally/loss change. *)
+let settle t =
+  (match leader t with
+  | Some (v, n) when n >= majority t -> t.decision <- Some v
+  | _ -> ());
+  if t.decision = None then begin
+    let outstanding = t.k - received t - t.lost in
+    if outstanding = 0 then begin
+      (* Everyone accounted for: unanimity among survivors decides even
+         below majority (identical results, just fewer of them);
+         disagreement or a total wipe-out is inconclusive. *)
+      match t.tallies with
+      | [ (v, _) ] -> t.decision <- Some v
+      | [] | _ :: _ :: _ -> t.inconclusive <- true
+    end
+    else begin
+      (* Early impossibility: even if every outstanding replica voted with
+         the current leader it could not reach majority, and survivors
+         disagree. *)
+      let best = match leader t with Some (_, n) -> n | None -> 0 in
+      if best + outstanding < majority t && List.length t.tallies > 1 then t.inconclusive <- true
+    end
+  end;
+  state t
+
+let add t v =
+  match t.decision with
+  | Some _ -> state t
+  | None ->
+    let rec bump = function
+      | [] -> [ (v, 1) ]
+      | (u, n) :: rest -> if t.equal u v then (u, n + 1) :: rest else (u, n) :: bump rest
+    in
+    t.tallies <- bump t.tallies;
+    settle t
+
+let lose t =
+  match t.decision with
+  | Some _ -> state t
+  | None ->
+    t.lost <- t.lost + 1;
+    settle t

@@ -1,0 +1,49 @@
+(** Majority voting over replicated task results (§5.3).
+
+    An applicative system emulates hardware redundancy by replicating a
+    task packet [k] ways; replicas execute asynchronously on distinct
+    processors and results return at random times.  The originator takes a
+    majority consensus as the answer — and, crucially, "does not have to
+    wait for the slowest answer if it has received identical results from
+    the majority" — so {!add} decides as soon as any value reaches
+    ⌊k/2⌋+1 confirmations.
+
+    With fail-stop processors all delivered results are identical (the
+    language is determinate); the voter nevertheless tolerates Byzantine
+    *values* so the Q6 experiment can also inject silent corruption.
+    {!give_up} handles the degenerate end: when so many replicas are lost
+    that a majority is impossible, the caller may accept a plurality or
+    fail over to checkpoint-based recovery. *)
+
+type 'a outcome =
+  | Undecided  (** keep waiting *)
+  | Decided of 'a  (** a value reached majority *)
+  | Inconclusive  (** all accounted for, no majority (split or losses) *)
+
+type 'a t
+
+val create : replicas:int -> equal:('a -> 'a -> bool) -> 'a t
+(** @raise Invalid_argument unless [replicas >= 1]. *)
+
+val replicas : 'a t -> int
+
+val majority : 'a t -> int
+(** ⌊k/2⌋ + 1. *)
+
+val add : 'a t -> 'a -> 'a outcome
+(** Record one replica's result.  Once [Decided], further results are
+    absorbed and the decision stands. *)
+
+val lose : 'a t -> 'a outcome
+(** Record that one replica will never answer (its processor died).  May
+    yield [Inconclusive] when a majority becomes impossible, or [Decided]
+    when every surviving replica already agrees. *)
+
+val received : 'a t -> int
+
+val lost : 'a t -> int
+
+val decision : 'a t -> 'a option
+
+val leader : 'a t -> ('a * int) option
+(** Current plurality value and its count. *)

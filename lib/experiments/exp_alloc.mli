@@ -1,0 +1,12 @@
+(** Q7 — Allocation policy ablation (§3.3).
+
+    The paper argues that re-issue recovery presupposes *dynamic*
+    allocation: with the gradient model, a regenerated task "is
+    indistinguishable from an original one" — no linkage fix-up, no
+    rebalancing problem.  A static allocator keeps nominating the dead
+    processor and every such placement must be detected and reassigned.
+    We compare gradient, random, round-robin, static-hash and the
+    Grit-style 1-hop neighbourhood restriction, fault-free and with one
+    failure. *)
+
+val run : ?quick:bool -> unit -> Report.t

@@ -1,0 +1,13 @@
+(** F5 — Figure 5: the eight orderings of a child's completion.
+
+    A three-task family is run under splice recovery: P spawns a fast child
+    C and a slow sibling D; P's processor is killed at a chosen instant.
+    By sweeping the child's work, the failure time, the detection delay and
+    the placement seed, the deterministic simulator is steered into each of
+    the paper's eight cases (C never invoked, C never completes, C
+    completes before/after each recovery milestone).  For every case the
+    experiment reports the parameters found, the observed timeline, and
+    verifies that the final answer is correct and duplicates were ignored —
+    the exactly-once result semantics the case analysis of §4.1 argues. *)
+
+val run : ?quick:bool -> unit -> Report.t

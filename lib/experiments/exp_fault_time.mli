@@ -1,0 +1,11 @@
+(** Q2 — Recovery cost as a function of when the fault strikes.
+
+    §6: "if a fault happens at a later stage of the evaluation, the
+    rollback recovery may be costly" — because rollback discards every
+    partial result below the re-issued checkpoints, and late in the run
+    there is more to discard.  Splice salvages orphan results, so its cost
+    should grow more slowly with fault time.  We kill the busiest
+    non-root processor at 10%–90% of the fault-free makespan under both
+    schemes and report completion time, re-issued tasks and wasted work. *)
+
+val run : ?quick:bool -> unit -> Report.t

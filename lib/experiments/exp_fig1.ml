@@ -1,0 +1,131 @@
+module Stamp = Recflow_recovery.Stamp
+module Ckpt_table = Recflow_recovery.Ckpt_table
+module Packet = Recflow_recovery.Packet
+module Table = Recflow_stats.Table
+module T = Paper_tree
+
+let proc_ids = [ 0; 1; 2; 3 ]
+
+(* Fill each processor's checkpoint table exactly as evaluation would:
+   when a parent on processor P spawns a child onto processor Q, P files
+   the child's packet under entry Q.  Spawns happen in stamp order (a
+   parent is always spawned before its children), so coverage pruning sees
+   ancestors first — as in a real run. *)
+let build_tables () =
+  let tables = List.map (fun p -> (p, Ckpt_table.create ~mode:Ckpt_table.Topmost ())) proc_ids in
+  let table p = List.assoc p tables in
+  List.iter
+    (fun (n : T.node) ->
+      match T.parent n with
+      | None -> ()
+      | Some parent ->
+        ignore (Ckpt_table.record (table parent.T.proc) ~dest:n.T.proc (T.packet_of n)))
+    T.all;
+  tables
+
+let labels_of_packets ps =
+  List.map
+    (fun (p : Packet.t) ->
+      match List.find_opt (fun (n : T.node) -> Stamp.equal n.T.stamp p.Packet.stamp) T.all with
+      | Some n -> n.T.label
+      | None -> Stamp.to_string p.Packet.stamp)
+    ps
+
+let run ?quick:_ () =
+  let b = T.proc_of_name "B" in
+  (* Table 1: the mapping of Figure 1. *)
+  let mapping = Table.create ~title:"Call tree mapped onto processors A-D" ~columns:[ "task"; "stamp"; "processor"; "children" ] in
+  List.iter
+    (fun (n : T.node) ->
+      Table.add_row mapping
+        [
+          n.T.label;
+          Stamp.to_string n.T.stamp;
+          T.proc_name n.T.proc;
+          String.concat " " (List.map (fun (c : T.node) -> c.T.label) n.T.children);
+        ])
+    T.all;
+  (* Table 2: checkpoint distribution for entry B on each processor. *)
+  let tables = build_tables () in
+  let dist = Table.create ~title:"Functional checkpoints held for tasks on processor B"
+      ~columns:[ "holder"; "entry B (topmost)"; "covered (not stored)" ] in
+  let entry_of p = Ckpt_table.entry (List.assoc p tables) ~dest:b in
+  let holder_rows =
+    List.filter_map
+      (fun p ->
+        if p = b then None
+        else begin
+          let held = labels_of_packets (entry_of p) in
+          (* covered = children on B spawned from p that are not in the entry *)
+          let spawned_to_b =
+            List.filter_map
+              (fun (n : T.node) ->
+                match T.parent n with
+                | Some parent when parent.T.proc = p && n.T.proc = b -> Some n.T.label
+                | _ -> None)
+              T.all
+          in
+          let covered = List.filter (fun l -> not (List.mem l held)) spawned_to_b in
+          Some (p, held, covered)
+        end)
+      proc_ids
+  in
+  List.iter
+    (fun (p, held, covered) ->
+      Table.add_row dist
+        [ T.proc_name p; String.concat " " held; String.concat " " covered ])
+    holder_rows;
+  (* Table 3: fragments after B fails. *)
+  let frags = T.fragments ~failed:b in
+  let frag_table = Table.create ~title:"Fragments of the call tree after B fails" ~columns:[ "piece"; "tasks" ] in
+  List.iteri
+    (fun i members ->
+      Table.add_row frag_table [ string_of_int (i + 1); String.concat " " members ])
+    frags;
+  (* Table 4: rollback re-issue sets (Ckpt_table.on_failure). *)
+  let reissue = Table.create ~title:"Rollback recovery: re-issued checkpoints per processor"
+      ~columns:[ "processor"; "re-issues" ] in
+  let reissues =
+    List.filter_map
+      (fun p ->
+        if p = b then None
+        else begin
+          let drained = Ckpt_table.on_failure (List.assoc p tables) ~failed:b in
+          Some (p, labels_of_packets drained)
+        end)
+      proc_ids
+  in
+  List.iter
+    (fun (p, ls) -> Table.add_row reissue [ T.proc_name p; String.concat " " ls ])
+    reissues;
+  let held p = match List.assoc_opt p reissues with Some l -> l | None -> [] in
+  (* Pieces are ordered by their topmost task's stamp: D4 (1.0.0) roots its
+     piece before A2 (1.0.1). *)
+  let expected_fragments =
+    [
+      [ "A1"; "C1"; "C2"; "C3"; "D3" ];
+      [ "A5"; "D4"; "D5" ];
+      [ "A2"; "C4"; "D1"; "D2" ];
+    ]
+  in
+  let checks =
+    [
+      ("B's failure fragments the tree into the paper's three pieces", frags = expected_fragments);
+      ("A re-issues exactly B1", held 0 = [ "B1" ]);
+      ("C re-issues B2 and B3 only", held 2 = [ "B2"; "B3" ]);
+      ( "B5's checkpoint is covered by B2 (topmost rule)",
+        List.exists (fun (p, _, covered) -> p = 2 && covered = [ "B5" ]) holder_rows );
+      ("D re-issues B7", held 3 = [ "B7" ]);
+    ]
+  in
+  Report.make ~id:"F1" ~title:"Call-tree fragmentation and checkpoint distribution"
+    ~paper_source:"Figure 1, §3–§3.2"
+    ~notes:
+      [
+        "The paper's respawn narrative omits D's re-issue of B7, but its own per-entry rule \
+         (§3.2) requires it: B7 is topmost in D's entry B.";
+        "B5 is filed by C4 (on C) but never stored: its stamp descends from B2's, which is \
+         already in C's entry B — exactly the paper's \"most ancient ancestor\" optimisation.";
+      ]
+    ~checks
+    [ mapping; dist; frag_table; reissue ]

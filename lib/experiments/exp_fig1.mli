@@ -1,0 +1,9 @@
+(** F1 — Figure 1: call-tree fragmentation and checkpoint distribution.
+
+    Reconstructs the paper's worked example on the recovery data
+    structures: the tree mapped onto processors A–D, the per-processor
+    functional-checkpoint tables, the three fragments produced by B's
+    failure, and the rollback re-issue sets (A re-issues B1; C re-issues
+    B2 and B3 with B5 covered by B2; D re-issues B7). *)
+
+val run : ?quick:bool -> unit -> Report.t

@@ -1,0 +1,52 @@
+module Stamp = Recflow_recovery.Stamp
+module Table = Recflow_stats.Table
+module T = Paper_tree
+
+let run ?quick:_ () =
+  let table =
+    Table.create ~title:"Grandparent pointers (Figure 2)"
+      ~columns:[ "task"; "parent"; "grandparent pointer"; "grandparent processor" ]
+  in
+  let gp_of_label = Hashtbl.create 16 in
+  List.iter
+    (fun (n : T.node) ->
+      let parent = T.parent n in
+      let gp = T.grandparent n in
+      Hashtbl.replace gp_of_label n.T.label (Option.map (fun (g : T.node) -> g.T.label) gp);
+      Table.add_row table
+        [
+          n.T.label;
+          (match parent with Some p -> p.T.label | None -> "(super-root)");
+          (match gp with Some g -> g.T.label | None -> "-");
+          (match gp with Some g -> T.proc_name g.T.proc | None -> "-");
+        ])
+    T.all;
+  let gp label = Option.join (Hashtbl.find_opt gp_of_label label) in
+  let checks =
+    [
+      ("B3's grandparent pointer reaches A1", gp "B3" = Some "A1");
+      ("D4's grandparent pointer reaches C1", gp "D4" = Some "C1");
+      ("B5's grandparent pointer reaches D2", gp "B5" = Some "D2");
+      ( "every depth>=2 task has a grandparent pointer",
+        List.for_all
+          (fun (n : T.node) -> Stamp.depth n.T.stamp < 2 || gp n.T.label <> None)
+          T.all );
+      ( "the pointer always reaches the stamp two levels up",
+        List.for_all
+          (fun (n : T.node) ->
+            match T.grandparent n with
+            | None -> true
+            | Some g -> (
+              match Option.bind (Stamp.parent n.T.stamp) Stamp.parent with
+              | Some s -> Stamp.equal s g.T.stamp
+              | None -> false))
+          T.all );
+    ]
+  in
+  Report.make ~id:"F2" ~title:"Grandparent pointers" ~paper_source:"Figure 2, §4.1"
+    ~notes:
+      [
+        "The grandparent pointer is the only structural overhead splice recovery adds to a \
+         packet: one processor/task identification (\"may be just an integer\", §4.2).";
+      ]
+    ~checks [ table ]

@@ -1,0 +1,7 @@
+(** F2 — Figure 2: grandparent pointers over the Figure-1 tree.
+
+    Verifies that the backward linkage splice recovery relies on is exactly
+    the paper's: B3's grandparent pointer reaches A1, D4's reaches C1, and
+    in general every task at depth ≥ 2 points two levels up. *)
+
+val run : ?quick:bool -> unit -> Report.t

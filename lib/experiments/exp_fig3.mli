@@ -1,0 +1,11 @@
+(** F3 — Figures 3–4: twin creation and offspring inheritance, live.
+
+    Runs a real workload under splice recovery, kills a busy processor
+    mid-run with a deliberately slow error-detection broadcast, and shows
+    the Figure-3 sequence happening in the journal: an orphan's return
+    bounces off its dead parent, reaches the grandparent, the grandparent
+    regenerates a twin (step-parent) from its functional checkpoint, and
+    the salvaged result is relayed into the twin — which therefore skips
+    re-spawning that child. *)
+
+val run : ?quick:bool -> unit -> Report.t

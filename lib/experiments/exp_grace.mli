@@ -1,0 +1,11 @@
+(** X2 — Ablation of the adoption grace (offspring inheritance window).
+
+    The paper's twin "inherits all offspring of the faulty task" but gives
+    no mechanism for *running* orphans; our implementation holds a
+    re-issued twin back for [adoption_grace] ticks so orphan reports can
+    overtake it (DESIGN.md, implementation findings).  This ablation sweeps
+    the grace: 0 reverts to the literal §4.2 protocol (twins clone
+    everything, duplicates absorb the waste), small values capture most
+    inheritance, and very large values delay recovery itself. *)
+
+val run : ?quick:bool -> unit -> Report.t

@@ -1,0 +1,11 @@
+(** X3 — Ablation of task granularity (the inline depth).
+
+    The machine evaluates calls below a stamp-depth threshold inline
+    instead of spawning them (DESIGN.md "grain control"): too fine a grain
+    drowns the run in packet/latency overhead, too coarse a grain starves
+    the processors.  This ablation sweeps the threshold on a fixed tree
+    and reports makespan, task count and message traffic, fault-free and
+    with one failure — recovery granularity follows task granularity,
+    since the re-issued unit is the task packet. *)
+
+val run : ?quick:bool -> unit -> Report.t

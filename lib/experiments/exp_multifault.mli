@@ -1,0 +1,14 @@
+(** Q5 — Multiple faults (§5.2).
+
+    Three scenarios under splice recovery:
+    - two simultaneous failures on *disjoint branches* of the call tree:
+      "separate recoveries take place at different parts of the program in
+      parallel" and nothing is stranded by design;
+    - simultaneous failure of a task's *parent and grandparent* hosts:
+      orphans on that chain are stranded (their salvage drops), though the
+      computation still completes through checkpoint re-issue;
+    - the same chain failure with the great-grandparent extension
+      ([ancestor_depth = 2]): the orphan return climbs one level higher
+      and salvage resumes. *)
+
+val run : ?quick:bool -> unit -> Report.t

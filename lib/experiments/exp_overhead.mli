@@ -1,0 +1,11 @@
+(** Q1 — Fault-free overhead of functional checkpointing.
+
+    The paper's central engineering claim (§2, §6): functional
+    checkpointing is "concise, distributed and asynchronous" and costs
+    almost nothing in normal operation, unlike periodic global
+    checkpointing which stops the machine at every interval.  We run the
+    same workload with no fault tolerance, with functional checkpointing
+    (rollback and splice variants), and with task replication, and put the
+    periodic-global model next to them across a sweep of intervals. *)
+
+val run : ?quick:bool -> unit -> Report.t

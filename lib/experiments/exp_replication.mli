@@ -1,0 +1,13 @@
+(** Q6 — Emulated hardware redundancy by task replication (§5.3).
+
+    Replicating task packets makes an applicative system behave like a
+    hardware-redundant one: replicas execute asynchronously on distinct
+    processors and the originator takes the majority consensus, without
+    waiting for the slowest replica.  On a workload whose whole call tree
+    sits inside the replicated prefix, a failure is *masked* — zero
+    re-issues, negligible recovery delay — at k× the fault-free cost.  The
+    checkpointing schemes recover the same failure more cheaply in normal
+    operation but pay for it at fault time.  Misunas's whole-program TMR
+    closed form is quoted alongside. *)
+
+val run : ?quick:bool -> unit -> Report.t

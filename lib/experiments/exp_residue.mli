@@ -1,0 +1,12 @@
+(** F6/F7 — Figures 6–7: residue-freedom across the spawn states.
+
+    A three-task chain G → P → C is instrumented so that every state of
+    the spawn/reduction machine of §4.3.2 occupies a non-empty window of
+    simulated time (arithmetic padding inside P's body stretches the
+    windows the ack protocol would otherwise race past).  P's processor is
+    then killed once inside each window, under both rollback and splice,
+    and the experiment verifies the paper's claim: the failure leaves no
+    residue — G is never corrupted, C either aborts, is salvaged, or is
+    recomputed, and the final answer is always the serial one. *)
+
+val run : ?quick:bool -> unit -> Report.t

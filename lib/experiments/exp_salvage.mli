@@ -1,0 +1,11 @@
+(** Q3 — Orphan salvage accounting.
+
+    §3.4 motivates splice recovery: orphan partial results are correct
+    answers whose linkage broke, and rollback throws them away.  This
+    experiment counts the fate of every orphan return under both schemes
+    across fault times and detection delays: relayed through a grandparent,
+    adopted by a twin before it spawned the clone (the pure win), arrived
+    as a duplicate (salvage lost the race), stranded (ancestors dead too),
+    or dropped outright (rollback). *)
+
+val run : ?quick:bool -> unit -> Report.t

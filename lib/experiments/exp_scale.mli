@@ -1,0 +1,11 @@
+(** Q4 — Scalability: speedup and recovery cost vs cluster size.
+
+    §1 frames applicative systems as "promising candidates for achieving
+    high performance through aggregation of processors"; the recovery
+    schemes must not spoil that.  We sweep the processor count, measure
+    fault-free speedup over the single-processor run, then inject one
+    mid-run failure under splice and report the recovery delta — which
+    shrinks relative to the run as the cluster grows (less of the
+    computation lives on any one node). *)
+
+val run : ?quick:bool -> unit -> Report.t

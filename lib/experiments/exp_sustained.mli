@@ -1,0 +1,10 @@
+(** X1 — Fail-soft degradation under sustained failures.
+
+    §1 motivates the whole paper: a multiprocessor should "sustain partial
+    system failures".  We inject a growing number of fail-stop failures,
+    evenly spaced through the run, into a 16-processor cluster and measure
+    completion time and correctness for rollback and splice.  The fail-soft
+    claim holds if the answer is always correct and completion degrades
+    gradually with the number of lost processors rather than collapsing. *)
+
+val run : ?quick:bool -> unit -> Report.t

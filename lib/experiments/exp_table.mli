@@ -1,0 +1,10 @@
+(** Q8 — Checkpoint-table ablation: topmost-only vs keep-all (§3.2).
+
+    The paper's table keeps only the *topmost* checkpoints per destination:
+    a descendant covered by an ancestor's checkpoint is redundant, because
+    re-issuing the ancestor regenerates it, and re-issuing it separately
+    only "increases the system overhead" (the B5 discussion).  We run the
+    same workload and failure with both table disciplines and compare
+    storage, re-issue counts and redone work. *)
+
+val run : ?quick:bool -> unit -> Report.t

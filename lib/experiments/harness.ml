@@ -1,0 +1,45 @@
+module Cluster = Recflow_machine.Cluster
+module Config = Recflow_machine.Config
+module Workload = Recflow_workload.Workload
+module Value = Recflow_lang.Value
+module Counter = Recflow_stats.Counter
+
+type run = { cluster : Cluster.t; outcome : Cluster.outcome; correct : bool; makespan : int }
+
+let run ?(drain = false) config workload size ~failures =
+  let cluster = Cluster.create config (Workload.program workload) in
+  Recflow_fault.Plan.apply cluster failures;
+  Cluster.start cluster ~fname:workload.Workload.entry ~args:(workload.Workload.args size);
+  let outcome = Cluster.run ~drain cluster in
+  let expected = Workload.expected workload size in
+  let correct =
+    match outcome.Cluster.answer with Some v -> Value.equal v expected | None -> false
+  in
+  let makespan =
+    match outcome.Cluster.answer_time with Some t -> t | None -> outcome.Cluster.sim_time
+  in
+  { cluster; outcome; correct; makespan }
+
+let probe config workload size = run config workload size ~failures:[]
+
+let synthetic_setup ~quick =
+  let depth = 8 in
+  let w = Workload.synthetic ~branching:2 ~depth ~grain:60 in
+  let size = if quick then Workload.Small else Workload.Medium in
+  let effective_depth = match size with Workload.Small -> depth - 1 | _ -> depth in
+  (w, size, effective_depth + 1)
+
+let counter r name = Counter.get (Cluster.counters r.cluster) name
+
+let speedup ~baseline r =
+  if r.makespan = 0 then nan else float_of_int baseline.makespan /. float_of_int r.makespan
+
+let pct_of ~part ~whole = if whole = 0 then 0.0 else float_of_int part /. float_of_int whole
+
+let c_int = string_of_int
+
+let c_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let c_bool b = if b then "yes" else "no"
+
+let c_opt_value = function Some v -> Value.to_string v | None -> "-"

@@ -1,0 +1,44 @@
+(** Shared run machinery for the experiments.
+
+    Wraps [Cluster] with workload plumbing, correctness checking against
+    the serial evaluator, and the probe-then-inject pattern used by all
+    fault experiments. *)
+
+module Cluster = Recflow_machine.Cluster
+module Config = Recflow_machine.Config
+module Workload = Recflow_workload.Workload
+
+type run = {
+  cluster : Cluster.t;
+  outcome : Cluster.outcome;
+  correct : bool;  (** answer present and equal to the serial reference *)
+  makespan : int;  (** answer time, or sim end when no answer *)
+}
+
+val run :
+  ?drain:bool -> Config.t -> Workload.t -> Workload.size -> failures:Recflow_fault.Plan.t -> run
+
+val probe : Config.t -> Workload.t -> Workload.size -> run
+(** Fault-free run (the oracle for fault placement and baselines). *)
+
+val synthetic_setup : quick:bool -> Workload.t * Workload.size * int
+(** The standard controlled workload of the quantitative experiments: a
+    binary tree (branching 2, depth 8, leaf grain 60) at Medium size
+    (Small when [quick]), together with the matching [inline_depth] —
+    leaf spins evaluate inline so tasks have real grain instead of
+    unravelling into per-iteration chains. *)
+
+val counter : run -> string -> int
+
+val speedup : baseline:run -> run -> float
+(** makespan ratio baseline/this. *)
+
+val pct_of : part:int -> whole:int -> float
+
+val c_int : int -> string
+
+val c_float : ?decimals:int -> float -> string
+
+val c_bool : bool -> string
+
+val c_opt_value : Recflow_lang.Value.t option -> string

@@ -1,0 +1,14 @@
+(** Registry of every reproduced figure and quantitative claim. *)
+
+type entry = {
+  id : string;  (** "F1".."F6", "Q1".."Q8" (case-insensitive lookup) *)
+  title : string;
+  run : ?quick:bool -> unit -> Report.t;
+}
+
+val all : entry list
+(** In presentation order: figures first, then the quantitative series. *)
+
+val find : string -> entry option
+
+val ids : string list

@@ -1,0 +1,51 @@
+module Table = Recflow_stats.Table
+
+type t = {
+  id : string;
+  title : string;
+  paper_source : string;
+  tables : Table.t list;
+  notes : string list;
+  checks : (string * bool) list;
+}
+
+let make ~id ~title ~paper_source ?(notes = []) ?(checks = []) tables =
+  { id; title; paper_source; tables; notes; checks }
+
+let all_checks_pass t = List.for_all snd t.checks
+
+let pp ppf t =
+  Format.fprintf ppf "@.===== %s: %s =====@." t.id t.title;
+  Format.fprintf ppf "reproduces: %s@.@." t.paper_source;
+  List.iter (fun table -> Format.fprintf ppf "%a@." Table.pp table) t.tables;
+  if t.notes <> [] then begin
+    Format.fprintf ppf "notes:@.";
+    List.iter (fun n -> Format.fprintf ppf "  - %s@." n) t.notes
+  end;
+  if t.checks <> [] then begin
+    Format.fprintf ppf "checks:@.";
+    List.iter
+      (fun (name, ok) -> Format.fprintf ppf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+      t.checks
+  end
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "## %s — %s\n\n*Reproduces: %s*\n\n" t.id t.title t.paper_source);
+  List.iter
+    (fun table ->
+      Buffer.add_string buf (Printf.sprintf "**%s**\n\n" (Table.title table));
+      let cols = Table.columns table in
+      Buffer.add_string buf ("| " ^ String.concat " | " cols ^ " |\n");
+      Buffer.add_string buf ("|" ^ String.concat "|" (List.map (fun _ -> "---") cols) ^ "|\n");
+      List.iter
+        (fun row -> Buffer.add_string buf ("| " ^ String.concat " | " row ^ " |\n"))
+        (Table.rows table);
+      Buffer.add_char buf '\n')
+    t.tables;
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "- %s\n" n)) t.notes;
+  List.iter
+    (fun (name, ok) ->
+      Buffer.add_string buf (Printf.sprintf "- %s **%s**\n" (if ok then "✓" else "✗") name))
+    t.checks;
+  Buffer.contents buf

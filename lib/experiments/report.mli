@@ -1,0 +1,28 @@
+(** Experiment reports: tables plus notes, printable as text or markdown.
+
+    One report per reproduced figure/claim; EXPERIMENTS.md quotes the
+    rendered output of [bin/experiments.exe]. *)
+
+type t = {
+  id : string;  (** "F1", "Q3", ... *)
+  title : string;
+  paper_source : string;  (** which figure/section of the paper this reproduces *)
+  tables : Recflow_stats.Table.t list;
+  notes : string list;
+  checks : (string * bool) list;  (** named assertions; all should hold *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  paper_source:string ->
+  ?notes:string list ->
+  ?checks:(string * bool) list ->
+  Recflow_stats.Table.t list ->
+  t
+
+val all_checks_pass : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_markdown : t -> string

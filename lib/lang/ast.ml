@@ -1,0 +1,107 @@
+type prim =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Not
+  | Neg
+  | Cons
+  | Head
+  | Tail
+  | Is_nil
+  | Min
+  | Max
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Nil
+  | Var of string
+  | Prim of prim * expr list
+  | If of expr * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Let of string * expr * expr
+  | Call of string * expr list
+
+type def = { name : string; params : string list; body : expr }
+
+let prim_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Not -> "not"
+  | Neg -> "neg"
+  | Cons -> "::"
+  | Head -> "head"
+  | Tail -> "tail"
+  | Is_nil -> "nil?"
+  | Min -> "min"
+  | Max -> "max"
+
+let prim_arity = function
+  | Not | Neg | Head | Tail | Is_nil -> 1
+  | Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | Cons | Min | Max -> 2
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Nil, Nil -> true
+  | Var x, Var y -> String.equal x y
+  | Prim (p, xs), Prim (q, ys) ->
+    p = q && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | If (c1, t1, e1), If (c2, t2, e2) -> equal_expr c1 c2 && equal_expr t1 t2 && equal_expr e1 e2
+  | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
+    equal_expr x1 x2 && equal_expr y1 y2
+  | Let (n1, b1, k1), Let (n2, b2, k2) -> String.equal n1 n2 && equal_expr b1 b2 && equal_expr k1 k2
+  | Call (f, xs), Call (g, ys) ->
+    String.equal f g && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | (Int _ | Bool _ | Nil | Var _ | Prim _ | If _ | And _ | Or _ | Let _ | Call _), _ -> false
+
+let rec size = function
+  | Int _ | Bool _ | Nil | Var _ -> 1
+  | Prim (_, args) -> List.fold_left (fun acc e -> acc + size e) 1 args
+  | If (c, t, e) -> 1 + size c + size t + size e
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Let (_, b, k) -> 1 + size b + size k
+  | Call (_, args) -> List.fold_left (fun acc e -> acc + size e) 1 args
+
+let sorted_unique xs = List.sort_uniq String.compare xs
+
+let free_vars expr =
+  let rec go bound acc = function
+    | Int _ | Bool _ | Nil -> acc
+    | Var x -> if List.mem x bound then acc else x :: acc
+    | Prim (_, args) | Call (_, args) -> List.fold_left (go bound) acc args
+    | If (c, t, e) -> go bound (go bound (go bound acc c) t) e
+    | And (a, b) | Or (a, b) -> go bound (go bound acc a) b
+    | Let (x, b, k) -> go (x :: bound) (go bound acc b) k
+  in
+  sorted_unique (go [] [] expr)
+
+let calls expr =
+  let rec go acc = function
+    | Int _ | Bool _ | Nil | Var _ -> acc
+    | Prim (_, args) -> List.fold_left go acc args
+    | If (c, t, e) -> go (go (go acc c) t) e
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Let (_, b, k) -> go (go acc b) k
+    | Call (f, args) -> List.fold_left go (f :: acc) args
+  in
+  sorted_unique (go [] expr)

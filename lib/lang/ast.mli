@@ -1,0 +1,57 @@
+(** Abstract syntax of the applicative source language.
+
+    The language is strict, first-order and pure: no assignment, no I/O, no
+    higher-order values.  Purity gives exactly the determinacy property the
+    paper's recovery schemes rely on (§2.1): any application of a function to
+    given arguments always yields the same result, so a retained task packet
+    can regenerate a lost task at any time. *)
+
+type prim =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Not
+  | Neg
+  | Cons
+  | Head
+  | Tail
+  | Is_nil
+  | Min
+  | Max
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Nil
+  | Var of string
+  | Prim of prim * expr list
+  | If of expr * expr * expr
+  | And of expr * expr  (** short-circuit; kept distinct from [Prim] *)
+  | Or of expr * expr
+  | Let of string * expr * expr
+  | Call of string * expr list  (** user-defined function application *)
+
+type def = { name : string; params : string list; body : expr }
+
+val prim_name : prim -> string
+
+val prim_arity : prim -> int
+
+val equal_expr : expr -> expr -> bool
+
+val size : expr -> int
+(** Number of AST nodes; used by tests and by cost heuristics. *)
+
+val free_vars : expr -> string list
+(** Sorted, deduplicated free variables. *)
+
+val calls : expr -> string list
+(** Sorted, deduplicated names of user functions referenced. *)

@@ -1,0 +1,57 @@
+let type_error prim args =
+  Error
+    (Printf.sprintf "%s: bad argument types (%s)" (Ast.prim_name prim)
+       (String.concat ", " (List.map Value.type_name (Array.to_list args))))
+
+let int2 prim args k =
+  match args with
+  | [| Value.Int a; Value.Int b |] -> k a b
+  | _ -> type_error prim args
+
+let apply prim args =
+  if Array.length args <> Ast.prim_arity prim then
+    Error (Printf.sprintf "%s: expected %d arguments, got %d" (Ast.prim_name prim)
+             (Ast.prim_arity prim) (Array.length args))
+  else
+    match prim with
+    | Ast.Add -> int2 prim args (fun a b -> Ok (Value.Int (a + b)))
+    | Ast.Sub -> int2 prim args (fun a b -> Ok (Value.Int (a - b)))
+    | Ast.Mul -> int2 prim args (fun a b -> Ok (Value.Int (a * b)))
+    | Ast.Div ->
+      int2 prim args (fun a b -> if b = 0 then Error "/: division by zero" else Ok (Value.Int (a / b)))
+    | Ast.Mod ->
+      int2 prim args (fun a b -> if b = 0 then Error "%: modulo by zero" else Ok (Value.Int (a mod b)))
+    | Ast.Min -> int2 prim args (fun a b -> Ok (Value.Int (min a b)))
+    | Ast.Max -> int2 prim args (fun a b -> Ok (Value.Int (max a b)))
+    | Ast.Lt -> int2 prim args (fun a b -> Ok (Value.Bool (a < b)))
+    | Ast.Le -> int2 prim args (fun a b -> Ok (Value.Bool (a <= b)))
+    | Ast.Gt -> int2 prim args (fun a b -> Ok (Value.Bool (a > b)))
+    | Ast.Ge -> int2 prim args (fun a b -> Ok (Value.Bool (a >= b)))
+    | Ast.Eq -> Ok (Value.Bool (Value.equal args.(0) args.(1)))
+    | Ast.Ne -> Ok (Value.Bool (not (Value.equal args.(0) args.(1))))
+    | Ast.Not -> (
+      match args.(0) with
+      | Value.Bool b -> Ok (Value.Bool (not b))
+      | _ -> type_error prim args)
+    | Ast.Neg -> (
+      match args.(0) with
+      | Value.Int n -> Ok (Value.Int (-n))
+      | _ -> type_error prim args)
+    | Ast.Cons -> Ok (Value.Cons (args.(0), args.(1)))
+    | Ast.Head -> (
+      match args.(0) with
+      | Value.Cons (h, _) -> Ok h
+      | Value.Nil -> Error "head: empty list"
+      | _ -> type_error prim args)
+    | Ast.Tail -> (
+      match args.(0) with
+      | Value.Cons (_, t) -> Ok t
+      | Value.Nil -> Error "tail: empty list"
+      | _ -> type_error prim args)
+    | Ast.Is_nil -> (
+      match args.(0) with
+      | Value.Nil -> Ok (Value.Bool true)
+      | Value.Cons _ -> Ok (Value.Bool false)
+      | _ -> type_error prim args)
+
+let cost (_ : Ast.prim) = 1

@@ -1,0 +1,18 @@
+(** Semantics of the primitive operators.
+
+    All primitives are total functions of their argument values into
+    [result]; type errors and division by zero are reported as [Error]
+    strings, which the machine layer turns into task failures (a *program*
+    error, distinct from the *processor* failures the recovery schemes
+    handle). *)
+
+val apply : Ast.prim -> Value.t array -> (Value.t, string) result
+(** Evaluate one primitive.  [Error] covers wrong arity, wrong argument
+    types, division/modulo by zero, and head/tail of an empty list. *)
+
+val cost : Ast.prim -> int
+(** Simulated execution cost of the primitive in abstract work units (the
+    machine multiplies by its per-unit tick cost).  Arithmetic and
+    comparisons cost 1; list structure operations cost 1; this is
+    deliberately simple — relative experiment outcomes do not depend on the
+    exact per-op weights. *)

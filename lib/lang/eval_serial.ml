@@ -1,0 +1,92 @@
+exception Runtime_error of string
+
+type state = { program : Program.t; mutable steps : int; fuel : int; mutable calls : int }
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.fuel then raise (Runtime_error "fuel exhausted (non-terminating program?)")
+
+(* Environments are association lists: bindings are few (function parameters
+   plus lets) and lookup hits the most recent binding first. *)
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> raise (Runtime_error ("unbound variable " ^ x))
+
+let rec eval_in st env expr =
+  match expr with
+  | Ast.Int n -> Value.Int n
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Nil -> Value.Nil
+  | Ast.Var x ->
+    tick st;
+    lookup env x
+  | Ast.Prim (p, args) ->
+    tick st;
+    let vals = Array.of_list (List.map (eval_in st env) args) in
+    (match Builtins.apply p vals with
+    | Ok v -> v
+    | Error msg -> raise (Runtime_error msg))
+  | Ast.If (c, th, el) -> (
+    tick st;
+    match eval_in st env c with
+    | Value.Bool true -> eval_in st env th
+    | Value.Bool false -> eval_in st env el
+    | v -> raise (Runtime_error ("if: condition is not a boolean: " ^ Value.type_name v)))
+  | Ast.And (a, b) -> (
+    tick st;
+    match eval_in st env a with
+    | Value.Bool false -> Value.Bool false
+    | Value.Bool true -> (
+      match eval_in st env b with
+      | Value.Bool _ as v -> v
+      | v -> raise (Runtime_error ("&&: right operand is not a boolean: " ^ Value.type_name v)))
+    | v -> raise (Runtime_error ("&&: left operand is not a boolean: " ^ Value.type_name v)))
+  | Ast.Or (a, b) -> (
+    tick st;
+    match eval_in st env a with
+    | Value.Bool true -> Value.Bool true
+    | Value.Bool false -> (
+      match eval_in st env b with
+      | Value.Bool _ as v -> v
+      | v -> raise (Runtime_error ("||: right operand is not a boolean: " ^ Value.type_name v)))
+    | v -> raise (Runtime_error ("||: left operand is not a boolean: " ^ Value.type_name v)))
+  | Ast.Let (x, bound, body) ->
+    tick st;
+    let v = eval_in st env bound in
+    eval_in st ((x, v) :: env) body
+  | Ast.Call (fname, args) ->
+    tick st;
+    st.calls <- st.calls + 1;
+    let vals = List.map (eval_in st env) args in
+    apply st fname vals
+
+and apply st fname vals =
+  match Program.find st.program fname with
+  | None -> raise (Runtime_error ("call to unknown function " ^ fname))
+  | Some def ->
+    if List.length def.params <> List.length vals then
+      raise
+        (Runtime_error
+           (Printf.sprintf "%s: expected %d arguments, got %d" fname (List.length def.params)
+              (List.length vals)));
+    let env = List.combine def.params vals in
+    eval_in st env def.body
+
+let default_fuel = 50_000_000
+
+let eval ?(fuel = default_fuel) program fname args =
+  if Program.find program fname = None then raise Not_found;
+  let st = { program; steps = 0; fuel; calls = 0 } in
+  let v = apply st fname args in
+  (v, st.steps)
+
+let eval_expr ?(fuel = default_fuel) program env expr =
+  let st = { program; steps = 0; fuel; calls = 0 } in
+  let v = eval_in st env expr in
+  (v, st.steps)
+
+let call_count program fname args =
+  let st = { program; steps = 0; fuel = default_fuel; calls = 1 } in
+  ignore (apply st fname args);
+  st.calls

@@ -1,0 +1,32 @@
+(** Reference (sequential) evaluator.
+
+    Serves three purposes:
+    - ground truth: every distributed run must produce the same answer
+      (determinacy, §2.1 of the paper);
+    - inline execution: the machine layer evaluates fine-grained calls below
+      the spawn threshold with this evaluator, charging simulated time
+      proportional to the reported reduction count;
+    - workload sizing: reduction counts calibrate experiment parameters.
+
+    Reductions are counted per primitive application, conditional branch
+    taken, let binding, variable lookup and function call. *)
+
+exception Runtime_error of string
+(** Program errors: type errors, division by zero, head/tail of nil,
+    call-depth overflow. *)
+
+val eval :
+  ?fuel:int -> Program.t -> string -> Value.t list -> Value.t * int
+(** [eval program fname args] applies the named function and returns
+    [(value, reductions)].  [fuel] (default [50_000_000]) bounds the
+    reduction count to catch accidental non-termination in tests.
+    @raise Runtime_error on program errors or fuel exhaustion.
+    @raise Not_found if [fname] is undefined. *)
+
+val eval_expr : ?fuel:int -> Program.t -> (string * Value.t) list -> Ast.expr -> Value.t * int
+(** Evaluate an expression under an initial environment. *)
+
+val call_count : Program.t -> string -> Value.t list -> int
+(** Number of user-function applications performed (the size of the call
+    tree a fully-spawned distributed run would create).  Used by
+    experiments to report salvage fractions. *)

@@ -1,0 +1,107 @@
+type node_id = int
+
+type node =
+  | Const of Value.t
+  | Param of int
+  | Prim of Ast.prim * node_id array
+  | If of { cond : node_id; then_ : node_id; else_ : node_id }
+  | Call of { fname : string; args : node_id array }
+
+type t = { fname : string; arity : int; nodes : node array; result : node_id }
+
+type builder = { mutable rev_nodes : node list; mutable count : int }
+
+let emit b node =
+  let id = b.count in
+  b.rev_nodes <- node :: b.rev_nodes;
+  b.count <- b.count + 1;
+  id
+
+(* [env] maps a variable either to its parameter index or to the node that
+   computes its let-bound value (giving sharing). *)
+type binding = Bparam of int | Bnode of node_id
+
+let rec compile_expr b env expr =
+  match expr with
+  | Ast.Int n -> emit b (Const (Value.Int n))
+  | Ast.Bool v -> emit b (Const (Value.Bool v))
+  | Ast.Nil -> emit b (Const Value.Nil)
+  | Ast.Var x -> (
+    match List.assoc_opt x env with
+    | Some (Bnode id) -> id
+    | Some (Bparam i) -> emit b (Param i)
+    | None -> invalid_arg ("Graph.compile: unbound variable " ^ x))
+  | Ast.Prim (p, args) ->
+    let ids = Array.of_list (List.map (compile_expr b env) args) in
+    emit b (Prim (p, ids))
+  | Ast.If (c, th, el) ->
+    let cond = compile_expr b env c in
+    let then_ = compile_expr b env th in
+    let else_ = compile_expr b env el in
+    emit b (If { cond; then_; else_ })
+  | Ast.And (x, y) ->
+    (* Short-circuit: if x then y else false. *)
+    let cond = compile_expr b env x in
+    let then_ = compile_expr b env y in
+    let else_ = emit b (Const (Value.Bool false)) in
+    emit b (If { cond; then_; else_ })
+  | Ast.Or (x, y) ->
+    let cond = compile_expr b env x in
+    let then_ = emit b (Const (Value.Bool true)) in
+    let else_ = compile_expr b env y in
+    emit b (If { cond; then_; else_ })
+  | Ast.Let (x, bound, body) ->
+    let bid = compile_expr b env bound in
+    compile_expr b ((x, Bnode bid) :: env) body
+  | Ast.Call (fname, args) ->
+    let ids = Array.of_list (List.map (compile_expr b env) args) in
+    emit b (Call { fname; args = ids })
+
+let compile_def (def : Ast.def) =
+  let b = { rev_nodes = []; count = 0 } in
+  let env = List.mapi (fun i p -> (p, Bparam i)) def.params in
+  let result = compile_expr b env def.body in
+  {
+    fname = def.name;
+    arity = List.length def.params;
+    nodes = Array.of_list (List.rev b.rev_nodes);
+    result;
+  }
+
+type library = { templates : (string, t) Hashtbl.t; source : Program.t }
+
+let compile_program program =
+  let templates = Hashtbl.create 16 in
+  List.iter
+    (fun (def : Ast.def) -> Hashtbl.replace templates def.name (compile_def def))
+    (Program.defs program);
+  { templates; source = program }
+
+let find lib name = Hashtbl.find_opt lib.templates name
+
+let find_exn lib name =
+  match find lib name with
+  | Some t -> t
+  | None -> invalid_arg ("Graph.find_exn: unknown function " ^ name)
+
+let program lib = lib.source
+
+let node_count t = Array.length t.nodes
+
+let call_sites t =
+  Array.fold_left (fun acc n -> match n with Call _ -> acc + 1 | _ -> acc) 0 t.nodes
+
+let pp_node ppf = function
+  | Const v -> Format.fprintf ppf "const %a" Value.pp v
+  | Param i -> Format.fprintf ppf "param %d" i
+  | Prim (p, deps) ->
+    Format.fprintf ppf "prim %s (%s)" (Ast.prim_name p)
+      (String.concat ", " (Array.to_list (Array.map string_of_int deps)))
+  | If { cond; then_; else_ } -> Format.fprintf ppf "if n%d then n%d else n%d" cond then_ else_
+  | Call { fname; args } ->
+    Format.fprintf ppf "call %s (%s)" fname
+      (String.concat ", " (Array.to_list (Array.map string_of_int args)))
+
+let pp ppf t =
+  Format.fprintf ppf "graph %s/%d (result n%d)@." t.fname t.arity t.result;
+  Array.iteri (fun i n -> Format.fprintf ppf "  n%-4d %a@." i pp_node n) t.nodes

@@ -1,0 +1,54 @@
+(** Dataflow-graph templates: one compiled per function definition.
+
+    A function body compiles to a DAG whose leaves are constants and
+    parameters and whose internal nodes are primitive applications,
+    conditionals and user-function calls.  [let] bindings become shared
+    nodes, so a bound value is computed once.  [&&]/[||] desugar into
+    conditionals, preserving short-circuit (demand-driven) evaluation.
+
+    A task in the simulated machine is an {!Instance} of a template: the
+    template is immutable and shared; per-task state lives in the instance.
+    Call nodes are the spawn sites of the paper's call tree — when a call
+    node's arguments are ready the instance emits a spawn request, which the
+    machine turns into DEMAND_IT (§4.2): packet formation, level stamping
+    and functional checkpointing. *)
+
+type node_id = int
+
+type node =
+  | Const of Value.t
+  | Param of int
+  | Prim of Ast.prim * node_id array
+  | If of { cond : node_id; then_ : node_id; else_ : node_id }
+  | Call of { fname : string; args : node_id array }
+
+type t = private {
+  fname : string;
+  arity : int;
+  nodes : node array;  (** topologically ordered: deps precede users *)
+  result : node_id;
+}
+
+val compile_def : Ast.def -> t
+
+type library
+(** Compiled templates for a whole program. *)
+
+val compile_program : Program.t -> library
+
+val find : library -> string -> t option
+
+val find_exn : library -> string -> t
+(** @raise Invalid_argument for an unknown function. *)
+
+val program : library -> Program.t
+(** The source program the library was compiled from (used for inline
+    evaluation of fine-grained calls). *)
+
+val node_count : t -> int
+
+val call_sites : t -> int
+(** Number of [Call] nodes (potential spawn points per activation). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering, one node per line. *)

@@ -1,0 +1,204 @@
+type nstate =
+  | Idle  (* not demanded *)
+  | Pending of int  (* demanded, waiting on this many dep completions *)
+  | Branch_wait of Graph.node_id  (* If: condition decided, waiting on this branch *)
+  | Queued  (* all deps ready; sitting in the ready queue *)
+  | Called  (* Call: spawn emitted, awaiting supply *)
+  | Done of Value.t
+
+type action =
+  | Work of { cost : int }
+  | Spawn of { slot : Graph.node_id; fname : string; args : Value.t array }
+  | Blocked
+  | Finished of Value.t
+  | Failed of string
+
+type t = {
+  graph : Graph.t;
+  params : Value.t array;
+  states : nstate array;
+  waiters : Graph.node_id list array;  (* nodes to notify when a node completes *)
+  ready : Graph.node_id Queue.t;
+  mutable outstanding : int;
+  mutable spawn_order : Graph.node_id list;  (* reversed *)
+  mutable fired : int;
+  mutable failure : string option;
+}
+
+let value_exn t id =
+  match t.states.(id) with
+  | Done v -> v
+  | Idle | Pending _ | Branch_wait _ | Queued | Called ->
+    invalid_arg "Instance: dependency not ready"
+
+exception Program_error of string
+
+(* Mark [id] complete with [v] and propagate readiness to its waiters. *)
+let rec complete t id v =
+  t.states.(id) <- Done v;
+  let ws = t.waiters.(id) in
+  t.waiters.(id) <- [];
+  List.iter (fun w -> dep_ready t w) ws
+
+(* One dependency of [w] became ready. *)
+and dep_ready t w =
+  match t.states.(w) with
+  | Pending n -> (
+    match t.graph.Graph.nodes.(w) with
+    | Graph.If { cond; then_; else_ } -> branch_decide t w cond then_ else_
+    | Graph.Prim _ | Graph.Call _ ->
+      if n <= 1 then begin
+        t.states.(w) <- Queued;
+        Queue.add w t.ready
+      end
+      else t.states.(w) <- Pending (n - 1)
+    | Graph.Const _ | Graph.Param _ -> invalid_arg "Instance: leaf node cannot be pending")
+  | Branch_wait _ ->
+    t.states.(w) <- Queued;
+    Queue.add w t.ready
+  | Idle | Queued | Called | Done _ -> invalid_arg "Instance: unexpected dep notification"
+
+(* The If node [w]'s condition is ready: demand the chosen branch. *)
+and branch_decide t w cond then_ else_ =
+  match value_exn t cond with
+  | Value.Bool b ->
+    let branch = if b then then_ else else_ in
+    demand t branch;
+    (match t.states.(branch) with
+    | Done _ ->
+      t.states.(w) <- Queued;
+      Queue.add w t.ready
+    | Idle | Pending _ | Branch_wait _ | Queued | Called ->
+      t.states.(w) <- Branch_wait branch;
+      t.waiters.(branch) <- w :: t.waiters.(branch))
+  | v -> raise (Program_error ("if: condition is not a boolean: " ^ Value.type_name v))
+
+(* Demand-driven activation: idempotent. *)
+and demand t id =
+  match t.states.(id) with
+  | Idle -> (
+    match t.graph.Graph.nodes.(id) with
+    | Graph.Const v -> complete t id v
+    | Graph.Param i -> complete t id t.params.(i)
+    | Graph.Prim (_, deps) | Graph.Call { args = deps; _ } ->
+      t.states.(id) <- Pending (Array.length deps);
+      let missing = ref 0 in
+      Array.iter
+        (fun d ->
+          demand t d;
+          match t.states.(d) with
+          | Done _ -> ()
+          | Idle | Pending _ | Branch_wait _ | Queued | Called ->
+            incr missing;
+            t.waiters.(d) <- id :: t.waiters.(d))
+        deps;
+      if !missing = 0 then begin
+        t.states.(id) <- Queued;
+        Queue.add id t.ready
+      end
+      else t.states.(id) <- Pending !missing
+    | Graph.If { cond; then_; else_ } ->
+      t.states.(id) <- Pending 1;
+      demand t cond;
+      (match t.states.(cond) with
+      | Done _ -> branch_decide t id cond then_ else_
+      | Idle | Pending _ | Branch_wait _ | Queued | Called ->
+        t.waiters.(cond) <- id :: t.waiters.(cond)))
+  | Pending _ | Branch_wait _ | Queued | Called | Done _ -> ()
+
+let create graph params =
+  if Array.length params <> graph.Graph.arity then
+    invalid_arg
+      (Printf.sprintf "Instance.create: %s expects %d arguments, got %d" graph.Graph.fname
+         graph.Graph.arity (Array.length params));
+  let n = Array.length graph.Graph.nodes in
+  let t =
+    {
+      graph;
+      params;
+      states = Array.make n Idle;
+      waiters = Array.make n [];
+      ready = Queue.create ();
+      outstanding = 0;
+      spawn_order = [];
+      fired = 0;
+      failure = None;
+    }
+  in
+  (try demand t graph.Graph.result with Program_error msg -> t.failure <- Some msg);
+  t
+
+let result t =
+  match t.states.(t.graph.Graph.result) with Done v -> Some v | _ -> None
+
+let step t =
+  match t.failure with
+  | Some msg -> Failed msg
+  | None -> (
+    match result t with
+    | Some v -> Finished v
+    | None -> (
+      match Queue.take_opt t.ready with
+      | None ->
+        if t.outstanding > 0 then Blocked
+        else Failed "internal: evaluation stuck with no outstanding calls"
+      | Some id -> (
+        match t.graph.Graph.nodes.(id) with
+        | Graph.Prim (p, deps) -> (
+          let vals = Array.map (value_exn t) deps in
+          match Builtins.apply p vals with
+          | Ok v ->
+            t.fired <- t.fired + 1;
+            (try
+               complete t id v;
+               Work { cost = Builtins.cost p }
+             with Program_error msg ->
+               t.failure <- Some msg;
+               Failed msg)
+          | Error msg ->
+            t.failure <- Some msg;
+            Failed msg)
+        | Graph.If { cond; then_; else_ } -> (
+          (* The chosen branch is ready; the If yields its value.  The
+             condition is necessarily Done, so recomputing the choice here
+             is safe and avoids storing it through the Queued state. *)
+          let branch =
+            match value_exn t cond with
+            | Value.Bool b -> if b then then_ else else_
+            | _ -> invalid_arg "Instance: non-boolean condition slipped through"
+          in
+          let v = value_exn t branch in
+          t.fired <- t.fired + 1;
+          try
+            complete t id v;
+            Work { cost = 1 }
+          with Program_error msg ->
+            t.failure <- Some msg;
+            Failed msg)
+        | Graph.Call { fname; args } ->
+          t.states.(id) <- Called;
+          t.outstanding <- t.outstanding + 1;
+          t.spawn_order <- id :: t.spawn_order;
+          Spawn { slot = id; fname; args = Array.map (value_exn t) args }
+        | Graph.Const _ | Graph.Param _ -> invalid_arg "Instance: leaf node in ready queue")))
+
+let supply t slot v =
+  match t.states.(slot) with
+  | Called ->
+    t.outstanding <- t.outstanding - 1;
+    (try complete t slot v with Program_error msg -> t.failure <- Some msg)
+  | Done _ -> ()  (* duplicate answer: identical by determinacy; ignore (§4.1 case 6/7) *)
+  | Idle | Pending _ | Branch_wait _ | Queued ->
+    invalid_arg "Instance.supply: slot is not an outstanding call"
+
+let outstanding_calls t = t.outstanding
+
+let outstanding_slots t =
+  List.rev t.spawn_order
+  |> List.filter (fun id -> match t.states.(id) with Called -> true | _ -> false)
+
+let fname t = t.graph.Graph.fname
+
+let args t = t.params
+
+let fired_nodes t = t.fired

@@ -1,0 +1,38 @@
+(** Lexer and recursive-descent parser for the source language.
+
+    Concrete syntax, by example:
+
+    {v
+    # comments run to end of line
+    def fib(n) =
+      if n < 2 then n else fib(n - 1) + fib(n - 2)
+
+    def sum(xs) =
+      if isnil(xs) then 0 else head(xs) + sum(tail(xs))
+
+    def range(lo, hi) =
+      if lo >= hi then nil else lo :: range(lo + 1, hi)
+    v}
+
+    Operator precedence, loosest first: [||], [&&], comparisons
+    (non-associative), [::] (right-associative), [+ -], [* / %], unary
+    ([not], [-]).  [let x = e in e'] and [if/then/else] parse at the top
+    level of an expression; [head], [tail], [isnil], [min], [max] are
+    reserved primitive names. *)
+
+type error = { line : int; column : int; message : string }
+
+val error_to_string : error -> string
+
+val parse_expr : string -> (Ast.expr, error) result
+(** Parse a single expression (for tests and the REPL-ish examples). *)
+
+val parse_defs : string -> (Ast.def list, error) result
+(** Parse a whole program: a sequence of [def] items. *)
+
+val parse_program : string -> (Program.t, string) result
+(** Parse then validate; the error string covers both syntax and static
+    checking failures. *)
+
+val parse_program_exn : string -> Program.t
+(** @raise Invalid_argument on any parse or validation error. *)

@@ -1,0 +1,85 @@
+(* Precedence levels mirror the parser: 0 = top (let/if), 1 = ||, 2 = &&,
+   3 = comparisons, 4 = ::, 5 = + -, 6 = * / %, 7 = unary, 8 = atoms.
+   Each printer emits parentheses whenever its construct binds looser than
+   the context requires, so output re-parses identically. *)
+
+let prim_level = function
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 3
+  | Ast.Cons -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+  | Ast.Not | Ast.Neg -> 7
+  | Ast.Head | Ast.Tail | Ast.Is_nil | Ast.Min | Ast.Max -> 8
+
+let prim_call_name = function
+  | Ast.Head -> "head"
+  | Ast.Tail -> "tail"
+  | Ast.Is_nil -> "isnil"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+  | p -> Ast.prim_name p
+
+let rec pp_level level ppf expr =
+  let self = expr_level expr in
+  let body ppf () =
+    match expr with
+    | Ast.Int n -> if n < 0 then Format.fprintf ppf "(0 - %d)" (-n) else Format.pp_print_int ppf n
+    | Ast.Bool b -> Format.pp_print_bool ppf b
+    | Ast.Nil -> Format.pp_print_string ppf "nil"
+    | Ast.Var x -> Format.pp_print_string ppf x
+    | Ast.Let (x, b, k) ->
+      Format.fprintf ppf "let %s = %a in %a" x (pp_level 0) b (pp_level 0) k
+    | Ast.If (c, t, e) ->
+      Format.fprintf ppf "if %a then %a else %a" (pp_level 0) c (pp_level 0) t (pp_level 0) e
+    | Ast.Or (a, b) -> Format.fprintf ppf "%a || %a" (pp_level 2) a (pp_level 1) b
+    | Ast.And (a, b) -> Format.fprintf ppf "%a && %a" (pp_level 3) a (pp_level 2) b
+    | Ast.Prim (p, args) -> pp_prim ppf p args
+    | Ast.Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") (pp_level 0))
+        args
+  in
+  if self < level then Format.fprintf ppf "(%a)" body () else body ppf ()
+
+and expr_level = function
+  | Ast.Int n -> if n < 0 then 8 (* printed parenthesized *) else 8
+  | Ast.Bool _ | Ast.Nil | Ast.Var _ | Ast.Call _ -> 8
+  | Ast.Let _ | Ast.If _ -> 0
+  | Ast.Or _ -> 1
+  | Ast.And _ -> 2
+  | Ast.Prim (p, _) -> prim_level p
+
+and pp_prim ppf p args =
+  match (p, args) with
+  | (Ast.Head | Ast.Tail | Ast.Is_nil | Ast.Min | Ast.Max), _ ->
+    Format.fprintf ppf "%s(%a)" (prim_call_name p)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") (pp_level 0))
+      args
+  | Ast.Not, [ a ] -> Format.fprintf ppf "not %a" (pp_level 7) a
+  | Ast.Neg, [ a ] -> Format.fprintf ppf "- %a" (pp_level 7) a
+  | Ast.Cons, [ a; b ] ->
+    (* Right-associative: parenthesize a left operand that is itself a cons. *)
+    Format.fprintf ppf "%a :: %a" (pp_level 5) a (pp_level 4) b
+  | (Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), [ a; b ] ->
+    Format.fprintf ppf "%a %s %a" (pp_level 4) a (Ast.prim_name p) (pp_level 4) b
+  | (Ast.Add | Ast.Sub), [ a; b ] ->
+    Format.fprintf ppf "%a %s %a" (pp_level 5) a (Ast.prim_name p) (pp_level 6) b
+  | (Ast.Mul | Ast.Div | Ast.Mod), [ a; b ] ->
+    Format.fprintf ppf "%a %s %a" (pp_level 6) a (Ast.prim_name p) (pp_level 7) b
+  | _ ->
+    (* Arity errors cannot come from the parser; render defensively. *)
+    Format.fprintf ppf "%s(%a)" (prim_call_name p)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") (pp_level 0))
+      args
+
+let pp_expr ppf e = pp_level 0 ppf e
+
+let pp_def ppf (d : Ast.def) =
+  Format.fprintf ppf "def %s(%s) =@.  %a@." d.name (String.concat ", " d.params) pp_expr d.body
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let def_to_string d = Format.asprintf "%a" pp_def d
+
+let program_to_string p =
+  String.concat "\n" (List.map def_to_string (Program.defs p))

@@ -1,0 +1,14 @@
+(** Pretty-printer for expressions and definitions.
+
+    Output re-parses to the same AST (a qcheck property in the test suite),
+    so it doubles as a serializer for task-packet debugging dumps. *)
+
+val expr_to_string : Ast.expr -> string
+
+val def_to_string : Ast.def -> string
+
+val program_to_string : Program.t -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_def : Format.formatter -> Ast.def -> unit

@@ -1,0 +1,90 @@
+type t = (string, Ast.def) Hashtbl.t
+
+type error =
+  | Duplicate_definition of string
+  | Duplicate_parameter of string * string
+  | Unbound_variable of string * string
+  | Unknown_function of string * string
+  | Arity_mismatch of { caller : string; callee : string; expected : int; got : int }
+  | Prim_arity of { caller : string; prim : string; expected : int; got : int }
+
+let error_to_string = function
+  | Duplicate_definition f -> Printf.sprintf "duplicate definition of %s" f
+  | Duplicate_parameter (f, p) -> Printf.sprintf "%s: duplicate parameter %s" f p
+  | Unbound_variable (f, v) -> Printf.sprintf "%s: unbound variable %s" f v
+  | Unknown_function (f, g) -> Printf.sprintf "%s: call to unknown function %s" f g
+  | Arity_mismatch { caller; callee; expected; got } ->
+    Printf.sprintf "%s: %s expects %d arguments, got %d" caller callee expected got
+  | Prim_arity { caller; prim; expected; got } ->
+    Printf.sprintf "%s: primitive %s expects %d arguments, got %d" caller prim expected got
+
+exception Check of error
+
+let rec check_expr table fname bound expr =
+  match expr with
+  | Ast.Int _ | Ast.Bool _ | Ast.Nil -> ()
+  | Ast.Var x -> if not (List.mem x bound) then raise (Check (Unbound_variable (fname, x)))
+  | Ast.Prim (p, args) ->
+    let expected = Ast.prim_arity p and got = List.length args in
+    if expected <> got then
+      raise (Check (Prim_arity { caller = fname; prim = Ast.prim_name p; expected; got }));
+    List.iter (check_expr table fname bound) args
+  | Ast.If (c, th, el) ->
+    check_expr table fname bound c;
+    check_expr table fname bound th;
+    check_expr table fname bound el
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+    check_expr table fname bound a;
+    check_expr table fname bound b
+  | Ast.Let (x, b, k) ->
+    check_expr table fname bound b;
+    check_expr table fname (x :: bound) k
+  | Ast.Call (g, args) -> (
+    match Hashtbl.find_opt table g with
+    | None -> raise (Check (Unknown_function (fname, g)))
+    | Some (def : Ast.def) ->
+      let expected = List.length def.params and got = List.length args in
+      if expected <> got then
+        raise (Check (Arity_mismatch { caller = fname; callee = g; expected; got }));
+      List.iter (check_expr table fname bound) args)
+
+let rec first_duplicate = function
+  | [] -> None
+  | x :: rest -> if List.mem x rest then Some x else first_duplicate rest
+
+let of_defs defs =
+  let table = Hashtbl.create 16 in
+  try
+    List.iter
+      (fun (def : Ast.def) ->
+        if Hashtbl.mem table def.name then raise (Check (Duplicate_definition def.name));
+        (match first_duplicate def.params with
+        | Some p -> raise (Check (Duplicate_parameter (def.name, p)))
+        | None -> ());
+        Hashtbl.add table def.name def)
+      defs;
+    List.iter
+      (fun (def : Ast.def) -> check_expr table def.name def.params def.body)
+      defs;
+    Ok table
+  with Check e -> Error e
+
+let of_defs_exn defs =
+  match of_defs defs with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Program.of_defs_exn: " ^ error_to_string e)
+
+let find t name = Hashtbl.find_opt t name
+
+let find_exn t name =
+  match find t name with Some d -> d | None -> raise Not_found
+
+let arity t name = Option.map (fun (d : Ast.def) -> List.length d.params) (find t name)
+
+let defs t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t []
+  |> List.sort (fun (a : Ast.def) b -> String.compare a.name b.name)
+
+let names t = List.map (fun (d : Ast.def) -> d.name) (defs t)
+
+let union a b = of_defs (defs a @ defs b)

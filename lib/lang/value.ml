@@ -1,0 +1,60 @@
+type t = Int of int | Bool of bool | Nil | Cons of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Nil, Nil -> true
+  | Cons (h1, t1), Cons (h2, t2) -> equal h1 h2 && equal t1 t2
+  | (Int _ | Bool _ | Nil | Cons _), _ -> false
+
+let rec compare a b =
+  let rank = function Int _ -> 0 | Bool _ -> 1 | Nil -> 2 | Cons _ -> 3 in
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Nil, Nil -> 0
+  | Cons (h1, t1), Cons (h2, t2) ->
+    let c = compare h1 h2 in
+    if c <> 0 then c else compare t1 t2
+  | _, _ -> Stdlib.compare (rank a) (rank b)
+
+let of_int_list xs = List.fold_right (fun x acc -> Cons (Int x, acc)) xs Nil
+
+let to_int_list v =
+  let rec go acc = function
+    | Nil -> Some (List.rev acc)
+    | Cons (Int x, rest) -> go (x :: acc) rest
+    | Cons (_, _) | Int _ | Bool _ -> None
+  in
+  go [] v
+
+let list_length v =
+  let rec go n = function
+    | Nil -> Some n
+    | Cons (_, rest) -> go (n + 1) rest
+    | Int _ | Bool _ -> None
+  in
+  go 0 v
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Bool b -> Format.pp_print_bool ppf b
+  | Nil -> Format.pp_print_string ppf "[]"
+  | Cons (h, t) -> (
+    (* Render proper lists as [a; b; c]; improper pairs as (a :: b). *)
+    match to_elements (Cons (h, t)) with
+    | Some elts ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+        elts
+    | None -> Format.fprintf ppf "(%a :: %a)" pp h pp t)
+
+and to_elements = function
+  | Nil -> Some []
+  | Cons (h, t) -> ( match to_elements t with Some rest -> Some (h :: rest) | None -> None)
+  | Int _ | Bool _ -> None
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_name = function Int _ -> "int" | Bool _ -> "bool" | Nil -> "nil" | Cons _ -> "cons"

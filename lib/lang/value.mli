@@ -1,0 +1,30 @@
+(** Runtime values of the source language.
+
+    Values are immutable and self-contained, so a value embedded in a task
+    packet can be shipped between simulated processors by structural copy —
+    there is no shared mutable store, mirroring the partitioned-memory
+    assumption of the paper. *)
+
+type t = Int of int | Bool of bool | Nil | Cons of t * t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total structural order (used by voting and by tests). *)
+
+val of_int_list : int list -> t
+(** Build a [Cons]-list of integers. *)
+
+val to_int_list : t -> int list option
+(** Inverse of {!of_int_list}; [None] if the value is not a proper list of
+    integers. *)
+
+val list_length : t -> int option
+(** Length of a proper list, [None] otherwise. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val type_name : t -> string
+(** "int", "bool", "nil" or "cons" — for error messages. *)

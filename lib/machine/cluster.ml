@@ -1,0 +1,406 @@
+module Ids = Recflow_recovery.Ids
+module Stamp = Recflow_recovery.Stamp
+module Packet = Recflow_recovery.Packet
+module Value = Recflow_lang.Value
+module Graph = Recflow_lang.Graph
+module Eval_serial = Recflow_lang.Eval_serial
+module Engine = Recflow_sim.Engine
+module Trace = Recflow_sim.Trace
+module Rng = Recflow_sim.Rng
+module Counter = Recflow_stats.Counter
+module Router = Recflow_net.Router
+module Topology = Recflow_net.Topology
+module Latency = Recflow_net.Latency
+module Policy = Recflow_balance.Policy
+
+type event =
+  | Deliver of { src : Ids.proc_id; dst : Ids.proc_id; msg : Message.t }
+  | Bounce of { src : Ids.proc_id; dead : Ids.proc_id; msg : Message.t }
+  | Step of Ids.proc_id
+  | Fail of Ids.proc_id
+  | Gradient_tick of Ids.proc_id
+
+type outcome = {
+  answer : Value.t option;
+  answer_time : int option;
+  sim_time : int;
+  events : int;
+  error : string option;
+}
+
+type root_state = {
+  mutable packet : Packet.t option;  (** the super-root's functional checkpoint *)
+  mutable dest : Ids.proc_id;
+  mutable task : Ids.task_id;
+  mutable pending : (int * Value.t) list;  (** salvaged results awaiting the twin *)
+}
+
+type t = {
+  cfg : Config.t;
+  program : Recflow_lang.Program.t;
+  library : Graph.library;
+  engine : event Engine.t;
+  router : Router.t;
+  node_arr : Node.t array;
+  journal : Journal.t;
+  counters : Counter.set;
+  trace : Trace.t;
+  rng : Rng.t;
+  policy : Policy.t;
+  mutable next_task_id : Ids.task_id;
+  root : root_state;
+  mutable answer : Value.t option;
+  mutable answer_time : int option;
+  mutable error : string option;
+  mutable started : bool;
+  mutable drain : bool;
+  mutable node_ctx : Node.ctx option;
+      (* built once on first use: rebuilding ~14 closures per dispatched
+         event shows up at millions of events *)
+}
+
+let config t = t.cfg
+
+let journal t = t.journal
+
+let counters t = t.counters
+
+let trace t = t.trace
+
+let router t = t.router
+
+let now t = Engine.now t.engine
+
+let node t pid =
+  if pid < 0 || pid >= Array.length t.node_arr then
+    invalid_arg (Printf.sprintf "Cluster.node: no processor %d" pid);
+  t.node_arr.(pid)
+
+let nodes t = Array.to_list t.node_arr
+
+let total_work t = Array.fold_left (fun acc n -> acc + Node.work_done n) 0 t.node_arr
+
+let total_waste t = Array.fold_left (fun acc n -> acc + Node.wasted_work n) 0 t.node_arr
+
+let root_location t = if t.root.dest >= 0 then Some t.root.dest else None
+
+let fresh_task_id t () =
+  let id = t.next_task_id in
+  t.next_task_id <- id + 1;
+  id
+
+let pressure t pid =
+  let n = t.node_arr.(pid) in
+  if Node.is_alive n then Node.runnable_tasks n else max_int / 2
+
+let view t = { Policy.router = t.router; pressure = pressure t }
+
+let place t ~origin ~key =
+  let origin = if origin = Ids.super_root then 0 else origin in
+  Policy.choose t.policy (view t) ~origin ~key
+
+let first_alive t ~key =
+  match Router.alive_nodes t.router with
+  | [] -> None
+  | alive -> Some (List.nth alive (abs key mod List.length alive))
+
+let hops t ~src ~dst =
+  let src = if src = Ids.super_root then dst else src in
+  let dst = if dst = Ids.super_root then src else dst in
+  if src = dst || src < 0 || dst < 0 then 0
+  else
+    match Router.distance t.router src dst with
+    | Some h -> h
+    | None -> Topology.ideal_distance (Router.topology t.router) src dst
+
+let send_after t ~delay:extra ~src ~dst msg =
+  Counter.incr t.counters "msg.sent";
+  let delay =
+    extra
+    + Latency.delay ~rng:(fun bound -> Rng.int t.rng bound) t.cfg.Config.latency
+        ~hops:(hops t ~src ~dst)
+  in
+  Engine.schedule t.engine ~delay (Deliver { src; dst; msg })
+
+let send t ~src ~dst msg = send_after t ~delay:0 ~src ~dst msg
+
+let wake t pid ~delay = Engine.schedule t.engine ~delay (Step pid)
+
+let inline_eval t fname args =
+  match Eval_serial.eval t.program fname (Array.to_list args) with
+  | v, steps -> Ok (v, steps)
+  | exception Eval_serial.Runtime_error msg -> Error msg
+  | exception Not_found -> Error ("call to unknown function " ^ fname)
+
+let program_error t msg =
+  if t.error = None then begin
+    t.error <- Some msg;
+    Trace.log t.trace ~time:(now t) ~level:Trace.Error ~tag:"cluster" ("program error: " ^ msg);
+    Engine.stop t.engine
+  end
+
+let build_ctx t : Node.ctx =
+  {
+    Node.config = t.cfg;
+    now = (fun () -> now t);
+    send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    send_after = (fun ~delay ~src ~dst msg -> send_after t ~delay ~src ~dst msg);
+    wake = (fun pid ~delay -> wake t pid ~delay);
+    fresh_task_id = fresh_task_id t;
+    place = (fun ~origin ~key -> place t ~origin ~key);
+    first_alive = (fun ~key -> first_alive t ~key);
+    neighbors = (fun pid -> Topology.neighbors (Router.topology t.router) pid);
+    template = Graph.find_exn t.library;
+    inline_eval = inline_eval t;
+    journal = t.journal;
+    counters = t.counters;
+    trace = t.trace;
+    program_error = program_error t;
+  }
+
+let ctx t =
+  match t.node_ctx with
+  | Some c -> c
+  | None ->
+    let c = build_ctx t in
+    t.node_ctx <- Some c;
+    c
+
+let create cfg program =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let n = Topology.size cfg.Config.topology in
+  {
+    cfg;
+    program;
+    library = Graph.compile_program program;
+    engine = Engine.create ();
+    router = Router.create cfg.Config.topology;
+    node_arr = Array.init n (fun i -> Node.create i cfg);
+    journal = Journal.create ();
+    counters = Counter.create_set ();
+    trace = Trace.create ~capacity:cfg.Config.trace_capacity ();
+    rng = Rng.create cfg.Config.seed;
+    policy = Policy.create ~seed:cfg.Config.seed cfg.Config.policy;
+    next_task_id = 0;
+    root = { packet = None; dest = -2; task = Ids.no_task; pending = [] };
+    answer = None;
+    answer_time = None;
+    error = None;
+    started = false;
+    drain = false;
+    node_ctx = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Super-root (§4.3.1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let root_super_slot = 0
+
+(* Dispatch (or re-dispatch) the root task from the super-root's retained
+   checkpoint. *)
+let dispatch_root t ~reason =
+  match t.root.packet with
+  | None -> ()
+  | Some packet -> (
+    match Router.alive_nodes t.router with
+    | [] -> Trace.log t.trace ~time:(now t) ~level:Trace.Error ~tag:"SR" "no live processor for root"
+    | _ :: _ ->
+      let task_id = fresh_task_id t () in
+      let dest = place t ~origin:Ids.super_root ~key:(Stamp.hash packet.Packet.stamp + task_id) in
+      (* capture the dead activation's identity before re-homing *)
+      let dead_task = t.root.task and dead_dest = t.root.dest in
+      t.root.dest <- dest;
+      t.root.task <- task_id;
+      send t ~src:Ids.super_root ~dst:dest
+        (Message.Task_packet { packet; task_id; replica = 0; replicas = 1 });
+      (match reason with
+      | None -> Journal.record t.journal ~time:(now t) ~stamp:Stamp.root
+          (Journal.Spawned { task = task_id; dest; replica = 0 })
+      | Some reason ->
+        Counter.incr t.counters "reissue.root";
+        Journal.record t.journal ~time:(now t) ~stamp:Stamp.root
+          (Journal.Respawned { task = task_id; dest; reason }));
+      (* Forward any salvaged results that were waiting for a twin. *)
+      let pending = t.root.pending in
+      t.root.pending <- [];
+      List.iter
+        (fun (slot, value) ->
+          send t ~src:Ids.super_root ~dst:dest
+            (Message.Result
+               {
+                 stamp = Stamp.root;
+                 value;
+                 target = { Packet.task = task_id; proc = dest; slot };
+                 relay =
+                   Message.To_step_parent
+                     { dead_parent = { Packet.task = dead_task; proc = dead_dest; slot } };
+               }))
+        pending)
+
+let super_root_deliver t msg =
+  match msg with
+  | Message.Result { value; relay = Message.To_parent; _ } ->
+    if t.answer = None then begin
+      t.answer <- Some value;
+      t.answer_time <- Some (now t);
+      Trace.logf t.trace ~time:(now t) ~level:Trace.Info ~tag:"SR" "answer: %s"
+        (Value.to_string value);
+      if not t.drain then Engine.stop t.engine
+    end
+  | Message.Result { value; target; relay = Message.To_grandparent { dead_parent }; _ } ->
+    (* An orphan child of the (dead) root salvages its result through the
+       super-root acting as grandparent. *)
+    if t.answer = None && t.cfg.Config.recovery = Config.Splice then begin
+      let root_alive = t.root.dest >= 0 && Router.alive t.router t.root.dest in
+      if root_alive && t.root.dest <> dead_parent.Packet.proc then
+        (* a twin already exists: forward straight to it *)
+        send t ~src:Ids.super_root ~dst:t.root.dest
+          (Message.Result
+             {
+               stamp = Stamp.root;
+               value;
+               target =
+                 { Packet.task = t.root.task; proc = t.root.dest; slot = dead_parent.Packet.slot };
+               relay = Message.To_step_parent { dead_parent };
+             })
+      else begin
+        t.root.pending <- (dead_parent.Packet.slot, value) :: t.root.pending;
+        dispatch_root t ~reason:(Some "orphan-result")
+      end;
+      ignore target
+    end
+  | Message.Orphan_alive { stamp; orphan; dead_parent; target = _ } ->
+    (* A child of the (dead) root announces itself: make sure the root has
+       a twin and let the twin inherit the orphan. *)
+    if t.answer = None && t.cfg.Config.recovery = Config.Splice then begin
+      let root_alive = t.root.dest >= 0 && Router.alive t.router t.root.dest in
+      if (not root_alive) || t.root.dest = dead_parent.Packet.proc then
+        dispatch_root t ~reason:(Some "orphan-alive");
+      if t.root.dest >= 0 && Router.alive t.router t.root.dest then
+        send t ~src:Ids.super_root ~dst:t.root.dest
+          (Message.Orphan_alive
+             { stamp; orphan; dead_parent;
+               target = { Packet.task = t.root.task; proc = t.root.dest; slot = -1 } })
+    end
+  | Message.Result { relay = Message.To_step_parent _; _ }
+  | Message.Task_packet _ | Message.Reparent _ | Message.Gradient _ | Message.Ack _
+  | Message.Abort _ | Message.Failure_notice _ ->
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fail_at t ~time pid =
+  if pid < 0 || pid >= Array.length t.node_arr then
+    invalid_arg (Printf.sprintf "Cluster.fail_at: no processor %d" pid);
+  Engine.schedule_at t.engine ~time (Fail pid)
+
+let handle_fail t pid =
+  let n = t.node_arr.(pid) in
+  if Node.is_alive n then begin
+    Node.kill n (ctx t);
+    Router.kill t.router pid;
+    Counter.incr t.counters "failure.injected";
+    Journal.record t.journal ~time:(now t) ~stamp:Stamp.root (Journal.Failure { proc = pid });
+    Trace.logf t.trace ~time:(now t) ~level:Trace.Warn ~tag:"cluster" "%s failed"
+      (Ids.proc_to_string pid);
+    (* Error detection: every live peer learns after a detection delay that
+       grows with its distance from the failed node. *)
+    let topo = Router.topology t.router in
+    Array.iter
+      (fun peer ->
+        if Node.is_alive peer then begin
+          let d = Topology.ideal_distance topo pid (Node.id peer) in
+          let delay = t.cfg.Config.detect_delay + (d * t.cfg.Config.latency.Latency.per_hop) in
+          Engine.schedule t.engine ~delay
+            (Deliver
+               { src = Node.id peer; dst = Node.id peer; msg = Message.Failure_notice { failed = pid } })
+        end)
+      t.node_arr;
+    (* The super-root notices the loss of the root task's processor. *)
+    if t.root.dest = pid && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then begin
+      let delay = t.cfg.Config.detect_delay in
+      Engine.schedule t.engine ~delay
+        (Deliver { src = Ids.super_root; dst = Ids.super_root; msg = Message.Failure_notice { failed = pid } })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_event t _at ev =
+  match ev with
+  | Deliver { src; dst; msg } ->
+    if dst = Ids.super_root then begin
+      match msg with
+      | Message.Failure_notice { failed } ->
+        if t.root.dest = failed && t.answer = None then dispatch_root t ~reason:(Some "notice")
+      | _ -> super_root_deliver t msg
+    end
+    else begin
+      let n = t.node_arr.(dst) in
+      if Node.is_alive n then Node.deliver n (ctx t) msg
+      else if src = Ids.super_root then begin
+        (* the super-root's own send bounced: re-dispatch the root *)
+        Counter.incr t.counters "msg.bounced";
+        if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+          Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
+            (Deliver
+               { src = Ids.super_root; dst = Ids.super_root;
+                 msg = Message.Failure_notice { failed = dst } })
+      end
+      else
+        Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay (Bounce { src; dead = dst; msg })
+    end
+  | Bounce { src; dead; msg } ->
+    if src >= 0 then begin
+      let n = t.node_arr.(src) in
+      if Node.is_alive n then Node.handle_bounce n (ctx t) ~dead msg
+    end
+  | Step pid -> Node.step t.node_arr.(pid) (ctx t)
+  | Gradient_tick pid ->
+    let n = t.node_arr.(pid) in
+    if Node.is_alive n && t.answer = None then begin
+      Node.gradient_tick n (ctx t);
+      Engine.schedule t.engine ~delay:t.cfg.Config.gradient_period (Gradient_tick pid)
+    end
+  | Fail pid -> handle_fail t pid
+
+let start t ~fname ~args =
+  if t.started then invalid_arg "Cluster.start: already started";
+  (match Recflow_lang.Program.arity t.program fname with
+  | None -> invalid_arg ("Cluster.start: unknown function " ^ fname)
+  | Some a when a <> List.length args ->
+    invalid_arg (Printf.sprintf "Cluster.start: %s expects %d arguments" fname a)
+  | Some _ -> ());
+  t.started <- true;
+  (* arm the distributed gradient exchange when that policy is selected;
+     ticks stop once the answer lands so the event queue can drain *)
+  (match t.cfg.Config.policy with
+  | Policy.Gradient_distributed _ ->
+    Array.iteri
+      (fun pid _ ->
+        Engine.schedule t.engine ~delay:(1 + (pid * 7 mod t.cfg.Config.gradient_period))
+          (Gradient_tick pid))
+      t.node_arr
+  | _ -> ());
+  let packet = Packet.root ~fname ~args:(Array.of_list args) ~super_slot:root_super_slot in
+  t.root.packet <- Some packet;  (* the pre-evaluation checkpoint *)
+  dispatch_root t ~reason:None
+
+let run ?(drain = false) t =
+  if not t.started then invalid_arg "Cluster.run: call start first";
+  t.drain <- drain;
+  Engine.run t.engine ~until:t.cfg.Config.horizon (fun at ev -> handle_event t at ev);
+  {
+    answer = t.answer;
+    answer_time = t.answer_time;
+    sim_time = now t;
+    events = Engine.events_dispatched t.engine;
+    error = t.error;
+  }

@@ -1,0 +1,72 @@
+(** Whole-machine simulation: processors, network, super-root, fault
+    injection and the event loop.
+
+    A cluster wires {!Node}s to a deterministic {!Recflow_sim.Engine},
+    routes messages with latency through {!Recflow_net.Router}, plays the
+    super-root of §4.3.1 (the virtual parent of the root task, holding its
+    pre-evaluation checkpoint), and injects fail-stop processor failures.
+
+    Typical use:
+    {[
+      let c = Cluster.create config program in
+      Cluster.fail_at c ~time:5_000 2;
+      Cluster.start c ~fname:"fib" ~args:[ Value.Int 20 ];
+      let o = Cluster.run c in
+      assert (o.answer = Some (Value.Int 6765))
+    ]} *)
+
+module Ids = Recflow_recovery.Ids
+module Value = Recflow_lang.Value
+
+type t
+
+type outcome = {
+  answer : Value.t option;
+  answer_time : int option;  (** simulation time the root result landed *)
+  sim_time : int;  (** clock when the run stopped *)
+  events : int;  (** engine events dispatched *)
+  error : string option;  (** program (not processor) error, if any *)
+}
+
+val create : Config.t -> Recflow_lang.Program.t -> t
+(** @raise Invalid_argument if the configuration fails validation. *)
+
+val start : t -> fname:string -> args:Value.t list -> unit
+(** Super-root checkpoints the root packet and dispatches it at time 0.
+    @raise Invalid_argument if called twice or [fname] is unknown. *)
+
+val fail_at : t -> time:int -> Ids.proc_id -> unit
+(** Schedule a fail-stop failure.  May be called repeatedly (multiple
+    faults) and before or after {!start}, but before {!run}. *)
+
+val run : ?drain:bool -> t -> outcome
+(** Drive the event loop until the root answer arrives (default), the
+    event queue drains, or the horizon passes.  [drain:true] keeps going
+    after the answer so that straggler work and messages are accounted. *)
+
+val config : t -> Config.t
+
+val journal : t -> Journal.t
+
+val counters : t -> Recflow_stats.Counter.set
+
+val trace : t -> Recflow_sim.Trace.t
+
+val router : t -> Recflow_net.Router.t
+
+val node : t -> Ids.proc_id -> Node.t
+(** @raise Invalid_argument for an out-of-range id. *)
+
+val nodes : t -> Node.t list
+
+val now : t -> int
+
+val total_work : t -> int
+(** Busy ticks summed over all processors. *)
+
+val total_waste : t -> int
+(** Busy ticks spent on tasks that were aborted or whose results were
+    dropped (survivor nodes only). *)
+
+val root_location : t -> Ids.proc_id option
+(** Processor currently hosting the root task, if dispatched. *)

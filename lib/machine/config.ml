@@ -1,0 +1,70 @@
+type recovery = No_recovery | Rollback | Splice | Replicate of int
+
+let recovery_to_string = function
+  | No_recovery -> "none"
+  | Rollback -> "rollback"
+  | Splice -> "splice"
+  | Replicate k -> Printf.sprintf "replicate:%d" k
+
+type t = {
+  topology : Recflow_net.Topology.t;
+  latency : Recflow_net.Latency.t;
+  policy : Recflow_balance.Policy.spec;
+  recovery : recovery;
+  ckpt_mode : Recflow_recovery.Ckpt_table.mode;
+  ancestor_depth : int;
+  replicate_depth : int;
+  inline_depth : int;
+  work_tick : int;
+  spawn_cost : int;
+  ctx_switch : int;
+  detect_delay : int;
+  gradient_period : int;
+  adoption_grace : int;
+  bounce_delay : int;
+  horizon : int;
+  seed : int;
+  trace_capacity : int;
+}
+
+let default ~nodes =
+  {
+    topology = Recflow_net.Topology.Full nodes;
+    latency = Recflow_net.Latency.default;
+    policy = Recflow_balance.Policy.Gradient { weight = 2 };
+    recovery = Splice;
+    ckpt_mode = Recflow_recovery.Ckpt_table.Topmost;
+    ancestor_depth = 1;
+    replicate_depth = 2;
+    inline_depth = max_int;
+    work_tick = 1;
+    spawn_cost = 5;
+    ctx_switch = 1;
+    detect_delay = 200;
+    gradient_period = 100;
+    adoption_grace = 80;
+    bounce_delay = 150;
+    horizon = 200_000_000;
+    seed = 42;
+    trace_capacity = 65536;
+  }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if Recflow_net.Topology.size t.topology < 1 then err "topology has no nodes"
+  else if t.ancestor_depth < 0 then err "ancestor_depth must be >= 0"
+  else if t.replicate_depth < 0 then err "replicate_depth must be >= 0"
+  else if t.inline_depth < 1 then err "inline_depth must be >= 1 (the root task is never inline)"
+  else if t.work_tick < 1 then err "work_tick must be >= 1"
+  else if t.spawn_cost < 0 || t.ctx_switch < 0 then err "costs must be non-negative"
+  else if t.detect_delay < 1 then err "detect_delay must be >= 1"
+  else if t.adoption_grace < 0 then err "adoption_grace must be >= 0"
+  else if t.gradient_period < 1 then err "gradient_period must be >= 1"
+  else if t.bounce_delay < 1 then err "bounce_delay must be >= 1"
+  else if t.horizon < 1 then err "horizon must be >= 1"
+  else
+    match t.recovery with
+    | Replicate k when k < 1 -> err "replication factor must be >= 1"
+    | Replicate k when k > Recflow_net.Topology.size t.topology ->
+      err "replication factor %d exceeds cluster size" k
+    | No_recovery | Rollback | Splice | Replicate _ -> Ok ()

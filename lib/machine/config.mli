@@ -1,0 +1,59 @@
+(** Cluster configuration: machine model, cost model and recovery mode. *)
+
+type recovery =
+  | No_recovery  (** a failure silently loses work (control baseline) *)
+  | Rollback  (** §3: re-issue topmost checkpoints, abort orphans *)
+  | Splice  (** §4: re-issue + grandparent relay, twins inherit offspring *)
+  | Replicate of int  (** §5.3: k-way task replication with majority voting *)
+
+val recovery_to_string : recovery -> string
+
+type t = {
+  topology : Recflow_net.Topology.t;
+  latency : Recflow_net.Latency.t;
+  policy : Recflow_balance.Policy.spec;
+  recovery : recovery;
+  ckpt_mode : Recflow_recovery.Ckpt_table.mode;
+  ancestor_depth : int;
+      (** how many ancestor links a packet carries beyond its parent:
+          1 = grandparent (standard splice), n ≥ 2 adds great-grandparents
+          (the §5.2 multi-fault extension).  0 disables relaying. *)
+  replicate_depth : int;
+      (** under [Replicate k]: spawns whose child would sit at stamp depth
+          ≤ this are replicated — the "critical section" prefix of the call
+          tree (§5.3); deeper spawns fall back to rollback handling *)
+  inline_depth : int;
+      (** calls whose stamp depth would reach this value are evaluated
+          inline (grain control); [max_int] spawns everything. *)
+  work_tick : int;  (** simulated ticks per unit of evaluator work *)
+  spawn_cost : int;  (** ticks to form + checkpoint + enqueue a packet *)
+  ctx_switch : int;  (** ticks to pick the next task off the run queue *)
+  detect_delay : int;
+      (** ticks from a processor failure until peers receive the
+          error-detection notice (plus per-hop distance) *)
+  gradient_period : int;
+      (** period of the distributed gradient exchange (only used with
+          [Policy.Gradient_distributed]): every node recomputes its
+          gradient value from its neighbours' last-heard values and
+          broadcasts it to them *)
+  adoption_grace : int;
+      (** splice only: enables offspring *inheritance* (§4.1 "this twin
+          task inherits all offspring of the faulty task") — living
+          orphans report to their grandparents and re-issued twins are
+          held back this many ticks so the reports can overtake them and
+          mark the matching call slots inherited instead of cloned.
+          0 reverts to the literal §4.2 protocol: twins re-demand all
+          offspring and only completed orphan results are salvaged. *)
+  bounce_delay : int;
+      (** ticks for a sender to conclude a message was undeliverable *)
+  horizon : int;  (** hard simulation-time stop *)
+  seed : int;
+  trace_capacity : int;
+}
+
+val default : nodes:int -> t
+(** Full crossbar over [nodes] processors, gradient placement, splice
+    recovery, grandparent links only, spawn-everything grain, modest cost
+    model.  Experiments override fields as needed. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,59 @@
+(** Structured lifecycle journal of a simulation run.
+
+    The cluster appends an entry for every significant task-lifecycle and
+    recovery event, keyed by level stamp.  Experiments read the journal to
+    classify splice cases (§4.1), compute salvage rates and redone work,
+    and verify residue-freedom — tests assert directly against it. *)
+
+module Stamp = Recflow_recovery.Stamp
+module Ids = Recflow_recovery.Ids
+
+type event =
+  | Spawned of { task : Ids.task_id; dest : Ids.proc_id; replica : int }
+      (** packet dispatched toward [dest] *)
+  | Activated of { task : Ids.task_id; proc : Ids.proc_id }
+  | Acked of { task : Ids.task_id; proc : Ids.proc_id }
+      (** parent received the positive acknowledgement (state b/d → c/e) *)
+  | Completed of { task : Ids.task_id; proc : Ids.proc_id }
+  | Inlined of { parent_task : Ids.task_id; proc : Ids.proc_id; work : int }
+      (** evaluated inside the parent below the grain boundary *)
+  | Aborted of { task : Ids.task_id; proc : Ids.proc_id }
+  | Respawned of { task : Ids.task_id; dest : Ids.proc_id; reason : string }
+      (** re-issued from a functional checkpoint ("notice" | "orphan-result") *)
+  | Inherited of { orphan_task : Ids.task_id; proc : Ids.proc_id }
+      (** a step-parent twin adopted this still-running orphan instead of
+          spawning a clone (§4.1 offspring inheritance) *)
+  | Result_accepted of { task : Ids.task_id }
+      (** value consumed by the (step-)parent's call slot *)
+  | Duplicate_ignored of { task : Ids.task_id }
+  | Relayed of { via : Ids.proc_id }  (** orphan result forwarded by a grandparent *)
+  | Relay_dropped of { at : Ids.proc_id; reason : string }
+  | Orphan_dropped of { task : Ids.task_id }  (** rollback: result had nowhere to go *)
+  | Failure of { proc : Ids.proc_id }  (** recorded under the root stamp *)
+
+type entry = { time : int; stamp : Stamp.t; event : event }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:int -> stamp:Stamp.t -> event -> unit
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val for_stamp : t -> Stamp.t -> entry list
+(** Chronological entries for one stamp. *)
+
+val stamps : t -> Stamp.t list
+(** All stamps seen, sorted. *)
+
+val count : t -> (event -> bool) -> int
+
+val first_time : t -> Stamp.t -> (event -> bool) -> int option
+
+val last_time : t -> Stamp.t -> (event -> bool) -> int option
+
+val event_label : event -> string
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,86 @@
+module Stamp = Recflow_recovery.Stamp
+module Packet = Recflow_recovery.Packet
+module Ids = Recflow_recovery.Ids
+
+type relay =
+  | To_parent
+  | To_grandparent of { dead_parent : Packet.link }
+  | To_step_parent of { dead_parent : Packet.link }
+
+type result_payload = {
+  stamp : Stamp.t;
+  value : Recflow_lang.Value.t;
+  target : Packet.link;
+  relay : relay;
+}
+
+type t =
+  | Task_packet of { packet : Packet.t; task_id : Ids.task_id; replica : int; replicas : int }
+  | Orphan_alive of {
+      stamp : Stamp.t;
+      orphan : Packet.link;
+      dead_parent : Packet.link;
+      target : Packet.link;
+    }
+  | Reparent of {
+      orphan_task : Ids.task_id;
+      new_parent : Packet.link;
+      new_grandparent : Packet.link option;
+    }
+  | Ack of {
+      child_stamp : Stamp.t;
+      child_task : Ids.task_id;
+      child_proc : Ids.proc_id;
+      parent_task : Ids.task_id;
+      slot : int;
+    }
+  | Result of result_payload
+  | Gradient of { from : Ids.proc_id; value : int }
+  | Abort of { task : Ids.task_id }
+  | Failure_notice of { failed : Ids.proc_id }
+
+let label = function
+  | Task_packet _ -> "task_packet"
+  | Orphan_alive _ -> "orphan_alive"
+  | Reparent _ -> "reparent"
+  | Ack _ -> "ack"
+  | Result _ -> "result"
+  | Gradient _ -> "gradient"
+  | Abort _ -> "abort"
+  | Failure_notice _ -> "failure_notice"
+
+let describe = function
+  | Task_packet { packet; task_id; replica; replicas } ->
+    if replicas > 1 then
+      Printf.sprintf "task %s (task%d, replica %d/%d)" (Packet.describe packet) task_id replica
+        replicas
+    else Printf.sprintf "task %s (task%d)" (Packet.describe packet) task_id
+  | Orphan_alive { stamp; orphan; target; _ } ->
+    Printf.sprintf "orphan %s alive (task%d on %s) -> task%d on %s" (Stamp.to_string stamp)
+      orphan.Packet.task
+      (Ids.proc_to_string orphan.Packet.proc)
+      target.Packet.task
+      (Ids.proc_to_string target.Packet.proc)
+  | Reparent { orphan_task; new_parent; _ } ->
+    Printf.sprintf "reparent task%d -> task%d slot %d on %s" orphan_task new_parent.Packet.task
+      new_parent.Packet.slot
+      (Ids.proc_to_string new_parent.Packet.proc)
+  | Ack { child_stamp; child_task; child_proc; parent_task; slot } ->
+    Printf.sprintf "ack %s task%d on %s -> task%d slot %d" (Stamp.to_string child_stamp)
+      child_task
+      (Ids.proc_to_string child_proc)
+      parent_task slot
+  | Result { stamp; target; relay; _ } ->
+    let kind =
+      match relay with
+      | To_parent -> "result"
+      | To_grandparent _ -> "grandchild result"
+      | To_step_parent _ -> "spliced result"
+    in
+    Printf.sprintf "%s of %s -> task%d slot %d on %s" kind (Stamp.to_string stamp) target.task
+      target.slot
+      (Ids.proc_to_string target.proc)
+  | Gradient { from; value } ->
+    Printf.sprintf "gradient %d from %s" value (Ids.proc_to_string from)
+  | Abort { task } -> Printf.sprintf "abort task%d" task
+  | Failure_notice { failed } -> Printf.sprintf "failure notice: %s" (Ids.proc_to_string failed)

@@ -1,0 +1,74 @@
+(** Inter-processor messages (the packet kinds of §4.2's protocol LOOP).
+
+    [Task_packet] spawns a task (DEMAND_IT's output).  [Ack] is the
+    positive acknowledgement that moves a spawn from transient state b/d to
+    established state c/e (§4.3.2).  [Result] forwards an answer — [relay]
+    distinguishes a normal child→parent return from an orphan's
+    grandchild→grandparent return and from the grandparent's forward to a
+    step-parent.  [Abort] cascades orphan garbage collection under rollback
+    (§3.2).  [Failure_notice] is the error-detection broadcast.
+
+    The paper's [fetch data] message does not appear: arguments travel by
+    value inside packets in this model (partitioned memory with no remote
+    references), a substitution recorded in DESIGN.md. *)
+
+module Stamp = Recflow_recovery.Stamp
+module Packet = Recflow_recovery.Packet
+module Ids = Recflow_recovery.Ids
+
+type relay =
+  | To_parent  (** ordinary child → parent return *)
+  | To_grandparent of { dead_parent : Packet.link }
+      (** orphan return routed around its dead parent (§4.1); carries the
+          original parent link so the step-parent can be matched by stamp
+          and the call slot preserved *)
+  | To_step_parent of { dead_parent : Packet.link }
+      (** grandparent → twin forward of a salvaged result *)
+
+type result_payload = {
+  stamp : Stamp.t;  (** stamp of the task that produced the value *)
+  value : Recflow_lang.Value.t;
+  target : Packet.link;  (** where this message is heading *)
+  relay : relay;
+}
+
+type t =
+  | Task_packet of { packet : Packet.t; task_id : Ids.task_id; replica : int; replicas : int }
+      (** [replica]/[replicas]: 0-based index and group size (1 when not
+          replicated) *)
+  | Orphan_alive of {
+      stamp : Stamp.t;  (** the orphan's level stamp *)
+      orphan : Packet.link;  (** where the orphan runs (slot = its slot in the dead parent) *)
+      dead_parent : Packet.link;
+      target : Packet.link;  (** the ancestor (or twin) this report is heading to *)
+    }
+      (** a still-running orphan announces itself so the step-parent twin
+          can *inherit* it instead of spawning a duplicate clone (§4.1:
+          "this twin task inherits all offspring of the faulty task") *)
+  | Reparent of {
+      orphan_task : Ids.task_id;
+      new_parent : Packet.link;  (** the adopting twin's activation and the call slot *)
+      new_grandparent : Packet.link option;  (** the twin's own parent link *)
+    }
+      (** the step-parent tells an inherited orphan its new return address
+          (§3.4: "if the orphan tasks know the new address to which to
+          forward their answers"); an orphan that already completed
+          re-sends its result there *)
+  | Ack of {
+      child_stamp : Stamp.t;
+      child_task : Ids.task_id;
+      child_proc : Ids.proc_id;
+      parent_task : Ids.task_id;
+      slot : int;
+    }
+  | Result of result_payload
+  | Gradient of { from : Ids.proc_id; value : int }
+      (** distributed gradient-model exchange: the sender's current
+          gradient value, delivered to a topology neighbour *)
+  | Abort of { task : Ids.task_id }
+  | Failure_notice of { failed : Ids.proc_id }
+
+val label : t -> string
+(** Counter key: "task_packet", "ack", "result", "abort", "failure_notice". *)
+
+val describe : t -> string

@@ -1,0 +1,1218 @@
+module Ids = Recflow_recovery.Ids
+module Stamp = Recflow_recovery.Stamp
+module Packet = Recflow_recovery.Packet
+module Ckpt_table = Recflow_recovery.Ckpt_table
+module Vote = Recflow_recovery.Vote
+module Value = Recflow_lang.Value
+module Instance = Recflow_lang.Instance
+module Counter = Recflow_stats.Counter
+module Trace = Recflow_sim.Trace
+
+type ctx = {
+  config : Config.t;
+  now : unit -> int;
+  send : src:Ids.proc_id -> dst:Ids.proc_id -> Message.t -> unit;
+  send_after : delay:int -> src:Ids.proc_id -> dst:Ids.proc_id -> Message.t -> unit;
+  wake : Ids.proc_id -> delay:int -> unit;
+  fresh_task_id : unit -> Ids.task_id;
+  place : origin:Ids.proc_id -> key:int -> Ids.proc_id;
+  first_alive : key:int -> Ids.proc_id option;
+  neighbors : Ids.proc_id -> Ids.proc_id list;
+  template : string -> Recflow_lang.Graph.t;
+  inline_eval : string -> Value.t array -> (Value.t * int, string) result;
+  journal : Journal.t;
+  counters : Counter.set;
+  trace : Trace.t;
+  program_error : string -> unit;
+}
+
+type task_state = Queued | Running | Blocked | Done | Aborted
+
+(* Bookkeeping for one call slot of a task: the child (or replica group)
+   spawned from it.  [dests]/[tasks] associate replica index with the
+   current destination processor and activation id; both are rewritten when
+   a checkpoint is re-issued. *)
+type child = {
+  slot : int;
+  c_stamp : Stamp.t;
+  c_packet : Packet.t;
+  mutable dests : (int * Ids.proc_id) list;
+  mutable ctasks : (int * Ids.task_id) list;
+  mutable vote : Value.t Vote.t option;
+  mutable filled : bool;
+}
+
+type task = {
+  tid : Ids.task_id;
+  mutable packet : Packet.t;  (* mutable only for reparenting adopted orphans *)
+  inst : Instance.t;
+  mutable state : task_state;
+  mutable child_seq : int;
+  children : (int, child) Hashtbl.t;  (* keyed by call slot *)
+  pending : (int, Value.t) Hashtbl.t;  (* results that arrived before the slot was reached *)
+  mutable work : int;  (* busy ticks attributed to this task *)
+  mutable result_dropped : bool;
+  mutable gc_pending : (Stamp.t * Packet.link * Value.t) list;
+      (* salvaged orphan results that arrived before this (twin) task
+         spawned the chain link they travel through: (orphan stamp, dead
+         parent link, value) *)
+  adopted : (int list, Packet.link * Packet.link) Hashtbl.t;
+      (* orphan stamp (digits) -> (orphan link, dead parent link): live
+         orphans this step-parent must inherit instead of cloning *)
+  mutable adopt_pending : (Stamp.t * Packet.link * Packet.link) list;
+      (* adoption reports waiting for this twin to spawn the chain link *)
+  mutable adoption_reported : bool;
+      (* this task, as an orphan, already announced itself upward *)
+}
+
+type t = {
+  nid : Ids.proc_id;
+  mutable alive : bool;
+  tasks : (Ids.task_id, task) Hashtbl.t;
+  run_queue : Ids.task_id Queue.t;
+  mutable current : Ids.task_id option;
+  ckpts : Ckpt_table.t;
+  known_dead : (Ids.proc_id, unit) Hashtbl.t;
+  mutable stepping : bool;
+  mutable work_ticks : int;
+  (* messages addressed to a re-issued twin whose (grace-delayed) packet
+     has not activated here yet, keyed by the twin's task id *)
+  early_results : (Ids.task_id, Message.result_payload list) Hashtbl.t;
+  early_adoptions : (Ids.task_id, (Stamp.t * Packet.link * Packet.link) list) Hashtbl.t;
+  (* distributed gradient model: last value heard from each neighbour and
+     this node's own value (0 = a demand sink) *)
+  gradient_heard : (Ids.proc_id, int) Hashtbl.t;
+  mutable gradient_value : int;
+}
+
+let create nid (config : Config.t) =
+  {
+    nid;
+    alive = true;
+    tasks = Hashtbl.create 64;
+    run_queue = Queue.create ();
+    current = None;
+    ckpts = Ckpt_table.create ~mode:config.ckpt_mode ();
+    known_dead = Hashtbl.create 4;
+    stepping = false;
+    work_ticks = 0;
+    early_results = Hashtbl.create 4;
+    early_adoptions = Hashtbl.create 4;
+    gradient_heard = Hashtbl.create 8;
+    gradient_value = 0;
+  }
+
+let id t = t.nid
+
+let is_alive t = t.alive
+
+let checkpoints t = t.ckpts
+
+let knows_dead t p = Hashtbl.mem t.known_dead p
+
+let mark_dead t p = if not (Hashtbl.mem t.known_dead p) then Hashtbl.add t.known_dead p ()
+
+let work_done t = t.work_ticks
+
+let task_live task = match task.state with Done | Aborted -> false | _ -> true
+
+let live_tasks t =
+  Hashtbl.fold (fun _ task acc -> if task_live task then acc + 1 else acc) t.tasks 0
+
+let blocked_tasks t =
+  Hashtbl.fold (fun _ task acc -> if task.state = Blocked then acc + 1 else acc) t.tasks 0
+
+let runnable_tasks t =
+  Queue.length t.run_queue + (match t.current with Some _ -> 1 | None -> 0)
+
+let wasted_work t =
+  Hashtbl.fold
+    (fun _ task acc ->
+      if task.state = Aborted || task.result_dropped then acc + task.work else acc)
+    t.tasks 0
+
+type task_view = {
+  v_stamp : Stamp.t;
+  v_task : Ids.task_id;
+  v_state : string;
+  v_waiting_on : (Stamp.t * Ids.proc_id list) list;
+}
+
+let state_label = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Done -> "done"
+  | Aborted -> "aborted"
+
+let snapshot t =
+  Hashtbl.fold
+    (fun _ task acc ->
+      let waiting =
+        Hashtbl.fold
+          (fun _ child acc ->
+            if child.filled then acc
+            else (child.c_stamp, List.map snd child.dests) :: acc)
+          task.children []
+      in
+      {
+        v_stamp = task.packet.Packet.stamp;
+        v_task = task.tid;
+        v_state = state_label task.state;
+        v_waiting_on = waiting;
+      }
+      :: acc)
+    t.tasks []
+  |> List.sort (fun a b -> Stamp.compare a.v_stamp b.v_stamp)
+
+let tracef t ctx fmt =
+  Trace.logf ctx.trace ~time:(ctx.now ()) ~level:Trace.Debug
+    ~tag:(Ids.proc_to_string t.nid) fmt
+
+(* ------------------------------------------------------------------ *)
+(* CPU scheduling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_stepping t ctx =
+  if t.alive && not t.stepping then begin
+    t.stepping <- true;
+    ctx.wake t.nid ~delay:0
+  end
+
+let enqueue_task t ctx task =
+  task.state <- Queued;
+  Queue.add task.tid t.run_queue;
+  ensure_stepping t ctx
+
+(* ------------------------------------------------------------------ *)
+(* Spawning (DEMAND_IT, §4.2)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let replication_factor ctx (task : task) =
+  match ctx.config.recovery with
+  | Config.Replicate k ->
+    (* Replicate the "critical section" prefix of the call tree (§5.3);
+       deeper spawns fall back to plain checkpoint/rollback handling. *)
+    if Stamp.depth task.packet.Packet.stamp + 1 <= ctx.config.replicate_depth then k else 1
+  | Config.No_recovery | Config.Rollback | Config.Splice -> 1
+
+(* The gradient surface, recomputed from neighbours' last-heard values:
+   an under-loaded node is a sink (0); elsewhere the value grows with the
+   hop distance to the nearest sink (Lin & Keller's gradient model [10],
+   computed with local information only). *)
+let gradient_threshold ctx =
+  match ctx.config.policy with
+  | Recflow_balance.Policy.Gradient_distributed { threshold } -> threshold
+  | _ -> 1
+
+let recompute_gradient t ctx =
+  let nearest =
+    Hashtbl.fold
+      (fun peer v acc -> if Hashtbl.mem t.known_dead peer then acc else min acc v)
+      t.gradient_heard (max_int / 2)
+  in
+  t.gradient_value <-
+    (if runnable_tasks t <= gradient_threshold ctx then 0 else 1 + nearest)
+
+(* Node-local gradient placement: stay local while under-loaded, else flow
+   one hop toward the lowest-valued live neighbour. *)
+let gradient_place t ctx =
+  if runnable_tasks t <= gradient_threshold ctx then t.nid
+  else begin
+    let best =
+      List.fold_left
+        (fun acc peer ->
+          if Hashtbl.mem t.known_dead peer then acc
+          else begin
+            let v = Option.value ~default:(max_int / 2) (Hashtbl.find_opt t.gradient_heard peer) in
+            match acc with Some (_, bv) when bv <= v -> acc | _ -> Some (peer, v)
+          end)
+        None (ctx.neighbors t.nid)
+    in
+    match best with
+    | Some (peer, v) when v < t.gradient_value -> peer
+    | _ -> t.nid
+  end
+
+(* Periodic exchange: recompute and tell the neighbours. *)
+let gradient_tick t ctx =
+  if t.alive then begin
+    recompute_gradient t ctx;
+    List.iter
+      (fun peer ->
+        if not (Hashtbl.mem t.known_dead peer) then
+          ctx.send ~src:t.nid ~dst:peer
+            (Message.Gradient { from = t.nid; value = t.gradient_value }))
+      (ctx.neighbors t.nid)
+  end
+
+(* Pick a destination; static placement may nominate a dead node, in which
+   case we charge a reassignment and fall back deterministically (§3.3). *)
+let choose_dest t ctx ~key =
+  let dest =
+    match ctx.config.policy with
+    | Recflow_balance.Policy.Gradient_distributed _ -> gradient_place t ctx
+    | _ -> ctx.place ~origin:t.nid ~key
+  in
+  if dest >= 0 && not (Hashtbl.mem t.known_dead dest) then dest
+  else begin
+    Counter.incr ctx.counters "static.reassigned";
+    match ctx.first_alive ~key with
+    | Some d -> d
+    | None -> dest (* no live node: send anyway; the bounce path cleans up *)
+  end
+
+let record_checkpoint t ctx ~dest packet =
+  match Ckpt_table.record t.ckpts ~dest packet with
+  | `Recorded -> Counter.incr ctx.counters "ckpt.recorded"
+  | `Covered -> Counter.incr ctx.counters "ckpt.covered"
+
+let send_activation t ctx packet ~task_id ~dest ~replica ~replicas =
+  ctx.send ~src:t.nid ~dst:dest
+    (Message.Task_packet { packet; task_id; replica; replicas });
+  Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+    (Journal.Spawned { task = task_id; dest; replica })
+
+(* Forward stashed salvaged results whose relay chain passes through a
+   freshly spawned child: a twin that was holding an orphan's answer
+   releases it as soon as it re-creates the next link of the chain. *)
+let forward_orphan_alive t ctx (child : child) ~ostamp ~orphan ~dead_parent =
+  match (child.dests, child.ctasks) with
+  | (_, proc) :: _, (_, ctask) :: _ ->
+    Counter.incr ctx.counters "adopt.forwarded";
+    ctx.send ~src:t.nid ~dst:proc
+      (Message.Orphan_alive
+         { stamp = ostamp; orphan; dead_parent;
+           target = { Packet.task = ctask; proc; slot = -1 } })
+  | _ -> Counter.incr ctx.counters "adopt.dropped"
+
+let flush_adopt_pending t ctx task (child : child) =
+  if task.adopt_pending <> [] then begin
+    let covered (ostamp, _, _) =
+      match Stamp.parent ostamp with
+      | Some ps -> Stamp.equal child.c_stamp ps || Stamp.is_ancestor child.c_stamp ps
+      | None -> false
+    in
+    let matches, rest = List.partition covered task.adopt_pending in
+    task.adopt_pending <- rest;
+    List.iter
+      (fun (ostamp, orphan, dead_parent) ->
+        forward_orphan_alive t ctx child ~ostamp ~orphan ~dead_parent)
+      matches
+  end
+
+let flush_gc_pending t ctx task (child : child) =
+  if task.gc_pending <> [] then begin
+    let covered (ostamp, _, _) =
+      match Stamp.parent ostamp with
+      | Some ps -> Stamp.equal child.c_stamp ps || Stamp.is_ancestor child.c_stamp ps
+      | None -> false
+    in
+    let matches, rest = List.partition covered task.gc_pending in
+    task.gc_pending <- rest;
+    List.iter
+      (fun (ostamp, (dead_parent : Packet.link), value) ->
+        match (child.dests, child.ctasks) with
+        | (_, proc) :: _, (_, ctask) :: _ ->
+          let direct =
+            match Stamp.parent ostamp with
+            | Some ps -> Stamp.equal child.c_stamp ps
+            | None -> false
+          in
+          let relay, tslot =
+            if direct then (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
+            else (Message.To_grandparent { dead_parent }, -1)
+          in
+          Counter.incr ctx.counters "relay.forwarded";
+          Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:ostamp
+            (Journal.Relayed { via = t.nid });
+          ctx.send ~src:t.nid ~dst:proc
+            (Message.Result
+               { stamp = ostamp; value; target = { Packet.task = ctask; proc; slot = tslot };
+                 relay })
+        | _ -> ())
+      matches
+  end
+
+(* DEMAND_IT's packet formation: level-stamp with the next child digit and
+   attach the parent, grandparent and deeper ancestor identifications. *)
+let build_child_packet t ctx task ~slot ~fname ~args =
+  let digit = task.child_seq in
+  task.child_seq <- task.child_seq + 1;
+  let stamp = Stamp.child task.packet.Packet.stamp digit in
+  let parent = { Packet.task = task.tid; proc = t.nid; slot } in
+  let grandparent =
+    if ctx.config.ancestor_depth >= 1 then Some task.packet.Packet.parent else None
+  in
+  let ancestors =
+    if ctx.config.ancestor_depth <= 1 then []
+    else begin
+      let inherited =
+        match task.packet.Packet.grandparent with
+        | Some g -> g :: task.packet.Packet.ancestors
+        | None -> []
+      in
+      List.filteri (fun i _ -> i < ctx.config.ancestor_depth - 1) inherited
+    end
+  in
+  Packet.make ~stamp ~fname ~args ~parent ~grandparent ~ancestors
+
+(* Spawn the child for call slot [slot] of [task]: build the packet, level
+   stamp it, functionally checkpoint it, and queue it toward the balancer's
+   choice of processor. *)
+let spawn_child t ctx task ~slot ~fname ~args =
+  let packet = build_child_packet t ctx task ~slot ~fname ~args in
+  let stamp = packet.Packet.stamp in
+  let replicas = replication_factor ctx task in
+  let base_key = Stamp.hash stamp in
+  let dests = ref [] and ctasks = ref [] in
+  for replica = 0 to replicas - 1 do
+    let task_id = ctx.fresh_task_id () in
+    let dest = choose_dest t ctx ~key:(base_key + (replica * 7919)) in
+    record_checkpoint t ctx ~dest packet;
+    send_activation t ctx packet ~task_id ~dest ~replica ~replicas;
+    dests := (replica, dest) :: !dests;
+    ctasks := (replica, task_id) :: !ctasks
+  done;
+  let vote =
+    if replicas > 1 then Some (Vote.create ~replicas ~equal:Value.equal) else None
+  in
+  let child =
+    { slot; c_stamp = stamp; c_packet = packet; dests = !dests; ctasks = !ctasks; vote;
+      filled = false }
+  in
+  Hashtbl.replace task.children slot child;
+  Counter.add ctx.counters "spawn.remote" replicas;
+  flush_gc_pending t ctx task child;
+  flush_adopt_pending t ctx task child
+
+(* Re-issue a child from its functional checkpoint (rollback §3.2 /
+   splice twin creation §4.1).  The packet is byte-identical — same stamp,
+   same return linkage — so by determinacy the regenerated activation is a
+   functional twin of the lost one. *)
+let respawn_child t ctx _task (child : child) ~reason =
+  let replicas = List.length child.dests in
+  List.iter
+    (fun (_, dest) -> ignore (Ckpt_table.discharge t.ckpts ~dest child.c_stamp))
+    child.dests;
+  let base_key = Stamp.hash child.c_stamp in
+  let dests = ref [] and ctasks = ref [] in
+  for replica = 0 to replicas - 1 do
+    let task_id = ctx.fresh_task_id () in
+    let dest = choose_dest t ctx ~key:(base_key + 104729 + (replica * 7919)) in
+    record_checkpoint t ctx ~dest child.c_packet;
+    (* Under splice, hold the twin back briefly so adoption reports from
+       living orphans can overtake it (§4.1 offspring inheritance). *)
+    let grace =
+      match ctx.config.recovery with
+      | Config.Splice -> ctx.config.adoption_grace
+      | Config.No_recovery | Config.Rollback | Config.Replicate _ -> 0
+    in
+    ctx.send_after ~delay:grace ~src:t.nid ~dst:dest
+      (Message.Task_packet { packet = child.c_packet; task_id; replica; replicas });
+    Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:child.c_stamp
+      (Journal.Respawned { task = task_id; dest; reason });
+    dests := (replica, dest) :: !dests;
+    ctasks := (replica, task_id) :: !ctasks
+  done;
+  child.dests <- !dests;
+  child.ctasks <- !ctasks;
+  if replicas > 1 then child.vote <- Some (Vote.create ~replicas ~equal:Value.equal);
+  Counter.incr ctx.counters "reissue.count";
+  tracef t ctx "reissued %s (%s)" (Stamp.to_string child.c_stamp) reason
+
+(* ------------------------------------------------------------------ *)
+(* Task completion and result forwarding                               *)
+(* ------------------------------------------------------------------ *)
+
+let discharge_child t child =
+  List.iter
+    (fun (_, dest) -> ignore (Ckpt_table.discharge t.ckpts ~dest child.c_stamp))
+    child.dests
+
+(* Fill a call slot with a decided value and resume the task if it was
+   suspended on it. *)
+let fill_slot t ctx task (child : child) value =
+  child.filled <- true;
+  discharge_child t child;
+  Instance.supply task.inst child.slot value;
+  Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:child.c_stamp
+    (Journal.Result_accepted { task = task.tid });
+  if task.state = Blocked then enqueue_task t ctx task
+
+(* §4.2: "Send the result to the parent.  If the parent is dead, notify
+   the grandparent and send the result to the grandparent." *)
+let return_result t ctx task value =
+  let packet = task.packet in
+  let parent = packet.Packet.parent in
+  let payload relay target =
+    Message.Result { stamp = packet.Packet.stamp; value; target; relay }
+  in
+  if not (Hashtbl.mem t.known_dead parent.Packet.proc) then
+    ctx.send ~src:t.nid ~dst:parent.Packet.proc (payload Message.To_parent parent)
+  else begin
+    match ctx.config.recovery with
+    | Config.Splice when ctx.config.ancestor_depth >= 1 -> (
+      (* Climb the ancestor links (grandparent first, then the §5.2
+         great-grandparent extension when enabled) to the nearest live
+         holder of a checkpoint on our chain. *)
+      let candidates =
+        (match packet.Packet.grandparent with Some gp -> [ gp ] | None -> [])
+        @ packet.Packet.ancestors
+      in
+      match
+        List.find_opt
+          (fun (l : Packet.link) -> not (Hashtbl.mem t.known_dead l.Packet.proc))
+          candidates
+      with
+      | Some live_ancestor ->
+        Counter.incr ctx.counters "relay.sent";
+        ctx.send ~src:t.nid ~dst:live_ancestor.Packet.proc
+          (payload (Message.To_grandparent { dead_parent = parent }) live_ancestor)
+      | None ->
+        task.result_dropped <- true;
+        Counter.incr ctx.counters "relay.stranded";
+        Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+          (Journal.Relay_dropped { at = t.nid; reason = "grandparent dead or absent" }))
+    | Config.No_recovery | Config.Rollback | Config.Splice | Config.Replicate _ ->
+      task.result_dropped <- true;
+      Counter.incr ctx.counters "result.orphan_dropped";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+        (Journal.Orphan_dropped { task = task.tid })
+  end
+
+let complete_task t ctx task value =
+  task.state <- Done;
+  Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
+    (Journal.Completed { task = task.tid; proc = t.nid });
+  return_result t ctx task value
+
+(* ------------------------------------------------------------------ *)
+(* Aborts (rollback garbage collection, §3.2/§3.4)                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec abort_task t ctx task =
+  if task_live task then begin
+    task.state <- Aborted;
+    Counter.incr ctx.counters "task.aborted";
+    Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
+      (Journal.Aborted { task = task.tid; proc = t.nid });
+    (* Cascade to outstanding children so their processors can reclaim
+       them; checkpoints for this doomed subtree are dropped. *)
+    Hashtbl.iter
+      (fun _ child ->
+        if not child.filled then begin
+          discharge_child t child;
+          List.iter
+            (fun (replica, dest) ->
+              if not (Hashtbl.mem t.known_dead dest) then
+                match List.assoc_opt replica child.ctasks with
+                | Some ctask -> ctx.send ~src:t.nid ~dst:dest (Message.Abort { task = ctask })
+                | None -> ())
+            child.dests
+        end)
+      task.children
+  end
+
+and abort_orphans t ctx ~failed =
+  Hashtbl.iter
+    (fun _ task ->
+      if task_live task && task.packet.Packet.parent.Packet.proc = failed then
+        abort_task t ctx task)
+    t.tasks
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling (error-detection branch of the protocol LOOP)      *)
+(* ------------------------------------------------------------------ *)
+
+(* [reason] records what first told this node about the failure: the
+   broadcast notice, a bounced send, or an orphan's unexpected return —
+   the re-issue journal entries carry it so experiments can tell the
+   Figure-3 path (twin created on orphan evidence) from notice-driven
+   recovery. *)
+let handle_failure ?(reason = "notice") t ctx ~failed =
+  if not (Hashtbl.mem t.known_dead failed) then begin
+    mark_dead t failed;
+    let drained = Ckpt_table.on_failure t.ckpts ~failed in
+    (match ctx.config.recovery with
+    | Config.No_recovery ->
+      Counter.add ctx.counters "ckpt.dropped_no_recovery" (List.length drained)
+    | Config.Rollback | Config.Splice | Config.Replicate _ ->
+      (* Re-issue the topmost checkpoints filed under the dead processor
+         whose slots are still waiting.  Replicated slots are governed by
+         the voter instead. *)
+      List.iter
+        (fun (packet : Packet.t) ->
+          let parent = packet.Packet.parent in
+          match Hashtbl.find_opt t.tasks parent.Packet.task with
+          | None -> Counter.incr ctx.counters "reissue.stale"
+          | Some task ->
+            if not (task_live task) then Counter.incr ctx.counters "reissue.stale"
+            else begin
+              match Hashtbl.find_opt task.children parent.Packet.slot with
+              | None -> Counter.incr ctx.counters "reissue.stale"
+              | Some child ->
+                if child.filled || child.vote <> None then ()
+                else if not (Stamp.equal child.c_stamp packet.Packet.stamp) then
+                  (* The slot has moved on (covered descendant drained
+                     alongside its ancestor in Keep_all mode). *)
+                  Counter.incr ctx.counters "reissue.stale"
+                else if List.exists (fun (_, d) -> d <> failed) child.dests then
+                  (* already re-homed by the orphan-result path *)
+                  ()
+                else respawn_child t ctx task child ~reason
+            end)
+        drained;
+      (* Replicated slots: account the lost replicas with the voter. *)
+      (match ctx.config.recovery with
+      | Config.Replicate _ ->
+        Hashtbl.iter
+          (fun _ task ->
+            if task_live task then
+              Hashtbl.iter
+                (fun _ child ->
+                  match child.vote with
+                  | Some vote when not child.filled ->
+                    let lost_here =
+                      List.filter (fun (_, dest) -> dest = failed) child.dests
+                    in
+                    List.iter
+                      (fun _ ->
+                        match Vote.lose vote with
+                        | Vote.Decided v -> if not child.filled then fill_slot t ctx task child v
+                        | Vote.Inconclusive ->
+                          Counter.incr ctx.counters "vote.inconclusive";
+                          respawn_child t ctx task child ~reason:"vote-inconclusive"
+                        | Vote.Undecided -> ())
+                      lost_here
+                  | Some _ | None -> ())
+                task.children)
+          t.tasks
+      | Config.No_recovery | Config.Rollback | Config.Splice -> ());
+      (* Surviving tasks regenerate their own lost children.  The table's
+         topmost discipline suppressed proactive re-issue of covered
+         descendants — sound for pure rollback, where the doomed subtree
+         is recomputed wholesale from the topmost twin — but a survivor
+         that is *not* doomed (an inherited orphan's piece under splice, or
+         a live replica whose vote still needs it under replication) must
+         make progress by itself, so the retained packet kept in the slot
+         bookkeeping is re-issued here (the C4/B5 situation of §3 once
+         B2's piece is salvaged).  Replicated slots stay with the voter. *)
+      let local_regen () =
+        Hashtbl.iter
+          (fun _ task ->
+            if task_live task then begin
+              (* pending adoptions of orphans that just died are stale *)
+              let stale =
+                Hashtbl.fold
+                  (fun key ((orphan : Packet.link), _) acc ->
+                    if Hashtbl.mem t.known_dead orphan.Packet.proc then key :: acc else acc)
+                  task.adopted []
+              in
+              List.iter
+                (fun key ->
+                  Hashtbl.remove task.adopted key;
+                  Counter.incr ctx.counters "adopt.stale")
+                stale;
+              Hashtbl.iter
+                (fun _ child ->
+                  if
+                    (not child.filled)
+                    && child.vote = None
+                    && child.dests <> []
+                    && List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests
+                  then respawn_child t ctx task child ~reason:"local-regen")
+                task.children
+            end)
+          t.tasks
+      in
+      (* Rollback discards orphans; splice keeps them alive, and every
+         still-running orphan announces itself upward so its step-parent
+         twin can inherit it rather than spawn a duplicate clone (§4.1:
+         "this twin task inherits all offspring of the faulty task"). *)
+      match ctx.config.recovery with
+      | Config.Rollback -> abort_orphans t ctx ~failed
+      | Config.Replicate _ ->
+        abort_orphans t ctx ~failed;
+        local_regen ()
+      | Config.Splice ->
+        let adoption_on = ctx.config.adoption_grace > 0 in
+        local_regen ();
+        if adoption_on then
+        Hashtbl.iter
+          (fun _ task ->
+            if
+              task_live task
+              && task.packet.Packet.parent.Packet.proc = failed
+              && not task.adoption_reported
+            then begin
+              task.adoption_reported <- true;
+              let candidates =
+                (match task.packet.Packet.grandparent with Some gp -> [ gp ] | None -> [])
+                @ task.packet.Packet.ancestors
+              in
+              match
+                List.find_opt
+                  (fun (l : Packet.link) -> not (Hashtbl.mem t.known_dead l.Packet.proc))
+                  candidates
+              with
+              | Some anc ->
+                Counter.incr ctx.counters "adopt.sent";
+                ctx.send ~src:t.nid ~dst:anc.Packet.proc
+                  (Message.Orphan_alive
+                     {
+                       stamp = task.packet.Packet.stamp;
+                       orphan =
+                         { Packet.task = task.tid; proc = t.nid;
+                           slot = task.packet.Packet.parent.Packet.slot };
+                       dead_parent = task.packet.Packet.parent;
+                       target = anc;
+                     })
+              | None -> Counter.incr ctx.counters "adopt.stranded"
+            end)
+          t.tasks
+      | Config.No_recovery -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Result delivery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A result (normal or spliced) reaches the task that owns the call slot. *)
+let deliver_result_into t ctx task ~slot ~stamp value =
+  match Hashtbl.find_opt task.children slot with
+  | None ->
+    (* The slot has not been reached yet (a salvaged result outran the
+       step-parent's own evaluation, §4.1 cases 4–5): hold it so the spawn
+       is skipped when the call node fires. *)
+    if Hashtbl.mem task.pending slot then begin
+      Counter.incr ctx.counters "dup.ignored";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
+        (Journal.Duplicate_ignored { task = task.tid })
+    end
+    else begin
+      Hashtbl.replace task.pending slot value;
+      Counter.incr ctx.counters "result.preheld"
+    end
+  | Some child ->
+    if child.filled then begin
+      Counter.incr ctx.counters "dup.ignored";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
+        (Journal.Duplicate_ignored { task = task.tid })
+    end
+    else begin
+      match child.vote with
+      | None -> fill_slot t ctx task child value
+      | Some vote -> (
+        match Vote.add vote value with
+        | Vote.Decided v -> fill_slot t ctx task child v
+        | Vote.Undecided -> ()
+        | Vote.Inconclusive ->
+          Counter.incr ctx.counters "vote.inconclusive";
+          respawn_child t ctx task child ~reason:"vote-inconclusive")
+    end
+
+(* An orphan's return arrived at the grandparent (§4.1): treat it as
+   failure detection, make sure the dead child has a twin, and relay the
+   salvaged value to the step-parent. *)
+(* An orphan's salvaged result arrived at an ancestor (grandparent, or a
+   deeper ancestor under the §5.2 extension).  Drive it down the chain of
+   twins toward the orphan's step-parent:
+
+   - the ancestor's own child on the chain is [Stamp.parent orphan] or an
+     ancestor of it; regenerate its twin if it is still homed on a dead
+     processor;
+   - if the twin *is* the orphan's step-parent, forward [To_step_parent]
+     (the twin's call slot is [dead_parent.slot] — slots are graph node
+     ids, identical across activations of the same function);
+   - if the chain is deeper, forward [To_grandparent] to the twin, which
+     repeats this procedure one level down;
+   - a twin that has not spawned the next chain link yet stashes the
+     orphan result ([gc_pending]) and forwards when the spawn happens. *)
+let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stamp value =
+  handle_failure ~reason:"orphan-result" t ctx ~failed:dead_parent.Packet.proc;
+  let drop reason =
+    Counter.incr ctx.counters "relay.dropped";
+    Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
+      (Journal.Relay_dropped { at = t.nid; reason })
+  in
+  match Stamp.parent stamp with
+  | None -> drop "orphan has no parent stamp"
+  | Some parent_stamp -> (
+    (* Locate the chain child: by slot when the stamps agree (the direct
+       grandparent case), otherwise by stamp ancestry. *)
+    let by_slot =
+      match Hashtbl.find_opt task.children slot with
+      | Some child
+        when Stamp.equal child.c_stamp parent_stamp
+             || Stamp.is_ancestor child.c_stamp parent_stamp ->
+        Some child
+      | Some _ | None -> None
+    in
+    let chain_child =
+      match by_slot with
+      | Some _ -> by_slot
+      | None ->
+        Hashtbl.fold
+          (fun _ child acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if
+                Stamp.equal child.c_stamp parent_stamp
+                || Stamp.is_ancestor child.c_stamp parent_stamp
+              then Some child
+              else None)
+          task.children None
+    in
+    match chain_child with
+    | None ->
+      (* The chain link is not spawned yet (this task is itself a twin
+         that has not reached that call): hold the salvaged result. *)
+      task.gc_pending <- (stamp, dead_parent, value) :: task.gc_pending;
+      Counter.incr ctx.counters "relay.stashed"
+    | Some child ->
+      if child.filled then drop "parent slot already filled"
+      else begin
+        if List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests then
+          respawn_child t ctx task child ~reason:"orphan-result";
+        match (child.dests, child.ctasks) with
+        | (_, twin_proc) :: _, (_, twin_task) :: _ ->
+          Counter.incr ctx.counters "relay.forwarded";
+          Journal.record ctx.journal ~time:(ctx.now ()) ~stamp (Journal.Relayed { via = t.nid });
+          let relay, tslot =
+            if Stamp.equal child.c_stamp parent_stamp then
+              (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
+            else (Message.To_grandparent { dead_parent }, -1)
+          in
+          ctx.send ~src:t.nid ~dst:twin_proc
+            (Message.Result
+               {
+                 stamp;
+                 value;
+                 target = { Packet.task = twin_task; proc = twin_proc; slot = tslot };
+                 relay;
+               })
+        | _ -> drop "no live twin destination"
+      end)
+
+(* An adoption report reached an ancestor (or, after forwarding, the
+   step-parent twin itself).  Mirror image of {!handle_grandchild_result}
+   for orphans that are still running: drive the report down the chain of
+   twins; the step-parent records the orphan so the matching call slot is
+   inherited instead of cloned. *)
+let handle_orphan_alive t ctx task ~ostamp ~(orphan : Packet.link)
+    ~(dead_parent : Packet.link) =
+  handle_failure ~reason:"orphan-alive" t ctx ~failed:dead_parent.Packet.proc;
+  match Stamp.parent ostamp with
+  | None -> Counter.incr ctx.counters "adopt.dropped"
+  | Some parent_stamp ->
+    if Stamp.equal parent_stamp task.packet.Packet.stamp then begin
+      (* This task is the step-parent.  If the clone for that stamp is
+         already out, adoption lost the race (duplicates, §4.1 case 6). *)
+      let clone_exists =
+        Hashtbl.fold
+          (fun _ child acc -> acc || Stamp.equal child.c_stamp ostamp)
+          task.children false
+      in
+      if clone_exists then Counter.incr ctx.counters "adopt.late"
+      else begin
+        Hashtbl.replace task.adopted (Stamp.digits ostamp) (orphan, dead_parent);
+        Counter.incr ctx.counters "adopt.recorded"
+      end
+    end
+    else begin
+      let chain_child =
+        Hashtbl.fold
+          (fun _ child acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if
+                Stamp.equal child.c_stamp parent_stamp
+                || Stamp.is_ancestor child.c_stamp parent_stamp
+              then Some child
+              else None)
+          task.children None
+      in
+      match chain_child with
+      | None ->
+        task.adopt_pending <- (ostamp, orphan, dead_parent) :: task.adopt_pending;
+        Counter.incr ctx.counters "adopt.stashed"
+      | Some child ->
+        if child.filled then Counter.incr ctx.counters "adopt.dropped"
+        else begin
+          if List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests then
+            respawn_child t ctx task child ~reason:"orphan-alive";
+          forward_orphan_alive t ctx child ~ostamp ~orphan ~dead_parent
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Message delivery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let activate_task t ctx packet ~task_id =
+  let graph = ctx.template packet.Packet.fname in
+  let inst = Instance.create graph packet.Packet.args in
+  let task =
+    {
+      tid = task_id;
+      packet;
+      inst;
+      state = Queued;
+      child_seq = 0;
+      children = Hashtbl.create 8;
+      pending = Hashtbl.create 4;
+      work = 0;
+      result_dropped = false;
+      gc_pending = [];
+      adopted = Hashtbl.create 2;
+      adopt_pending = [];
+      adoption_reported = false;
+    }
+  in
+  Hashtbl.replace t.tasks task_id task;
+  Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+    (Journal.Activated { task = task_id; proc = t.nid });
+  (* Positive acknowledgement: moves the spawn out of transient state b/d
+     (§4.3.2).  The super-root does not track acks. *)
+  let parent = packet.Packet.parent in
+  if parent.Packet.proc <> Ids.super_root then
+    ctx.send ~src:t.nid ~dst:parent.Packet.proc
+      (Message.Ack
+         {
+           child_stamp = packet.Packet.stamp;
+           child_task = task_id;
+           child_proc = t.nid;
+           parent_task = parent.Packet.task;
+           slot = parent.Packet.slot;
+         });
+  Queue.add task_id t.run_queue;
+  ensure_stepping t ctx;
+  task
+
+let deliver t ctx msg =
+  if t.alive then begin
+    Counter.incr ctx.counters ("msg." ^ Message.label msg);
+    match msg with
+    | Message.Task_packet { packet; task_id; replica = _; replicas = _ } ->
+      let task = activate_task t ctx packet ~task_id in
+      (* A grace-delayed twin may have been overtaken by adoption reports
+         and salvaged results addressed to it: apply them now. *)
+      (match Hashtbl.find_opt t.early_adoptions task_id with
+      | Some reports ->
+        Hashtbl.remove t.early_adoptions task_id;
+        List.iter
+          (fun (ostamp, orphan, dead_parent) ->
+            handle_orphan_alive t ctx task ~ostamp ~orphan ~dead_parent)
+          (List.rev reports)
+      | None -> ());
+      (match Hashtbl.find_opt t.early_results task_id with
+      | Some rs ->
+        Hashtbl.remove t.early_results task_id;
+        List.iter
+          (fun (r : Message.result_payload) ->
+            match r.Message.relay with
+            | Message.To_parent | Message.To_step_parent _ ->
+              deliver_result_into t ctx task ~slot:r.Message.target.Packet.slot
+                ~stamp:r.Message.stamp r.Message.value
+            | Message.To_grandparent { dead_parent } ->
+              handle_grandchild_result t ctx task ~dead_parent
+                ~slot:r.Message.target.Packet.slot ~stamp:r.Message.stamp r.Message.value)
+          (List.rev rs)
+      | None -> ())
+    | Message.Orphan_alive { stamp; orphan; dead_parent; target } -> (
+      match Hashtbl.find_opt t.tasks target.Packet.task with
+      | Some task when task_live task ->
+        handle_orphan_alive t ctx task ~ostamp:stamp ~orphan ~dead_parent
+      | Some _ -> Counter.incr ctx.counters "adopt.ignored"
+      | None ->
+        (* the twin's own packet is still in flight: hold the report *)
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt t.early_adoptions target.Packet.task)
+        in
+        Hashtbl.replace t.early_adoptions target.Packet.task
+          ((stamp, orphan, dead_parent) :: prev))
+    | Message.Ack { child_stamp; child_task; child_proc; parent_task; slot = _ } -> (
+      (* Establishes the parent→child pointer (state b/d → c/e). *)
+      match Hashtbl.find_opt t.tasks parent_task with
+      | Some _ ->
+        Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:child_stamp
+          (Journal.Acked { task = child_task; proc = child_proc });
+        tracef t ctx "ack for %s: task%d on %s" (Stamp.to_string child_stamp) child_task
+          (Ids.proc_to_string child_proc)
+      | None -> Counter.incr ctx.counters "ack.ignored")
+    | Message.Result { stamp; value; target; relay } -> (
+      match Hashtbl.find_opt t.tasks target.Packet.task with
+      | None -> (
+        match relay with
+        | Message.To_step_parent _ | Message.To_grandparent _ ->
+          (* salvage addressed to a twin whose packet is still in flight *)
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt t.early_results target.Packet.task)
+          in
+          Hashtbl.replace t.early_results target.Packet.task
+            ({ Message.stamp; value; target; relay } :: prev)
+        | Message.To_parent ->
+          (* "If a processor receives a packet and cannot find a proper
+             rule to handle it, the processor simply ignores the
+             message." *)
+          Counter.incr ctx.counters "result.ignored")
+      | Some task ->
+        if not (task_live task) then Counter.incr ctx.counters "result.ignored"
+        else (
+          match relay with
+          | Message.To_parent | Message.To_step_parent _ ->
+            deliver_result_into t ctx task ~slot:target.Packet.slot ~stamp value
+          | Message.To_grandparent { dead_parent } -> (
+            match ctx.config.recovery with
+            | Config.Splice ->
+              handle_grandchild_result t ctx task ~dead_parent ~slot:target.Packet.slot ~stamp
+                value
+            | Config.No_recovery | Config.Rollback | Config.Replicate _ ->
+              Counter.incr ctx.counters "relay.dropped")))
+    | Message.Reparent { orphan_task; new_parent; new_grandparent } -> (
+      match Hashtbl.find_opt t.tasks orphan_task with
+      | None -> Counter.incr ctx.counters "reparent.ignored"
+      | Some task -> (
+        task.packet <-
+          Packet.reparent task.packet ~parent:new_parent ~grandparent:new_grandparent;
+        Counter.incr ctx.counters "reparent.applied";
+        match (task.state, Instance.result task.inst) with
+        | Done, Some v ->
+          (* completed before learning the address: deliver now (a
+             duplicate of an earlier successful relay is absorbed) *)
+          task.result_dropped <- false;
+          ctx.send ~src:t.nid ~dst:new_parent.Packet.proc
+            (Message.Result
+               { stamp = task.packet.Packet.stamp; value = v; target = new_parent;
+                 relay = Message.To_parent })
+        | _ -> ()))
+    | Message.Gradient { from; value } -> Hashtbl.replace t.gradient_heard from value
+    | Message.Abort { task } -> (
+      match Hashtbl.find_opt t.tasks task with
+      | Some task -> abort_task t ctx task
+      | None -> Counter.incr ctx.counters "abort.ignored")
+    | Message.Failure_notice { failed } -> handle_failure t ctx ~failed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bounce: an earlier send turned out to be undeliverable (§1 timeout) *)
+(* ------------------------------------------------------------------ *)
+
+let handle_bounce t ctx ~dead msg =
+  if t.alive then begin
+    (* An undeliverable message is failure detection in its own right (§1:
+       unreachable ⇒ faulty): run the full error-detection response, not
+       just a local note — otherwise the later broadcast notice would be
+       ignored as already-known and checkpoints would never be re-issued. *)
+    handle_failure ~reason:"bounce-detect" t ctx ~failed:dead;
+    Counter.incr ctx.counters "msg.bounced";
+    match msg with
+    | Message.Task_packet { packet; task_id = _; replica = _; replicas = _ } -> (
+      (* The packet never arrived (transient state b/d): the retained
+         checkpoint regenerates it, exactly like a failure notice would. *)
+      match Hashtbl.find_opt t.tasks packet.Packet.parent.Packet.task with
+      | None -> Counter.incr ctx.counters "reissue.stale"
+      | Some task -> (
+        match Hashtbl.find_opt task.children packet.Packet.parent.Packet.slot with
+        | Some child when (not child.filled) && task_live task ->
+          if List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests then
+            respawn_child t ctx task child ~reason:"bounced-packet"
+        | Some _ | None -> ()))
+    | Message.Result ({ relay = Message.To_parent; _ } as r) -> (
+      (* The paper's D4 moment: the return found its parent dead. *)
+      match ctx.config.recovery with
+      | Config.Splice ->
+        (* Identify the producing task so its packet supplies the
+           grandparent link; re-route through [return_result]. *)
+        let producer =
+          Hashtbl.fold
+            (fun _ task acc ->
+              if Stamp.equal task.packet.Packet.stamp r.stamp && task.state = Done then
+                Some task
+              else acc)
+            t.tasks None
+        in
+        (match producer with
+        | Some task -> return_result t ctx task r.value
+        | None ->
+          Counter.incr ctx.counters "relay.dropped";
+          Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:r.stamp
+            (Journal.Relay_dropped { at = t.nid; reason = "producer gone after bounce" }))
+      | Config.No_recovery | Config.Rollback | Config.Replicate _ ->
+        Counter.incr ctx.counters "result.orphan_dropped";
+        Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:r.stamp
+          (Journal.Orphan_dropped { task = r.target.Packet.task }))
+    | Message.Result { relay = Message.To_grandparent _; stamp; _ } ->
+      (* Grandparent dead as well (§5.2's stranded orphan). *)
+      Counter.incr ctx.counters "relay.stranded";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
+        (Journal.Relay_dropped { at = t.nid; reason = "grandparent dead (stranded orphan)" })
+    | Message.Result { relay = Message.To_step_parent _; stamp; _ } ->
+      (* The twin's processor died before the salvaged result landed; the
+         next failure notice will regenerate the twin and recompute. *)
+      Counter.incr ctx.counters "relay.dropped";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
+        (Journal.Relay_dropped { at = t.nid; reason = "step-parent died" })
+    | Message.Orphan_alive _ ->
+      (* The ancestor died before the report landed: the orphan will fall
+         back to the result-relay path (or strand) at completion time. *)
+      Counter.incr ctx.counters "adopt.stranded"
+    | Message.Gradient _ | Message.Reparent _ | Message.Ack _ | Message.Abort _
+    | Message.Failure_notice _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CPU quantum                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let should_inline ctx (task : task) = Stamp.depth task.packet.Packet.stamp + 1 >= ctx.config.inline_depth
+
+let charge t task cost =
+  t.work_ticks <- t.work_ticks + cost;
+  task.work <- task.work + cost
+
+let rec pick_next t ctx =
+  match Queue.take_opt t.run_queue with
+  | None -> t.stepping <- false
+  | Some tid -> (
+    match Hashtbl.find_opt t.tasks tid with
+    | Some task when task_live task ->
+      task.state <- Running;
+      t.current <- Some tid;
+      ctx.wake t.nid ~delay:ctx.config.ctx_switch
+    | Some _ | None -> pick_next t ctx)
+
+let step t ctx =
+  if t.alive then begin
+    match t.current with
+    | None -> pick_next t ctx
+    | Some tid -> (
+      match Hashtbl.find_opt t.tasks tid with
+      | None ->
+        t.current <- None;
+        pick_next t ctx
+      | Some task ->
+        if not (task_live task) then begin
+          t.current <- None;
+          pick_next t ctx
+        end
+        else begin
+          match Instance.step task.inst with
+          | Instance.Work { cost } ->
+            let ticks = cost * ctx.config.work_tick in
+            charge t task ticks;
+            ctx.wake t.nid ~delay:(max 1 ticks)
+          | Instance.Spawn { slot; fname; args } -> (
+            match Hashtbl.find_opt task.pending slot with
+            | Some v ->
+              (* A salvaged result beat us to this call: adopt it instead
+                 of spawning (§4.1 cases 4–5: "P' will not spawn C'
+                 because the answer is already there"). *)
+              Hashtbl.remove task.pending slot;
+              let c_stamp = Stamp.child task.packet.Packet.stamp task.child_seq in
+              task.child_seq <- task.child_seq + 1;
+              Hashtbl.replace task.children slot
+                {
+                  slot;
+                  c_stamp;
+                  c_packet = task.packet;
+                  dests = [];
+                  ctasks = [];
+                  vote = None;
+                  filled = true;
+                };
+              Instance.supply task.inst slot v;
+              Counter.incr ctx.counters "spawn.skipped_preheld";
+              Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:c_stamp
+                (Journal.Result_accepted { task = task.tid });
+              ctx.wake t.nid ~delay:1
+            | None ->
+              let next_stamp = Stamp.child task.packet.Packet.stamp task.child_seq in
+              let adoption =
+                match Hashtbl.find_opt task.adopted (Stamp.digits next_stamp) with
+                | Some (orphan, _) when Hashtbl.mem t.known_dead orphan.Packet.proc ->
+                  (* the orphan died since it reported: the adoption is
+                     stale; spawn a fresh child instead *)
+                  Hashtbl.remove task.adopted (Stamp.digits next_stamp);
+                  Counter.incr ctx.counters "adopt.stale";
+                  None
+                | other -> other
+              in
+              (match adoption with
+              | Some (orphan, _dead_parent) ->
+                (* Inherit the living orphan: bind the slot to it instead
+                   of spawning a clone; its result arrives via the
+                   grandparent relay. *)
+                Hashtbl.remove task.adopted (Stamp.digits next_stamp);
+                let packet = build_child_packet t ctx task ~slot ~fname ~args in
+                record_checkpoint t ctx ~dest:orphan.Packet.proc packet;
+                let child =
+                  { slot; c_stamp = packet.Packet.stamp; c_packet = packet;
+                    dests = [ (0, orphan.Packet.proc) ];
+                    ctasks = [ (0, orphan.Packet.task) ]; vote = None; filled = false }
+                in
+                Hashtbl.replace task.children slot child;
+                Counter.incr ctx.counters "spawn.inherited";
+                Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+                  (Journal.Inherited
+                     { orphan_task = orphan.Packet.task; proc = orphan.Packet.proc });
+                (* tell the orphan its new return address (§3.4's second
+                   option); if it already finished and its relay stranded,
+                   it will re-send the result here *)
+                ctx.send ~src:t.nid ~dst:orphan.Packet.proc
+                  (Message.Reparent
+                     {
+                       orphan_task = orphan.Packet.task;
+                       new_parent = { Packet.task = task.tid; proc = t.nid; slot };
+                       new_grandparent = Some task.packet.Packet.parent;
+                     });
+                flush_gc_pending t ctx task child;
+                flush_adopt_pending t ctx task child;
+                ctx.wake t.nid ~delay:1
+              | None ->
+              if should_inline ctx task then begin
+                match ctx.inline_eval fname args with
+                | Ok (v, steps) ->
+                  let ticks = max 1 (steps * ctx.config.work_tick) in
+                  charge t task ticks;
+                  Instance.supply task.inst slot v;
+                  Counter.incr ctx.counters "spawn.inline";
+                  Journal.record ctx.journal ~time:(ctx.now ())
+                    ~stamp:task.packet.Packet.stamp
+                    (Journal.Inlined { parent_task = task.tid; proc = t.nid; work = ticks });
+                  ctx.wake t.nid ~delay:ticks
+                | Error msg -> ctx.program_error msg
+              end
+              else begin
+                spawn_child t ctx task ~slot ~fname ~args;
+                charge t task ctx.config.spawn_cost;
+                ctx.wake t.nid ~delay:(max 1 ctx.config.spawn_cost)
+              end))
+          | Instance.Blocked ->
+            task.state <- Blocked;
+            t.current <- None;
+            pick_next t ctx
+          | Instance.Finished v ->
+            complete_task t ctx task v;
+            t.current <- None;
+            pick_next t ctx
+          | Instance.Failed msg -> ctx.program_error msg
+        end)
+  end
+
+let gradient_value t = t.gradient_value
+
+let kill t ctx =
+  if t.alive then begin
+    t.alive <- false;
+    t.stepping <- false;
+    t.current <- None;
+    Queue.clear t.run_queue;
+    Counter.add ctx.counters "task.lost_in_failure" (live_tasks t);
+    (* Tasks die with the node; mark them so queries do not mistake them
+       for survivors.  Their packets live on in peers' checkpoint tables. *)
+    Hashtbl.iter (fun _ task -> if task_live task then task.state <- Aborted) t.tasks
+  end

@@ -1,0 +1,100 @@
+(* Reconstruct per-processor occupancy from lifecycle events: a task is
+   resident on its activation processor from Activated until Completed or
+   Aborted; a Failure ends its processor's row. *)
+
+let occupancy journal ~nodes ~buckets ~until =
+  let grid = Array.make_matrix nodes buckets 0 in
+  let live = Array.make nodes 0 in
+  let dead_at = Array.make nodes max_int in
+  let bucket_of time =
+    if until <= 0 then 0 else min (buckets - 1) (time * buckets / until)
+  in
+  (* where each activation lives: task id -> proc *)
+  let home : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let last_bucket = Array.make nodes 0 in
+  (* carry the current live count forward through empty buckets *)
+  let advance proc upto =
+    let from = last_bucket.(proc) in
+    for b = from + 1 to min upto (buckets - 1) do
+      grid.(proc).(b) <- live.(proc)
+    done;
+    if upto > last_bucket.(proc) then last_bucket.(proc) <- min upto (buckets - 1)
+  in
+  let bump proc time delta =
+    if proc >= 0 && proc < nodes then begin
+      let b = bucket_of time in
+      advance proc b;
+      live.(proc) <- max 0 (live.(proc) + delta);
+      (* record the PEAK within the bucket *)
+      grid.(proc).(b) <- max grid.(proc).(b) live.(proc)
+    end
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      match e.Journal.event with
+      | Journal.Activated { task; proc } ->
+        Hashtbl.replace home task proc;
+        bump proc e.Journal.time 1
+      | Journal.Completed { task; proc } | Journal.Aborted { task; proc } ->
+        Hashtbl.remove home task;
+        bump proc e.Journal.time (-1)
+      | Journal.Failure { proc } ->
+        if proc >= 0 && proc < nodes then begin
+          let b = bucket_of e.Journal.time in
+          advance proc b;
+          dead_at.(proc) <- min dead_at.(proc) b;
+          live.(proc) <- 0;
+          (* resident tasks died with the node *)
+          Hashtbl.iter (fun t p -> if p = proc then Hashtbl.remove home t) home
+        end
+      | _ -> ())
+    (Journal.entries journal);
+  for proc = 0 to nodes - 1 do
+    advance proc (buckets - 1);
+    if dead_at.(proc) < max_int then
+      for b = dead_at.(proc) to buckets - 1 do
+        grid.(proc).(b) <- -1
+      done
+  done;
+  grid
+
+let glyph = function
+  | n when n < 0 -> 'X'
+  | 0 -> ' '
+  | 1 -> '.'
+  | 2 -> ':'
+  | 3 -> '-'
+  | 4 -> '='
+  | n when n <= 6 -> '*'
+  | n when n <= 9 -> '#'
+  | _ -> '@'
+
+let render journal ~nodes ?(width = 72) ?until () =
+  let entries = Journal.entries journal in
+  match entries with
+  | [] -> "(empty journal)\n"
+  | _ ->
+    let last = List.fold_left (fun acc (e : Journal.entry) -> max acc e.Journal.time) 0 entries in
+    let until = match until with Some u -> u | None -> max 1 last in
+    let grid = occupancy journal ~nodes ~buckets:width ~until in
+    let buf = Buffer.create ((nodes + 3) * (width + 8)) in
+    Buffer.add_string buf
+      (Printf.sprintf "time 0 .. %d (one column = %d ticks); X = failed\n" until
+         (max 1 (until / width)));
+    for proc = 0 to nodes - 1 do
+      Buffer.add_string buf (Printf.sprintf "P%-3d |" proc);
+      Array.iter
+        (fun n ->
+          let c = if n < 0 then 'X' else glyph n in
+          Buffer.add_char buf c)
+        grid.(proc);
+      (* mark the failure bucket *)
+      (match Array.to_list grid.(proc) |> List.mapi (fun i v -> (i, v))
+             |> List.find_opt (fun (_, v) -> v < 0)
+       with
+      | Some (i, _) -> Buffer.add_string buf (Printf.sprintf "|  failed at ~bucket %d" i)
+      | None -> Buffer.add_char buf '|');
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "legend: ' '=idle  .=1  :=2  -=3  ==4  *=5-6  #=7-9  @=10+ live tasks\n";
+    Buffer.contents buf

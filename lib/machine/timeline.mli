@@ -1,0 +1,21 @@
+(** ASCII activity timeline rendered from a run's journal.
+
+    One row per processor, one column per time bucket; the glyph encodes
+    how many tasks were resident-and-live on that processor during the
+    bucket ([.:-=*#@] from one to many), [X] marks buckets after the
+    processor failed, and [!] the bucket containing the failure itself.
+    Useful for eyeballing load balance, the hole a failure tears, and the
+    recovery wave that refills it — the examples and the CLI expose it. *)
+
+val render :
+  Journal.t -> nodes:int -> ?width:int -> ?until:int -> unit -> string
+(** [render journal ~nodes ()] draws [nodes] rows.  [width] is the number
+    of time buckets (default 72); [until] the time of the last bucket
+    (default: the last journal entry).  Returns a multi-line string ending
+    in a newline; renders an "(empty journal)" placeholder when there is
+    nothing to draw. *)
+
+val occupancy : Journal.t -> nodes:int -> buckets:int -> until:int -> int array array
+(** The underlying matrix: [occupancy.(node).(bucket)] is the peak number
+    of live resident tasks in that bucket ([-1] once the node is dead).
+    Exposed for tests and custom rendering. *)

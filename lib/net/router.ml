@@ -1,0 +1,77 @@
+type t = {
+  topology : Topology.t;
+  dead : bool array;
+  mutable dist : int array array option;  (* cache; rebuilt after a death/revival *)
+}
+
+let create topology = { topology; dead = Array.make (Topology.size topology) false; dist = None }
+
+let topology t = t.topology
+
+let check t node =
+  if node < 0 || node >= Array.length t.dead then
+    invalid_arg (Printf.sprintf "Router: node %d out of range" node)
+
+let kill t node =
+  check t node;
+  if not t.dead.(node) then begin
+    t.dead.(node) <- true;
+    t.dist <- None
+  end
+
+let revive t node =
+  check t node;
+  if t.dead.(node) then begin
+    t.dead.(node) <- false;
+    t.dist <- None
+  end
+
+let alive t node =
+  check t node;
+  not t.dead.(node)
+
+let alive_nodes t =
+  let n = Array.length t.dead in
+  List.init n Fun.id |> List.filter (fun i -> not t.dead.(i))
+
+let unreachable = max_int
+
+let bfs t src =
+  let n = Array.length t.dead in
+  let dist = Array.make n unreachable in
+  if not t.dead.(src) then begin
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.take q in
+      List.iter
+        (fun v ->
+          if (not t.dead.(v)) && dist.(v) = unreachable then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Topology.neighbors t.topology u)
+    done
+  end;
+  dist
+
+let table t =
+  match t.dist with
+  | Some d -> d
+  | None ->
+    let n = Array.length t.dead in
+    let d = Array.init n (fun src -> bfs t src) in
+    t.dist <- Some d;
+    d
+
+let distance t a b =
+  check t a;
+  check t b;
+  if t.dead.(a) || t.dead.(b) then None
+  else begin
+    let d = (table t).(a).(b) in
+    if d = unreachable then None else Some d
+  end
+
+let reachable t a b = distance t a b <> None

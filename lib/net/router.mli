@@ -1,0 +1,32 @@
+(** Hop-distance routing that accounts for dead nodes.
+
+    Messages between live nodes are store-and-forward routed through live
+    intermediate nodes only.  When a node dies the router recomputes
+    all-pairs distances (BFS per node — clusters are small).  A destination
+    that is unreachable — dead, or cut off because every route crosses dead
+    nodes — is reported as such; per §1 of the paper the sender must then
+    treat it as faulty. *)
+
+type t
+
+val create : Topology.t -> t
+
+val topology : t -> Topology.t
+
+val kill : t -> int -> unit
+(** Mark a node dead.  Idempotent. *)
+
+val revive : t -> int -> unit
+(** Undo {!kill} (used by tests; the paper's model is fail-stop). *)
+
+val alive : t -> int -> bool
+
+val alive_nodes : t -> int list
+(** Sorted ids of live nodes. *)
+
+val distance : t -> int -> int -> int option
+(** [distance t a b] is the hop count of the shortest live route, [None]
+    when [b] is dead or unreachable from [a].  [Some 0] when [a = b] and
+    alive. *)
+
+val reachable : t -> int -> int -> bool

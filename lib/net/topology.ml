@@ -1,0 +1,76 @@
+type t = Full of int | Ring of int | Mesh of int * int | Hypercube of int
+
+let size = function
+  | Full n | Ring n -> n
+  | Mesh (r, c) -> r * c
+  | Hypercube d -> 1 lsl d
+
+let to_string = function
+  | Full n -> Printf.sprintf "full:%d" n
+  | Ring n -> Printf.sprintf "ring:%d" n
+  | Mesh (r, c) -> Printf.sprintf "mesh:%dx%d" r c
+  | Hypercube d -> Printf.sprintf "cube:%d" d
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "cannot parse topology %S (want full:N, ring:N, mesh:RxC, cube:D)" s) in
+  match String.split_on_char ':' s with
+  | [ "full"; n ] -> (
+    match int_of_string_opt n with Some n when n > 0 -> Ok (Full n) | _ -> fail ())
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with Some n when n > 0 -> Ok (Ring n) | _ -> fail ())
+  | [ "cube"; d ] -> (
+    match int_of_string_opt d with Some d when d >= 0 && d <= 20 -> Ok (Hypercube d) | _ -> fail ())
+  | [ "mesh"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ r; c ] -> (
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some r, Some c when r > 0 && c > 0 -> Ok (Mesh (r, c))
+      | _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let check t node =
+  if node < 0 || node >= size t then
+    invalid_arg (Printf.sprintf "Topology: node %d out of range for %s" node (to_string t))
+
+let neighbors t node =
+  check t node;
+  match t with
+  | Full n -> List.init n Fun.id |> List.filter (fun i -> i <> node)
+  | Ring n ->
+    if n = 1 then []
+    else if n = 2 then [ 1 - node ]
+    else List.sort_uniq compare [ (node + 1) mod n; (node + n - 1) mod n ]
+  | Mesh (rows, cols) ->
+    let r = node / cols and c = node mod cols in
+    let candidates = [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ] in
+    candidates
+    |> List.filter (fun (r', c') -> r' >= 0 && r' < rows && c' >= 0 && c' < cols)
+    |> List.map (fun (r', c') -> (r' * cols) + c')
+    |> List.sort compare
+  | Hypercube d -> List.init d (fun bit -> node lxor (1 lsl bit)) |> List.sort compare
+
+let ideal_distance t a b =
+  check t a;
+  check t b;
+  if a = b then 0
+  else
+    match t with
+    | Full _ -> 1
+    | Ring n ->
+      let d = abs (a - b) in
+      min d (n - d)
+    | Mesh (_, cols) ->
+      let ra = a / cols and ca = a mod cols in
+      let rb = b / cols and cb = b mod cols in
+      abs (ra - rb) + abs (ca - cb)
+    | Hypercube _ ->
+      let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+      popcount (a lxor b)
+
+let diameter t =
+  match t with
+  | Full n -> if n <= 1 then 0 else 1
+  | Ring n -> n / 2
+  | Mesh (r, c) -> r - 1 + (c - 1)
+  | Hypercube d -> d

@@ -1,0 +1,29 @@
+(** Interconnection topologies for the simulated multiprocessor.
+
+    Nodes are numbered [0 .. size-1].  The topology fixes the neighbour
+    relation; {!Router} computes hop distances (possibly avoiding dead
+    nodes).  Rediflow was conceived around a grid/hypercube-style switching
+    network, so those are provided along with a ring (worst diameter) and a
+    full crossbar (best). *)
+
+type t =
+  | Full of int  (** complete graph on [n] nodes *)
+  | Ring of int
+  | Mesh of int * int  (** rows × cols, no wraparound *)
+  | Hypercube of int  (** dimension [d]; [2^d] nodes *)
+
+val size : t -> int
+
+val of_string : string -> (t, string) result
+(** Parse "full:8", "ring:16", "mesh:4x4", "cube:3". *)
+
+val to_string : t -> string
+
+val neighbors : t -> int -> int list
+(** Sorted neighbour list.
+    @raise Invalid_argument for an out-of-range node. *)
+
+val ideal_distance : t -> int -> int -> int
+(** Hop distance assuming all nodes alive (closed form, no search). *)
+
+val diameter : t -> int

@@ -1,0 +1,68 @@
+type time = int
+
+type 'a entry = { at : time; seq : int; payload : 'a }
+
+type 'a t = {
+  queue : 'a entry Heap.t;
+  mutable clock : time;
+  mutable next_seq : int;
+  mutable stopping : bool;
+  mutable dispatched : int;
+}
+
+let compare_entry a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    queue = Heap.create ~cmp:compare_entry;
+    clock = 0;
+    next_seq = 0;
+    stopping = false;
+    dispatched = 0;
+  }
+
+let now t = t.clock
+
+let pending t = Heap.length t.queue
+
+let schedule_at t ~time payload =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" time t.clock);
+  Heap.push t.queue { at = time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay payload =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) payload
+
+let next t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some e ->
+    t.clock <- e.at;
+    t.dispatched <- t.dispatched + 1;
+    Some (e.at, e.payload)
+
+let stop t = t.stopping <- true
+
+let run t ?until handler =
+  t.stopping <- false;
+  let horizon_ok () =
+    match until with
+    | None -> true
+    | Some limit -> ( match Heap.peek t.queue with Some e -> e.at <= limit | None -> true)
+  in
+  let rec loop () =
+    if (not t.stopping) && horizon_ok () then
+      match next t with
+      | None -> ()
+      | Some (at, ev) ->
+        handler at ev;
+        loop ()
+  in
+  loop ()
+
+let events_dispatched t = t.dispatched

@@ -1,0 +1,31 @@
+(** Array-backed binary min-heap.
+
+    The comparison function is fixed at creation.  Used as the spine of the
+    event queue and by the load balancer's pressure tables. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp] (smallest element on top). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t]
+    so that a run is fully determined by its seed.  The generator is the
+    splitmix64 of Steele, Lea and Flood, which has a 64-bit state, passes
+    BigCrush, and supports cheap splitting into independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Two generators created with the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    evolve independently. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Used to give each processor its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean; used for inter-arrival and latency jitter models. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

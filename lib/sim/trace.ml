@@ -1,0 +1,65 @@
+type level = Debug | Info | Warn | Error
+
+type record = { time : int; level : level; tag : string; message : string }
+
+type t = {
+  capacity : int;
+  mutable buf : record array;
+  mutable start : int;  (* index of oldest record *)
+  mutable len : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = [||]; start = 0; len = 0; total = 0 }
+
+let log t ~time ~level ~tag message =
+  let r = { time; level; tag; message } in
+  if Array.length t.buf = 0 then t.buf <- Array.make t.capacity r;
+  if t.len < t.capacity then begin
+    t.buf.((t.start + t.len) mod t.capacity) <- r;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- r;
+    t.start <- (t.start + 1) mod t.capacity
+  end;
+  t.total <- t.total + 1
+
+let logf t ~time ~level ~tag fmt =
+  Format.kasprintf (fun message -> log t ~time ~level ~tag message) fmt
+
+let records t =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (t.buf.((t.start + i) mod t.capacity) :: acc)
+  in
+  collect (t.len - 1) []
+
+let find t ~tag = List.filter (fun r -> String.equal r.tag tag) (records t)
+
+let count t = t.total
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0
+
+let level_label = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%8d] %-5s %-12s %s" r.time (level_label r.level) r.tag r.message
+
+let dump ?limit ppf t =
+  let rs = records t in
+  let rs =
+    match limit with
+    | None -> rs
+    | Some n ->
+      let len = List.length rs in
+      if len <= n then rs else List.filteri (fun i _ -> i >= len - n) rs
+  in
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) rs

@@ -1,0 +1,37 @@
+(** Bounded in-memory trace of simulation events.
+
+    Nodes and recovery drivers append human-readable records; tests and the
+    experiment harness scan them to assert that a particular protocol step
+    actually happened (e.g. "C re-issued checkpoint B2 after B failed").
+    The buffer is a ring: only the most recent [capacity] records are kept,
+    together with a monotone count of everything ever logged. *)
+
+type level = Debug | Info | Warn | Error
+
+type record = { time : int; level : level; tag : string; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity is 65536 records. *)
+
+val log : t -> time:int -> level:level -> tag:string -> string -> unit
+
+val logf :
+  t -> time:int -> level:level -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** Records currently retained, oldest first. *)
+
+val find : t -> tag:string -> record list
+(** Retained records whose tag equals [tag], oldest first. *)
+
+val count : t -> int
+(** Total records ever logged (including evicted ones). *)
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Print the last [limit] (default: all retained) records. *)

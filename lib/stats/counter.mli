@@ -1,0 +1,30 @@
+(** Named integer counters.
+
+    A [set] is a registry of counters keyed by name; the machine layer keeps
+    one per processor plus one global set (messages sent, tasks spawned,
+    checkpoints taken, results salvaged, ...).  Counters are created lazily
+    on first use so call sites never need registration boilerplate. *)
+
+type set
+
+val create_set : unit -> set
+
+val incr : set -> string -> unit
+
+val add : set -> string -> int -> unit
+
+val get : set -> string -> int
+(** 0 for a counter that was never touched. *)
+
+val names : set -> string list
+(** Sorted list of counters that have been touched. *)
+
+val to_alist : set -> (string * int) list
+(** Sorted name/value pairs. *)
+
+val merge : set -> set -> set
+(** Pointwise sum; inputs are unchanged. *)
+
+val reset : set -> unit
+
+val pp : Format.formatter -> set -> unit

@@ -1,0 +1,55 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable n : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  if buckets <= 0 then invalid_arg "Histogram.create: need buckets > 0";
+  { lo; hi; counts = Array.make buckets 0; under = 0; over = 0; n = 0 }
+
+let observe t x =
+  let buckets = Array.length t.counts in
+  let idx =
+    if x < t.lo then begin
+      t.under <- t.under + 1;
+      0
+    end
+    else if x >= t.hi then begin
+      t.over <- t.over + 1;
+      buckets - 1
+    end
+    else begin
+      let frac = (x -. t.lo) /. (t.hi -. t.lo) in
+      let i = int_of_float (frac *. float_of_int buckets) in
+      if i >= buckets then buckets - 1 else i
+    end
+  in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let bucket_counts t = Array.copy t.counts
+
+let underflow t = t.under
+
+let overflow t = t.over
+
+let bucket_bounds t i =
+  let buckets = float_of_int (Array.length t.counts) in
+  let step = (t.hi -. t.lo) /. buckets in
+  (t.lo +. (float_of_int i *. step), t.lo +. (float_of_int (i + 1) *. step))
+
+let pp ?(width = 40) ppf t =
+  let peak = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let blo, bhi = bucket_bounds t i in
+      let bar = String.make (c * width / peak) '#' in
+      Format.fprintf ppf "[%10.2f, %10.2f) %6d %s@." blo bhi c bar)
+    t.counts

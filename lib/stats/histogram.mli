@@ -1,0 +1,28 @@
+(** Fixed-bucket histogram over a float range, with ASCII bar rendering.
+
+    Used by the experiment harness to show distributions (task sizes,
+    recovery latencies) next to their summary statistics. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** @raise Invalid_argument unless [lo < hi] and [buckets > 0]. *)
+
+val observe : t -> float -> unit
+(** Values outside [\[lo, hi)] are clamped into the first/last bucket and
+    counted in the under/overflow tallies. *)
+
+val count : t -> int
+
+val bucket_counts : t -> int array
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bucket_bounds : t -> int -> float * float
+(** [bucket_bounds t i] is the half-open value range of bucket [i]. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** Horizontal bar chart, one line per bucket; [width] is the bar width of
+    the fullest bucket (default 40). *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable samples : float list;  (* reverse observation order *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { samples = []; n = 0; sum = 0.0; sumsq = 0.0; lo = infinity; hi = neg_infinity }
+
+let observe t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let observe_int t x = observe t (float_of_int x)
+
+let count t = t.n
+
+let total t = t.sum
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else begin
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    sqrt (Float.max var 0.0)
+  end
+
+let require_nonempty t fn = if t.n = 0 then invalid_arg ("Summary." ^ fn ^ ": empty")
+
+let min_value t =
+  require_nonempty t "min_value";
+  t.lo
+
+let max_value t =
+  require_nonempty t "max_value";
+  t.hi
+
+let percentile t p =
+  require_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
+  let sorted = List.sort Float.compare t.samples in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  (* Nearest-rank: smallest index k with k/n >= p/100. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
+  arr.(idx)
+
+let median t = percentile t 50.0
+
+let to_list t = List.rev t.samples
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f" t.n (mean t)
+      (stddev t) t.lo (median t) (percentile t 95.0) t.hi

@@ -1,0 +1,40 @@
+(** Sample accumulator: running moments plus retained samples for quantiles.
+
+    Small enough to keep one per metric per experiment run; quantiles are
+    exact (samples are retained and sorted on demand). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+
+val observe_int : t -> int -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0.0 when fewer than two samples. *)
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument when empty or [p] out of range. *)
+
+val median : t -> float
+
+val to_list : t -> float list
+(** Samples in observation order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line "n / mean / sd / min / p50 / p95 / max" rendering. *)

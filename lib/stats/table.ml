@@ -1,0 +1,62 @@
+type line = Row of string list | Separator
+
+type t = { title : string; columns : string list; mutable lines : line list (* reversed *) }
+
+let create ~title ~columns = { title; columns; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): row has %d cells, header has %d" t.title
+         (List.length row) (List.length t.columns));
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let title t = t.title
+
+let columns t = t.columns
+
+let rows t =
+  List.rev t.lines
+  |> List.filter_map (function Row r -> Some r | Separator -> None)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let widths t =
+  let lines = List.rev t.lines in
+  let init = List.map String.length t.columns in
+  List.fold_left
+    (fun acc line ->
+      match line with
+      | Separator -> acc
+      | Row r -> List.map2 (fun w c -> max w (String.length c)) acc r)
+    init lines
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') ws) in
+  Format.fprintf ppf "== %s ==@." t.title;
+  Format.fprintf ppf "%s@." (String.concat " | " (List.map2 pad ws t.columns));
+  Format.fprintf ppf "%s@." rule;
+  List.iter
+    (fun line ->
+      match line with
+      | Separator -> Format.fprintf ppf "%s@." rule
+      | Row r -> Format.fprintf ppf "%s@." (String.concat " | " (List.map2 pad ws r)))
+    (List.rev t.lines)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line t.columns :: List.map line (rows t)) ^ "\n"

@@ -1,0 +1,34 @@
+(** ASCII table rendering for experiment reports.
+
+    Every experiment produces one or more [Table.t]; the harness prints them
+    and EXPERIMENTS.md quotes them.  Cells are strings; helpers format ints
+    and floats consistently so tables across experiments line up. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val title : t -> string
+
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Data rows only (separators omitted), in insertion order. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_pct : float -> string
+(** Render a ratio in [0,1] as a percentage with one decimal. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** Header line plus data rows, comma-separated with minimal quoting. *)

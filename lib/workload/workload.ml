@@ -1,0 +1,223 @@
+module Value = Recflow_lang.Value
+module Parser = Recflow_lang.Parser
+module Eval_serial = Recflow_lang.Eval_serial
+
+type size = Tiny | Small | Medium | Large
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  entry : string;
+  args : size -> Value.t list;
+}
+
+(* Memoise parsed programs and reference answers per (workload, size). *)
+let program_cache : (string, Recflow_lang.Program.t) Hashtbl.t = Hashtbl.create 16
+
+let program w =
+  match Hashtbl.find_opt program_cache w.name with
+  | Some p -> p
+  | None ->
+    let p =
+      match Parser.parse_program w.source with
+      | Ok p -> p
+      | Error msg -> invalid_arg (Printf.sprintf "workload %s: %s" w.name msg)
+    in
+    Hashtbl.add program_cache w.name p;
+    p
+
+let eval_cache : (string, Value.t * int) Hashtbl.t = Hashtbl.create 32
+
+let size_tag = function Tiny -> "tiny" | Small -> "small" | Medium -> "medium" | Large -> "large"
+
+let evaluated w size =
+  let key = w.name ^ "/" ^ size_tag size in
+  match Hashtbl.find_opt eval_cache key with
+  | Some r -> r
+  | None ->
+    let r = Eval_serial.eval (program w) w.entry (w.args size) in
+    Hashtbl.add eval_cache key r;
+    r
+
+let expected w size = fst (evaluated w size)
+
+let serial_work w size = snd (evaluated w size)
+
+let task_count w size = Eval_serial.call_count (program w) w.entry (w.args size)
+
+let ints = List.map (fun n -> Value.Int n)
+
+let fib =
+  {
+    name = "fib";
+    description = "doubly-recursive Fibonacci";
+    source = "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2)";
+    entry = "fib";
+    args = (function Tiny -> ints [ 8 ] | Small -> ints [ 12 ] | Medium -> ints [ 16 ] | Large -> ints [ 20 ]);
+  }
+
+let tree_sum =
+  {
+    name = "tree_sum";
+    description = "perfect binary tree of additions";
+    source =
+      "def tsum(d, x) = if d == 0 then x else tsum(d - 1, 2 * x) + tsum(d - 1, 2 * x + 1)";
+    entry = "tsum";
+    args =
+      (function
+      | Tiny -> ints [ 4; 1 ]
+      | Small -> ints [ 7; 1 ]
+      | Medium -> ints [ 9; 1 ]
+      | Large -> ints [ 12; 1 ]);
+  }
+
+let nqueens =
+  {
+    name = "nqueens";
+    description = "N-queens solution count over cons-list placements";
+    source =
+      "def nqueens(n) = place(n, nil, 0)\n\
+       def place(n, placed, depth) =\n\
+      \  if depth == n then 1 else try_cols(n, placed, depth, 0)\n\
+       def try_cols(n, placed, depth, col) =\n\
+      \  if col >= n then 0 else\n\
+      \  (if safe(placed, col, 1) then place(n, col :: placed, depth + 1) else 0)\n\
+      \    + try_cols(n, placed, depth, col + 1)\n\
+       def safe(placed, col, dist) =\n\
+      \  if isnil(placed) then true else\n\
+      \  head(placed) != col && head(placed) != col - dist && head(placed) != col + dist\n\
+      \    && safe(tail(placed), col, dist + 1)";
+    entry = "nqueens";
+    args = (function Tiny -> ints [ 4 ] | Small -> ints [ 5 ] | Medium -> ints [ 6 ] | Large -> ints [ 7 ]);
+  }
+
+let quicksort =
+  {
+    name = "quicksort";
+    description = "quicksort of a pseudo-random list, checksummed";
+    source =
+      "def qsort_check(n, seed) = checksum(qsort(randlist(n, seed)), 0)\n\
+       def qsort(xs) =\n\
+      \  if isnil(xs) then nil else\n\
+      \  append(qsort(keep_lt(tail(xs), head(xs))),\n\
+      \         head(xs) :: qsort(keep_ge(tail(xs), head(xs))))\n\
+       def keep_lt(xs, p) =\n\
+      \  if isnil(xs) then nil else\n\
+      \  if head(xs) < p then head(xs) :: keep_lt(tail(xs), p) else keep_lt(tail(xs), p)\n\
+       def keep_ge(xs, p) =\n\
+      \  if isnil(xs) then nil else\n\
+      \  if head(xs) >= p then head(xs) :: keep_ge(tail(xs), p) else keep_ge(tail(xs), p)\n\
+       def append(a, b) = if isnil(a) then b else head(a) :: append(tail(a), b)\n\
+       def randlist(n, seed) =\n\
+      \  if n == 0 then nil else (seed * 75 + 74) % 997 :: randlist(n - 1, (seed * 75 + 74) % 65537)\n\
+       def checksum(xs, i) =\n\
+      \  if isnil(xs) then 0 else (i + 1) * head(xs) + checksum(tail(xs), i + 1)";
+    entry = "qsort_check";
+    args =
+      (function
+      | Tiny -> ints [ 12; 1 ]
+      | Small -> ints [ 30; 1 ]
+      | Medium -> ints [ 60; 1 ]
+      | Large -> ints [ 120; 1 ]);
+  }
+
+let mergesort =
+  {
+    name = "mergesort";
+    description = "bottom-up merge sort of a pseudo-random list, checksummed";
+    source =
+      "def msort_check(n, seed) = checksum(msort(randlist(n, seed)), 0)\n\
+       def msort(xs) =\n\
+      \  if isnil(xs) then nil else\n\
+      \  if isnil(tail(xs)) then xs else\n\
+      \  let half = length(xs) / 2 in\n\
+      \  merge(msort(take(xs, half)), msort(drop(xs, half)))\n\
+       def merge(a, b) =\n\
+      \  if isnil(a) then b else\n\
+      \  if isnil(b) then a else\n\
+      \  if head(a) <= head(b) then head(a) :: merge(tail(a), b)\n\
+      \  else head(b) :: merge(a, tail(b))\n\
+       def take(xs, n) = if n == 0 || isnil(xs) then nil else head(xs) :: take(tail(xs), n - 1)\n\
+       def drop(xs, n) = if n == 0 || isnil(xs) then xs else drop(tail(xs), n - 1)\n\
+       def length(xs) = if isnil(xs) then 0 else 1 + length(tail(xs))\n\
+       def randlist(n, seed) =\n\
+      \  if n == 0 then nil else (seed * 75 + 74) % 997 :: randlist(n - 1, (seed * 75 + 74) % 65537)\n\
+       def checksum(xs, i) =\n\
+      \  if isnil(xs) then 0 else (i + 1) * head(xs) + checksum(tail(xs), i + 1)";
+    entry = "msort_check";
+    args =
+      (function
+      | Tiny -> ints [ 10; 3 ]
+      | Small -> ints [ 24; 3 ]
+      | Medium -> ints [ 48; 3 ]
+      | Large -> ints [ 96; 3 ]);
+  }
+
+let map_reduce =
+  {
+    name = "map_reduce";
+    description = "sum of squares over a range by interval halving";
+    source =
+      "def sumsq(lo, hi) =\n\
+      \  if hi - lo == 1 then lo * lo else\n\
+      \  let mid = (lo + hi) / 2 in sumsq(lo, mid) + sumsq(mid, hi)";
+    entry = "sumsq";
+    args =
+      (function
+      | Tiny -> ints [ 0; 16 ]
+      | Small -> ints [ 0; 64 ]
+      | Medium -> ints [ 0; 256 ]
+      | Large -> ints [ 0; 1024 ]);
+  }
+
+let tak =
+  {
+    name = "tak";
+    description = "Takeuchi function (deep dependent recursion)";
+    source =
+      "def tak(x, y, z) =\n\
+      \  if y < x then tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y)) else z";
+    entry = "tak";
+    args =
+      (function
+      | Tiny -> ints [ 8; 4; 0 ]
+      | Small -> ints [ 10; 5; 0 ]
+      | Medium -> ints [ 12; 6; 0 ]
+      | Large -> ints [ 14; 7; 0 ]);
+  }
+
+let synthetic ~branching ~depth ~grain =
+  if branching < 1 then invalid_arg "Workload.synthetic: branching must be >= 1";
+  if depth < 0 then invalid_arg "Workload.synthetic: depth must be >= 0";
+  if grain < 0 then invalid_arg "Workload.synthetic: grain must be >= 0";
+  let calls =
+    List.init branching (fun _ -> "synth(d - 1, g)") |> String.concat " + "
+  in
+  let source =
+    Printf.sprintf
+      "def synth(d, g) = if d == 0 then spin(g, 0) else %s\n\
+       def spin(g, acc) = if g == 0 then acc else spin(g - 1, acc + 1)"
+      calls
+  in
+  {
+    name = Printf.sprintf "synthetic_b%d_d%d_g%d" branching depth grain;
+    description =
+      Printf.sprintf "uniform tree: branching %d, depth %d, leaf grain %d" branching depth grain;
+    source;
+    entry = "synth";
+    args =
+      (fun size ->
+        let d =
+          match size with
+          | Tiny -> max 0 (depth - 2)
+          | Small -> max 0 (depth - 1)
+          | Medium -> depth
+          | Large -> depth + 1
+        in
+        ints [ d; grain ]);
+  }
+
+let all = [ fib; tree_sum; nqueens; quicksort; mergesort; map_reduce; tak ]
+
+let by_name name = List.find_opt (fun w -> String.equal w.name name) all

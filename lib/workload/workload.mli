@@ -1,0 +1,65 @@
+(** Benchmark workloads: applicative programs of the divide-and-conquer
+    shape the paper's machine model targets, with size presets.
+
+    Each workload bundles a source program, an entry point, arguments per
+    size, and the serially-computed expected answer — every distributed
+    run, faulty or not, must reproduce it exactly (determinacy). *)
+
+type size = Tiny | Small | Medium | Large
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** concrete syntax; parsed on first use *)
+  entry : string;
+  args : size -> Recflow_lang.Value.t list;
+}
+
+val program : t -> Recflow_lang.Program.t
+(** Parsed and validated program (memoised per workload). *)
+
+val expected : t -> size -> Recflow_lang.Value.t
+(** Reference answer from the serial evaluator (memoised). *)
+
+val serial_work : t -> size -> int
+(** Serial reduction count — the single-processor work of the run. *)
+
+val task_count : t -> size -> int
+(** Number of user-function applications (the size of the full call tree). *)
+
+val fib : t
+(** Doubly-recursive Fibonacci — the canonical unbalanced D&C tree. *)
+
+val tree_sum : t
+(** Perfect binary tree of additions — balanced, parameterised by depth. *)
+
+val nqueens : t
+(** N-queens counting via list-encoded placements — irregular tree with
+    data-dependent pruning. *)
+
+val quicksort : t
+(** Sort a deterministic pseudo-random list; answer is its checksum —
+    data-structure (cons-list) heavy. *)
+
+val mergesort : t
+(** Bottom-up merge sort of the same flavour of list — balanced D&C with
+    a data-dependent merge phase. *)
+
+val map_reduce : t
+(** Sum of squares over an integer range by interval halving — the
+    map/reduce pipeline shape. *)
+
+val tak : t
+(** Takeuchi function — deep nested dependent calls (spine-parallel only). *)
+
+val synthetic : branching:int -> depth:int -> grain:int -> t
+(** Uniform tree: each internal node spawns [branching] children down to
+    [depth], leaves spin for [grain] reductions.  The controlled workload
+    used by the scaling and overhead experiments.
+    @raise Invalid_argument unless [branching >= 1], [depth >= 0],
+    [grain >= 0]. *)
+
+val all : t list
+(** The named workloads above (synthetic excluded). *)
+
+val by_name : string -> t option

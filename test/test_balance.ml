@@ -1,0 +1,134 @@
+(* Tests for placement policies. *)
+
+module Policy = Recflow_balance.Policy
+module Router = Recflow_net.Router
+module Topology = Recflow_net.Topology
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let view ?(pressure = fun _ -> 0) router = { Policy.router; pressure }
+
+let full8 () = Router.create (Topology.Full 8)
+
+let dynamic_stays_alive () =
+  let router = full8 () in
+  Router.kill router 3;
+  Router.kill router 5;
+  List.iter
+    (fun spec ->
+      let p = Policy.create spec in
+      for key = 0 to 50 do
+        let d = Policy.choose p (view router) ~origin:0 ~key in
+        check (Policy.spec_to_string spec ^ " avoids dead") true (d <> 3 && d <> 5);
+        check "in range" true (d >= 0 && d < 8)
+      done)
+    [ Policy.Gradient { weight = 2 }; Policy.Random; Policy.Round_robin;
+      Policy.Neighborhood { radius = 1 } ]
+
+let static_ignores_liveness () =
+  let router = full8 () in
+  let p = Policy.create Policy.Static_hash in
+  (* same key -> same node, dead or not *)
+  let d1 = Policy.choose p (view router) ~origin:0 ~key:123 in
+  Router.kill router d1;
+  let d2 = Policy.choose p (view router) ~origin:4 ~key:123 in
+  check_int "static placement is a pure function of the key" d1 d2
+
+let round_robin_cycles () =
+  let router = Router.create (Topology.Full 3) in
+  let p = Policy.create Policy.Round_robin in
+  let picks = List.init 6 (fun key -> Policy.choose p (view router) ~origin:0 ~key) in
+  Alcotest.(check (list int)) "cycle" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let gradient_prefers_idle () =
+  let router = full8 () in
+  (* node 6 is idle, everyone else heavily loaded *)
+  let pressure n = if n = 6 then 0 else 100 in
+  let p = Policy.create (Policy.Gradient { weight = 2 }) in
+  check_int "flows to the idle node" 6 (Policy.choose p (view ~pressure router) ~origin:0 ~key:1)
+
+let gradient_weight_keeps_local () =
+  let router = Router.create (Topology.Ring 8) in
+  (* origin slightly loaded; distance weight dominates *)
+  let pressure n = if n = 0 then 3 else 0 in
+  let heavy = Policy.create (Policy.Gradient { weight = 100 }) in
+  check_int "heavy weight stays local" 0
+    (Policy.choose heavy (view ~pressure router) ~origin:0 ~key:1);
+  let light = Policy.create (Policy.Gradient { weight = 0 }) in
+  check "zero weight escapes" true
+    (Policy.choose light (view ~pressure router) ~origin:0 ~key:1 <> 0)
+
+let neighborhood_radius () =
+  let router = Router.create (Topology.Ring 8) in
+  let p = Policy.create (Policy.Neighborhood { radius = 1 }) in
+  for key = 0 to 20 do
+    let d = Policy.choose p (view router) ~origin:4 ~key in
+    check "within 1 hop of origin" true (List.mem d [ 3; 4; 5 ])
+  done
+
+let neighborhood_dead_ball_falls_back () =
+  let router = Router.create (Topology.Ring 8) in
+  Router.kill router 3;
+  Router.kill router 4;
+  Router.kill router 5;
+  let p = Policy.create (Policy.Neighborhood { radius = 1 }) in
+  (* origin 4 is dead itself; ball empty -> nearest live node *)
+  let d = Policy.choose p (view router) ~origin:4 ~key:0 in
+  check "falls back to a live node" true (Router.alive router d)
+
+let no_live_node_raises () =
+  let router = Router.create (Topology.Full 2) in
+  Router.kill router 0;
+  Router.kill router 1;
+  let p = Policy.create Policy.Random in
+  check "raises with no live node" true
+    (try
+       ignore (Policy.choose p (view router) ~origin:0 ~key:0);
+       false
+     with Invalid_argument _ -> true)
+
+let spec_strings () =
+  List.iter
+    (fun spec ->
+      match Policy.spec_of_string (Policy.spec_to_string spec) with
+      | Ok s -> check "round trip" true (s = spec)
+      | Error e -> Alcotest.fail e)
+    [ Policy.Gradient { weight = 3 }; Policy.Random; Policy.Round_robin; Policy.Static_hash;
+      Policy.Neighborhood { radius = 2 }; Policy.Gradient_distributed { threshold = 2 } ];
+  (match Policy.spec_of_string "gradient" with
+  | Ok (Policy.Gradient _) -> ()
+  | _ -> Alcotest.fail "bare gradient");
+  match Policy.spec_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus accepted"
+
+let is_static () =
+  check "static" true (Policy.is_static (Policy.create Policy.Static_hash));
+  check "gradient not static" false (Policy.is_static (Policy.create Policy.Random))
+
+let deterministic_given_seed () =
+  let run () =
+    let router = full8 () in
+    let p = Policy.create ~seed:9 Policy.Random in
+    List.init 20 (fun key -> Policy.choose p (view router) ~origin:0 ~key)
+  in
+  Alcotest.(check (list int)) "same seed same picks" (run ()) (run ())
+
+let suites =
+  [
+    ( "balance.policy",
+      [
+        Alcotest.test_case "dynamic stays alive" `Quick dynamic_stays_alive;
+        Alcotest.test_case "static ignores liveness" `Quick static_ignores_liveness;
+        Alcotest.test_case "round robin cycles" `Quick round_robin_cycles;
+        Alcotest.test_case "gradient prefers idle" `Quick gradient_prefers_idle;
+        Alcotest.test_case "gradient weight" `Quick gradient_weight_keeps_local;
+        Alcotest.test_case "neighborhood radius" `Quick neighborhood_radius;
+        Alcotest.test_case "neighborhood fallback" `Quick neighborhood_dead_ball_falls_back;
+        Alcotest.test_case "no live node" `Quick no_live_node_raises;
+        Alcotest.test_case "spec strings" `Quick spec_strings;
+        Alcotest.test_case "is_static" `Quick is_static;
+        Alcotest.test_case "deterministic" `Quick deterministic_given_seed;
+      ] );
+  ]

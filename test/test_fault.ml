@@ -1,0 +1,152 @@
+(* Tests for fault plans plus a correctness fuzz: random multi-failure
+   schedules against the full machine.  The fuzz is the broadest net in
+   the suite — any protocol hole that loses a result or deadlocks shows
+   up as a wrong/missing answer here. *)
+
+module Plan = Recflow_fault.Plan
+module Rng = Recflow_sim.Rng
+module Config = Recflow_machine.Config
+module Cluster = Recflow_machine.Cluster
+module Workload = Recflow_workload.Workload
+module Value = Recflow_lang.Value
+module Policy = Recflow_balance.Policy
+
+let check = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- plan generators ---------------- *)
+
+let burst_shape () =
+  let rng = Rng.create 5 in
+  let plan = Plan.random_burst ~rng ~procs:8 ~count:3 ~lo:100 ~hi:500 in
+  check "three failures" true (List.length plan = 3);
+  check "times in range and sorted" true
+    (let rec sorted = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+       | _ -> true
+     in
+     sorted plan && List.for_all (fun (t, _) -> t >= 100 && t <= 500) plan);
+  check "victims distinct and in range" true
+    (let vs = List.map snd plan in
+     List.length (List.sort_uniq compare vs) = 3 && List.for_all (fun v -> v >= 0 && v < 8) vs)
+
+let burst_caps_at_procs () =
+  let rng = Rng.create 5 in
+  let plan = Plan.random_burst ~rng ~procs:4 ~count:10 ~lo:0 ~hi:10 in
+  check "capped at processor count" true (List.length plan = 4)
+
+let poisson_shape () =
+  let rng = Rng.create 7 in
+  let plan = Plan.poisson ~rng ~procs:8 ~mean_interval:300.0 ~until:2000 in
+  check "within horizon" true (List.for_all (fun (t, _) -> t <= 2000) plan);
+  check "times nondecreasing" true
+    (let rec sorted = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+       | _ -> true
+     in
+     sorted plan);
+  check "victims distinct" true
+    (let vs = List.map snd plan in
+     List.length (List.sort_uniq compare vs) = List.length vs)
+
+let generators_validate () =
+  let rng = Rng.create 1 in
+  check "bad procs" true
+    (try ignore (Plan.random_burst ~rng ~procs:0 ~count:1 ~lo:0 ~hi:1); false
+     with Invalid_argument _ -> true);
+  check "bad range" true
+    (try ignore (Plan.random_burst ~rng ~procs:2 ~count:1 ~lo:5 ~hi:1); false
+     with Invalid_argument _ -> true);
+  check "bad interval" true
+    (try ignore (Plan.poisson ~rng ~procs:2 ~mean_interval:0.0 ~until:10); false
+     with Invalid_argument _ -> true)
+
+(* ---------------- fuzz ---------------- *)
+
+let run_with cfg w plan =
+  let c = Cluster.create cfg (Workload.program w) in
+  Plan.apply c plan;
+  Cluster.start c ~fname:w.Workload.entry ~args:(w.Workload.args Workload.Tiny);
+  let o = Cluster.run c in
+  match o.Cluster.answer with
+  | Some v -> Value.equal v (Workload.expected w Workload.Tiny)
+  | None -> false
+
+let policies = [| Policy.Gradient { weight = 2 }; Policy.Random; Policy.Round_robin |]
+
+let fuzz_recovery recovery name =
+  QCheck.Test.make ~name ~count:40
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 3) (int_range 0 2) (int_range 1 2))
+    (fun (seed, failures, policy_idx, ancestor_depth) ->
+      let rng = Rng.create (seed * 7 + 1) in
+      let plan = Plan.random_burst ~rng ~procs:8 ~count:failures ~lo:50 ~hi:2500 in
+      let cfg =
+        {
+          (Config.default ~nodes:8) with
+          Config.recovery;
+          seed;
+          ancestor_depth;
+          policy = policies.(policy_idx);
+        }
+      in
+      run_with cfg Workload.tree_sum plan)
+
+let fuzz_splice = fuzz_recovery Config.Splice
+    "fuzz: splice correct under random multi-failure schedules"
+
+let fuzz_rollback = fuzz_recovery Config.Rollback
+    "fuzz: rollback correct under random multi-failure schedules"
+
+let fuzz_literal_splice =
+  QCheck.Test.make ~name:"fuzz: literal-protocol splice (no inheritance) stays correct"
+    ~count:25
+    QCheck.(pair (int_range 0 10_000) (int_range 1 2))
+    (fun (seed, failures) ->
+      let rng = Rng.create (seed + 13) in
+      let plan = Plan.random_burst ~rng ~procs:8 ~count:failures ~lo:50 ~hi:2500 in
+      let cfg =
+        { (Config.default ~nodes:8) with Config.recovery = Config.Splice;
+          adoption_grace = 0; seed }
+      in
+      run_with cfg Workload.tree_sum plan)
+
+let fuzz_workload_mix =
+  QCheck.Test.make ~name:"fuzz: every workload survives one random failure (splice)" ~count:30
+    QCheck.(pair (int_range 0 10_000) (int_range 0 6))
+    (fun (seed, widx) ->
+      let w = List.nth Workload.all (widx mod List.length Workload.all) in
+      let rng = Rng.create (seed + 29) in
+      let plan = Plan.random_burst ~rng ~procs:8 ~count:1 ~lo:50 ~hi:1500 in
+      let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice; seed } in
+      run_with cfg w plan)
+
+let fuzz_poisson_replication =
+  QCheck.Test.make ~name:"fuzz: replicate:3 masks a random early failure" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let plan = Plan.random_burst ~rng ~procs:8 ~count:1 ~lo:50 ~hi:1000 in
+      let cfg =
+        { (Config.default ~nodes:8) with Config.recovery = Config.Replicate 3; seed }
+      in
+      run_with cfg Workload.tree_sum plan)
+
+let suites =
+  [
+    ( "fault.plan",
+      [
+        Alcotest.test_case "burst shape" `Quick burst_shape;
+        Alcotest.test_case "burst caps" `Quick burst_caps_at_procs;
+        Alcotest.test_case "poisson shape" `Quick poisson_shape;
+        Alcotest.test_case "validation" `Quick generators_validate;
+      ] );
+    ( "fault.fuzz",
+      [
+        qtest fuzz_splice;
+        qtest fuzz_rollback;
+        qtest fuzz_literal_splice;
+        qtest fuzz_workload_mix;
+        qtest fuzz_poisson_replication;
+      ] );
+  ]

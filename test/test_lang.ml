@@ -1,0 +1,486 @@
+(* Tests for the applicative language: parser, validation, evaluators. *)
+
+open Recflow_lang
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qtest = QCheck_alcotest.to_alcotest
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let parse_expr_exn src =
+  match Parser.parse_expr src with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse error: %s" (Parser.error_to_string e)
+
+let eval_str ?(env = []) program src =
+  let e = parse_expr_exn src in
+  fst (Eval_serial.eval_expr program env e)
+
+let empty_program = Program.of_defs_exn []
+
+(* ---------------- Parser ---------------- *)
+
+let parser_literals () =
+  Alcotest.check value "int" (Value.Int 42) (eval_str empty_program "42");
+  Alcotest.check value "true" (Value.Bool true) (eval_str empty_program "true");
+  Alcotest.check value "nil" Value.Nil (eval_str empty_program "nil");
+  Alcotest.check value "list sugar" (Value.of_int_list [ 1; 2; 3 ])
+    (eval_str empty_program "[1; 2; 3]");
+  Alcotest.check value "empty list" Value.Nil (eval_str empty_program "[]")
+
+let parser_precedence () =
+  let t src expected = Alcotest.check value src (Value.Int expected) (eval_str empty_program src) in
+  t "1 + 2 * 3" 7;
+  t "(1 + 2) * 3" 9;
+  t "10 - 3 - 2" 5;  (* left assoc *)
+  t "20 / 4 / 5" 1;
+  t "17 % 5" 2;
+  t "2 + 3 * 4 - 5" 9
+
+let parser_bool_ops () =
+  let t src expected =
+    Alcotest.check value src (Value.Bool expected) (eval_str empty_program src)
+  in
+  t "true && false" false;
+  t "true || false" true;
+  t "1 < 2 && 2 < 3" true;
+  t "not (1 == 2)" true;
+  t "1 != 2" true;
+  t "false && true || true" true  (* || binds loosest *)
+
+let parser_cons_right_assoc () =
+  Alcotest.check value "1 :: 2 :: nil" (Value.of_int_list [ 1; 2 ])
+    (eval_str empty_program "1 :: 2 :: nil")
+
+let parser_let_if () =
+  Alcotest.check value "let" (Value.Int 6) (eval_str empty_program "let x = 2 in x * 3");
+  Alcotest.check value "if" (Value.Int 1) (eval_str empty_program "if 2 > 1 then 1 else 0");
+  Alcotest.check value "nested let" (Value.Int 9)
+    (eval_str empty_program "let x = 2 in let y = x + 1 in x * y + x + 1")
+
+let parser_builtin_calls () =
+  Alcotest.check value "head" (Value.Int 1) (eval_str empty_program "head([1; 2])");
+  Alcotest.check value "tail" (Value.of_int_list [ 2 ]) (eval_str empty_program "tail([1; 2])");
+  Alcotest.check value "isnil" (Value.Bool true) (eval_str empty_program "isnil(nil)");
+  Alcotest.check value "min" (Value.Int 2) (eval_str empty_program "min(5, 2)");
+  Alcotest.check value "max" (Value.Int 5) (eval_str empty_program "max(5, 2)")
+
+let parser_comments () =
+  Alcotest.check value "comment skipped" (Value.Int 3)
+    (eval_str empty_program "1 + # comment to end of line\n 2")
+
+let parser_unary_minus () =
+  Alcotest.check value "neg" (Value.Int (-5)) (eval_str empty_program "- 5");
+  Alcotest.check value "sub vs neg" (Value.Int (-1)) (eval_str empty_program "2 - 3")
+
+let expect_parse_error src pred =
+  match Parser.parse_expr src with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" src
+  | Error e -> check (Printf.sprintf "error position for %S" src) true (pred e)
+
+let parser_errors () =
+  expect_parse_error "1 +" (fun _ -> true);
+  expect_parse_error "(1" (fun _ -> true);
+  expect_parse_error "let x = in 1" (fun _ -> true);
+  expect_parse_error "if 1 then 2" (fun _ -> true);
+  expect_parse_error "head(1, 2)" (fun e ->
+      let msg = Parser.error_to_string e in
+      String.length msg > 0);
+  expect_parse_error "1 2" (fun _ -> true);
+  (* position reporting: error on line 2 *)
+  expect_parse_error "1 +\n  @" (fun e -> e.Parser.line = 2)
+
+let parser_defs () =
+  match Parser.parse_defs "def f(x) = x + 1\ndef g() = f(2)" with
+  | Ok [ f; g ] ->
+    Alcotest.(check string) "f name" "f" f.Ast.name;
+    Alcotest.(check (list string)) "f params" [ "x" ] f.Ast.params;
+    Alcotest.(check (list string)) "g params" [] g.Ast.params
+  | Ok _ -> Alcotest.fail "expected two defs"
+  | Error e -> Alcotest.failf "parse error: %s" (Parser.error_to_string e)
+
+(* ---------------- Program validation ---------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_program_error src fragment =
+  match Parser.parse_program src with
+  | Ok _ -> Alcotest.failf "expected validation error for %S" src
+  | Error msg -> check (Printf.sprintf "%s in %s" fragment msg) true (contains msg fragment)
+
+let validation_errors () =
+  expect_program_error "def f(x) = x\ndef f(y) = y" "duplicate definition";
+  expect_program_error "def f(x, x) = x" "duplicate parameter";
+  expect_program_error "def f(x) = y" "unbound variable";
+  expect_program_error "def f(x) = g(x)" "unknown function";
+  expect_program_error "def f(x) = x\ndef g(y) = f(y, y)" "expects 1 arguments"
+
+let validation_let_scoping () =
+  (* let-bound names are visible in the body only *)
+  expect_program_error "def f(x) = (let y = x in y) + y" "unbound variable";
+  match Parser.parse_program "def f(x) = let y = x in y + x" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "valid program rejected: %s" msg
+
+let program_accessors () =
+  let p = Parser.parse_program_exn "def f(x) = x\ndef g(a, b) = a + b" in
+  Alcotest.(check (list string)) "names" [ "f"; "g" ] (Program.names p);
+  Alcotest.(check (option int)) "arity f" (Some 1) (Program.arity p "f");
+  Alcotest.(check (option int)) "arity g" (Some 2) (Program.arity p "g");
+  Alcotest.(check (option int)) "arity missing" None (Program.arity p "h")
+
+let program_union () =
+  let a = Parser.parse_program_exn "def f(x) = x" in
+  let b = Parser.parse_program_exn "def g(x) = x" in
+  (match Program.union a b with
+  | Ok u -> Alcotest.(check (list string)) "union names" [ "f"; "g" ] (Program.names u)
+  | Error _ -> Alcotest.fail "disjoint union failed");
+  match Program.union a a with
+  | Ok _ -> Alcotest.fail "overlapping union accepted"
+  | Error (Program.Duplicate_definition "f") -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Program.error_to_string e)
+
+(* ---------------- Ast helpers ---------------- *)
+
+let ast_helpers () =
+  let e = parse_expr_exn "let x = a + 1 in f(x, b)" in
+  Alcotest.(check (list string)) "free vars" [ "a"; "b" ] (Ast.free_vars e);
+  Alcotest.(check (list string)) "calls" [ "f" ] (Ast.calls e);
+  check "size positive" true (Ast.size e > 4)
+
+(* ---------------- Pretty round-trip ---------------- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Int n) (int_range 0 1000);
+        map (fun b -> Ast.Bool b) bool;
+        return Ast.Nil;
+        map (fun v -> Ast.Var v) var;
+      ]
+  in
+  let prim2 =
+    oneofl Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne; Cons; Min; Max ]
+  in
+  fix
+    (fun self n ->
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (3, map3 (fun p a b -> Ast.Prim (p, [ a; b ])) prim2 (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Ast.Prim (Ast.Not, [ a ])) (self (n - 1)));
+            (1, map (fun a -> Ast.Prim (Ast.Neg, [ a ])) (self (n - 1)));
+            (1, map (fun a -> Ast.Prim (Ast.Head, [ a ])) (self (n - 1)));
+            (1, map (fun a -> Ast.Prim (Ast.Is_nil, [ a ])) (self (n - 1)));
+            ( 2,
+              map3 (fun c a b -> Ast.If (c, a, b)) (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+            (1, map2 (fun a b -> Ast.And (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Ast.Or (a, b)) (self (n / 2)) (self (n / 2)));
+            ( 2,
+              map3 (fun v a b -> Ast.Let (v, a, b)) var (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map2 (fun a b -> Ast.Call ("f", [ a; b ])) (self (n / 2)) (self (n / 2)) );
+          ])
+    8
+
+let arbitrary_expr = QCheck.make ~print:Pretty.expr_to_string gen_expr
+
+let pretty_round_trip =
+  QCheck.Test.make ~name:"pretty-print then parse is identity" ~count:500 arbitrary_expr
+    (fun e ->
+      match Parser.parse_expr (Pretty.expr_to_string e) with
+      | Ok e' -> Ast.equal_expr e e'
+      | Error err ->
+        QCheck.Test.fail_reportf "re-parse failed: %s on %s" (Parser.error_to_string err)
+          (Pretty.expr_to_string e))
+
+let pretty_def () =
+  let d = { Ast.name = "f"; params = [ "x"; "y" ]; body = parse_expr_exn "x + y" } in
+  match Parser.parse_defs (Pretty.def_to_string d) with
+  | Ok [ d' ] -> check "def round trip" true (Ast.equal_expr d.Ast.body d'.Ast.body)
+  | _ -> Alcotest.fail "def round trip failed"
+
+(* ---------------- Value ---------------- *)
+
+let value_roundtrip () =
+  Alcotest.(check (option (list int))) "int list" (Some [ 1; 2; 3 ])
+    (Value.to_int_list (Value.of_int_list [ 1; 2; 3 ]));
+  Alcotest.(check (option int)) "length" (Some 3)
+    (Value.list_length (Value.of_int_list [ 1; 2; 3 ]));
+  Alcotest.(check (option int)) "improper list" None
+    (Value.list_length (Value.Cons (Value.Int 1, Value.Int 2)))
+
+let value_render () =
+  Alcotest.(check string) "list" "[1; 2]" (Value.to_string (Value.of_int_list [ 1; 2 ]));
+  Alcotest.(check string) "pair" "(1 :: 2)"
+    (Value.to_string (Value.Cons (Value.Int 1, Value.Int 2)));
+  Alcotest.(check string) "nil" "[]" (Value.to_string Value.Nil)
+
+let value_compare_total () =
+  let vs = [ Value.Int 1; Value.Bool true; Value.Nil; Value.Cons (Value.Int 1, Value.Nil) ] in
+  List.iter
+    (fun a -> List.iter (fun b -> check "antisym" true (Value.compare a b = -Value.compare b a)) vs)
+    vs
+
+(* ---------------- Serial evaluator ---------------- *)
+
+let fib_program =
+  Parser.parse_program_exn "def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2)"
+
+let eval_fib () =
+  let v, steps = Eval_serial.eval fib_program "fib" [ Value.Int 10 ] in
+  Alcotest.check value "fib 10" (Value.Int 55) v;
+  check "steps counted" true (steps > 100);
+  check_int "call tree size" 177 (Eval_serial.call_count fib_program "fib" [ Value.Int 10 ])
+
+let eval_short_circuit () =
+  (* the right operand would divide by zero; && must not evaluate it *)
+  let p = Parser.parse_program_exn "def f(x) = if x > 0 && 10 / x > 1 then 1 else 0" in
+  Alcotest.check value "short circuit" (Value.Int 0) (fst (Eval_serial.eval p "f" [ Value.Int 0 ]))
+
+let eval_runtime_errors () =
+  let expect_error fname args =
+    match Eval_serial.eval fib_program fname args with
+    | exception Eval_serial.Runtime_error _ -> ()
+    | exception Not_found -> ()
+    | _ -> Alcotest.fail "expected a runtime error"
+  in
+  expect_error "nope" [];
+  let p = Parser.parse_program_exn "def f(x) = 1 / x\ndef g(x) = head(x)" in
+  (match Eval_serial.eval p "f" [ Value.Int 0 ] with
+  | exception Eval_serial.Runtime_error msg -> check "div msg" true (contains msg "division")
+  | _ -> Alcotest.fail "div by zero undetected");
+  match Eval_serial.eval p "g" [ Value.Nil ] with
+  | exception Eval_serial.Runtime_error msg -> check "head msg" true (contains msg "head")
+  | _ -> Alcotest.fail "head nil undetected"
+
+let eval_fuel () =
+  let p = Parser.parse_program_exn "def loop(x) = loop(x + 1)" in
+  match Eval_serial.eval ~fuel:1000 p "loop" [ Value.Int 0 ] with
+  | exception Eval_serial.Runtime_error msg -> check "fuel msg" true (contains msg "fuel")
+  | _ -> Alcotest.fail "fuel not enforced"
+
+let eval_type_error_if () =
+  let p = Parser.parse_program_exn "def f(x) = if x then 1 else 0" in
+  match Eval_serial.eval p "f" [ Value.Int 3 ] with
+  | exception Eval_serial.Runtime_error msg -> check "if cond msg" true (contains msg "boolean")
+  | _ -> Alcotest.fail "non-bool condition accepted"
+
+(* ---------------- Graph + Instance ---------------- *)
+
+(* Synchronous driver: evaluate spawns depth-first, exactly like the
+   serial evaluator would. *)
+let rec run_sync lib fname args =
+  let inst = Instance.create (Graph.find_exn lib fname) args in
+  let rec loop () =
+    match Instance.step inst with
+    | Instance.Work _ -> loop ()
+    | Instance.Spawn { slot; fname; args } ->
+      Instance.supply inst slot (run_sync lib fname args);
+      loop ()
+    | Instance.Finished v -> v
+    | Instance.Blocked -> Alcotest.fail "blocked under synchronous driver"
+    | Instance.Failed msg -> Alcotest.failf "instance failed: %s" msg
+  in
+  loop ()
+
+let graph_matches_serial () =
+  List.iter
+    (fun w ->
+      let module W = Recflow_workload.Workload in
+      let p = W.program w in
+      let lib = Graph.compile_program p in
+      let args = Array.of_list (w.W.args W.Tiny) in
+      let expected = W.expected w W.Tiny in
+      Alcotest.check value (w.W.name ^ " graph = serial") expected (run_sync lib w.W.entry args))
+    Recflow_workload.Workload.all
+
+let graph_counts () =
+  let lib = Graph.compile_program fib_program in
+  let g = Graph.find_exn lib "fib" in
+  check_int "two call sites" 2 (Graph.call_sites g);
+  check "node count sane" true (Graph.node_count g > 5)
+
+let graph_sharing () =
+  (* let x = f(1) in x + x must spawn f once *)
+  let p = Parser.parse_program_exn "def f(n) = n + 1\ndef g(u) = let x = f(u) in x + x" in
+  let lib = Graph.compile_program p in
+  let inst = Instance.create (Graph.find_exn lib "g") [| Value.Int 1 |] in
+  let spawns = ref 0 in
+  let rec loop () =
+    match Instance.step inst with
+    | Instance.Work _ -> loop ()
+    | Instance.Spawn { slot; _ } ->
+      incr spawns;
+      Instance.supply inst slot (Value.Int 2);
+      loop ()
+    | Instance.Finished v ->
+      Alcotest.check value "g result" (Value.Int 4) v
+    | Instance.Blocked | Instance.Failed _ -> Alcotest.fail "unexpected state"
+  in
+  loop ();
+  check_int "f spawned once (shared let)" 1 !spawns
+
+let graph_demand_driven () =
+  (* the call in the untaken branch must never be demanded *)
+  let p =
+    Parser.parse_program_exn "def f(n) = n\ndef g(c) = if c > 0 then 1 else f(c)"
+  in
+  let lib = Graph.compile_program p in
+  let inst = Instance.create (Graph.find_exn lib "g") [| Value.Int 5 |] in
+  let rec loop () =
+    match Instance.step inst with
+    | Instance.Work _ -> loop ()
+    | Instance.Spawn _ -> Alcotest.fail "untaken branch was demanded"
+    | Instance.Finished v -> Alcotest.check value "g" (Value.Int 1) v
+    | Instance.Blocked | Instance.Failed _ -> Alcotest.fail "unexpected state"
+  in
+  loop ()
+
+let instance_blocked_then_supply () =
+  let lib = Graph.compile_program fib_program in
+  let inst = Instance.create (Graph.find_exn lib "fib") [| Value.Int 5 |] in
+  (* run until both recursive calls are outstanding *)
+  let slots = ref [] in
+  let rec pump () =
+    match Instance.step inst with
+    | Instance.Work _ -> pump ()
+    | Instance.Spawn { slot; _ } ->
+      slots := slot :: !slots;
+      pump ()
+    | Instance.Blocked -> ()
+    | Instance.Finished _ | Instance.Failed _ -> Alcotest.fail "finished too early"
+  in
+  pump ();
+  check_int "two outstanding" 2 (Instance.outstanding_calls inst);
+  Alcotest.(check (list int)) "slots tracked" (List.sort compare !slots)
+    (List.sort compare (Instance.outstanding_slots inst));
+  List.iteri (fun i slot -> Instance.supply inst slot (Value.Int (i + 1))) !slots;
+  let rec finish () =
+    match Instance.step inst with
+    | Instance.Work _ -> finish ()
+    | Instance.Finished v -> Alcotest.check value "sum of supplies" (Value.Int 3) v
+    | Instance.Spawn _ | Instance.Blocked | Instance.Failed _ -> Alcotest.fail "unexpected"
+  in
+  finish ()
+
+let instance_duplicate_supply_ignored () =
+  let lib = Graph.compile_program fib_program in
+  let inst = Instance.create (Graph.find_exn lib "fib") [| Value.Int 2 |] in
+  let rec pump () =
+    match Instance.step inst with
+    | Instance.Work _ -> pump ()
+    | Instance.Spawn { slot; _ } ->
+      Instance.supply inst slot (Value.Int 1);
+      (* the duplicate must be absorbed silently (§4.1 cases 6-7) *)
+      Instance.supply inst slot (Value.Int 1);
+      pump ()
+    | Instance.Finished v -> Alcotest.check value "fib 2" (Value.Int 2) v
+    | Instance.Blocked | Instance.Failed _ -> Alcotest.fail "unexpected"
+  in
+  pump ()
+
+let instance_invalid_supply () =
+  let lib = Graph.compile_program fib_program in
+  let g = Graph.find_exn lib "fib" in
+  let inst = Instance.create g [| Value.Int 5 |] in
+  (* some node is demanded-but-pending (e.g. the comparison waiting to
+     fire); supplying it must be rejected *)
+  let raises = ref false in
+  for slot = 0 to Graph.node_count g - 1 do
+    try Instance.supply inst slot (Value.Int 1)
+    with Invalid_argument _ -> raises := true
+  done;
+  check "supplying a non-call slot raises" true !raises
+
+let instance_arity_check () =
+  let lib = Graph.compile_program fib_program in
+  check "arity mismatch raises" true
+    (try
+       ignore (Instance.create (Graph.find_exn lib "fib") [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let instance_program_error () =
+  let p = Parser.parse_program_exn "def f(x) = 1 / x" in
+  let lib = Graph.compile_program p in
+  let inst = Instance.create (Graph.find_exn lib "f") [| Value.Int 0 |] in
+  let rec pump () =
+    match Instance.step inst with
+    | Instance.Work _ -> pump ()
+    | Instance.Failed msg -> check "division reported" true (contains msg "division")
+    | Instance.Finished _ | Instance.Spawn _ | Instance.Blocked ->
+      Alcotest.fail "expected failure"
+  in
+  pump ()
+
+let instances_agree_with_serial =
+  QCheck.Test.make ~name:"graph evaluator agrees with serial evaluator on fib" ~count:30
+    QCheck.(int_range 0 15)
+    (fun n ->
+      let lib = Graph.compile_program fib_program in
+      let expected = fst (Eval_serial.eval fib_program "fib" [ Value.Int n ]) in
+      Value.equal (run_sync lib "fib" [| Value.Int n |]) expected)
+
+let suites =
+  [
+    ( "lang.parser",
+      [
+        Alcotest.test_case "literals" `Quick parser_literals;
+        Alcotest.test_case "precedence" `Quick parser_precedence;
+        Alcotest.test_case "bool ops" `Quick parser_bool_ops;
+        Alcotest.test_case "cons assoc" `Quick parser_cons_right_assoc;
+        Alcotest.test_case "let/if" `Quick parser_let_if;
+        Alcotest.test_case "builtin calls" `Quick parser_builtin_calls;
+        Alcotest.test_case "comments" `Quick parser_comments;
+        Alcotest.test_case "unary minus" `Quick parser_unary_minus;
+        Alcotest.test_case "errors" `Quick parser_errors;
+        Alcotest.test_case "defs" `Quick parser_defs;
+      ] );
+    ( "lang.program",
+      [
+        Alcotest.test_case "validation errors" `Quick validation_errors;
+        Alcotest.test_case "let scoping" `Quick validation_let_scoping;
+        Alcotest.test_case "accessors" `Quick program_accessors;
+        Alcotest.test_case "union" `Quick program_union;
+        Alcotest.test_case "ast helpers" `Quick ast_helpers;
+      ] );
+    ( "lang.pretty",
+      [ qtest pretty_round_trip; Alcotest.test_case "def round trip" `Quick pretty_def ] );
+    ( "lang.value",
+      [
+        Alcotest.test_case "roundtrip" `Quick value_roundtrip;
+        Alcotest.test_case "render" `Quick value_render;
+        Alcotest.test_case "compare total" `Quick value_compare_total;
+      ] );
+    ( "lang.eval",
+      [
+        Alcotest.test_case "fib" `Quick eval_fib;
+        Alcotest.test_case "short circuit" `Quick eval_short_circuit;
+        Alcotest.test_case "runtime errors" `Quick eval_runtime_errors;
+        Alcotest.test_case "fuel" `Quick eval_fuel;
+        Alcotest.test_case "if type error" `Quick eval_type_error_if;
+      ] );
+    ( "lang.graph",
+      [
+        Alcotest.test_case "matches serial on all workloads" `Quick graph_matches_serial;
+        Alcotest.test_case "call sites" `Quick graph_counts;
+        Alcotest.test_case "let sharing" `Quick graph_sharing;
+        Alcotest.test_case "demand-driven branches" `Quick graph_demand_driven;
+        Alcotest.test_case "blocked then supply" `Quick instance_blocked_then_supply;
+        Alcotest.test_case "duplicate supply" `Quick instance_duplicate_supply_ignored;
+        Alcotest.test_case "invalid supply" `Quick instance_invalid_supply;
+        Alcotest.test_case "arity check" `Quick instance_arity_check;
+        Alcotest.test_case "program error" `Quick instance_program_error;
+        qtest instances_agree_with_serial;
+      ] );
+  ]

@@ -1,0 +1,439 @@
+(* Integration tests: the whole simulated machine, fault-free and faulty. *)
+
+module Config = Recflow_machine.Config
+module Cluster = Recflow_machine.Cluster
+module Node = Recflow_machine.Node
+module Journal = Recflow_machine.Journal
+module Workload = Recflow_workload.Workload
+module Plan = Recflow_fault.Plan
+module Stamp = Recflow_recovery.Stamp
+module Value = Recflow_lang.Value
+module Counter = Recflow_stats.Counter
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let value = Alcotest.testable Value.pp Value.equal
+let qtest = QCheck_alcotest.to_alcotest
+
+let run ?(cfg = Config.default ~nodes:8) ?(failures = []) ?(drain = false) w size =
+  let c = Cluster.create cfg (Workload.program w) in
+  List.iter (fun (t, p) -> Cluster.fail_at c ~time:t p) failures;
+  Cluster.start c ~fname:w.Workload.entry ~args:(w.Workload.args size);
+  let o = Cluster.run ~drain c in
+  (c, o)
+
+let answer_of (o : Cluster.outcome) =
+  match o.Cluster.answer with Some v -> v | None -> Alcotest.fail "no answer"
+
+(* ---------------- fault-free matrix ---------------- *)
+
+let fault_free_matrix () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun size ->
+          let _, o = run w size in
+          Alcotest.check value
+            (Printf.sprintf "%s/%s" w.Workload.name
+               (match size with Workload.Tiny -> "tiny" | _ -> "small"))
+            (Workload.expected w size) (answer_of o))
+        [ Workload.Tiny; Workload.Small ])
+    Workload.all
+
+let topologies_matrix () =
+  List.iter
+    (fun topology ->
+      let cfg = { (Config.default ~nodes:8) with Config.topology } in
+      let _, o = run ~cfg Workload.fib Workload.Small in
+      Alcotest.check value (Recflow_net.Topology.to_string topology)
+        (Workload.expected Workload.fib Workload.Small)
+        (answer_of o))
+    [ Recflow_net.Topology.Full 8; Recflow_net.Topology.Ring 8;
+      Recflow_net.Topology.Mesh (2, 4); Recflow_net.Topology.Hypercube 3 ]
+
+let policies_matrix () =
+  List.iter
+    (fun policy ->
+      let cfg = { (Config.default ~nodes:8) with Config.policy } in
+      let _, o = run ~cfg Workload.tree_sum Workload.Small in
+      Alcotest.check value
+        (Recflow_balance.Policy.spec_to_string policy)
+        (Workload.expected Workload.tree_sum Workload.Small)
+        (answer_of o))
+    [ Recflow_balance.Policy.Gradient { weight = 2 }; Recflow_balance.Policy.Random;
+      Recflow_balance.Policy.Round_robin; Recflow_balance.Policy.Static_hash;
+      Recflow_balance.Policy.Neighborhood { radius = 1 };
+      Recflow_balance.Policy.Gradient_distributed { threshold = 1 } ]
+
+let single_processor () =
+  let cfg = Config.default ~nodes:1 in
+  let _, o = run ~cfg Workload.fib Workload.Tiny in
+  Alcotest.check value "one node suffices" (Workload.expected Workload.fib Workload.Tiny)
+    (answer_of o)
+
+let inline_grain_preserves_answer () =
+  List.iter
+    (fun inline_depth ->
+      let cfg = { (Config.default ~nodes:4) with Config.inline_depth } in
+      let _, o = run ~cfg Workload.fib Workload.Small in
+      Alcotest.check value
+        (Printf.sprintf "inline at depth %d" inline_depth)
+        (Workload.expected Workload.fib Workload.Small)
+        (answer_of o))
+    [ 1; 2; 4; 8 ]
+
+(* ---------------- recovery matrix ---------------- *)
+
+let recovery_modes_with_failure () =
+  List.iter
+    (fun recovery ->
+      let cfg = { (Config.default ~nodes:8) with Config.recovery } in
+      let _, o = run ~cfg ~failures:[ (500, 2) ] Workload.fib Workload.Small in
+      Alcotest.check value
+        (Config.recovery_to_string recovery)
+        (Workload.expected Workload.fib Workload.Small)
+        (answer_of o))
+    [ Config.Rollback; Config.Splice; Config.Replicate 2; Config.Replicate 3 ]
+
+let no_recovery_loses_answer () =
+  let cfg = { (Config.default ~nodes:4) with Config.recovery = Config.No_recovery } in
+  (* kill the processor hosting the root: without recovery nothing can
+     produce an answer *)
+  let probe_cfg = cfg in
+  let pc, _ = run ~cfg:probe_cfg Workload.fib Workload.Small in
+  let root_host =
+    Option.get (Plan.Pick.host_of (Cluster.journal pc) ~stamp:Stamp.root ~time:100)
+  in
+  let _, o = run ~cfg ~failures:[ (100, root_host) ] Workload.fib Workload.Small in
+  check "no answer without recovery" true (o.Cluster.answer = None)
+
+let root_failure_recovered () =
+  (* the super-root's pre-evaluation checkpoint (§4.3.1) regenerates the
+     root wherever it dies *)
+  List.iter
+    (fun recovery ->
+      let cfg = { (Config.default ~nodes:4) with Config.recovery } in
+      let pc, _ = run ~cfg Workload.fib Workload.Small in
+      let root_host =
+        Option.get (Plan.Pick.host_of (Cluster.journal pc) ~stamp:Stamp.root ~time:300)
+      in
+      let _, o = run ~cfg ~failures:[ (300, root_host) ] Workload.fib Workload.Small in
+      Alcotest.check value
+        ("root failure under " ^ Config.recovery_to_string recovery)
+        (Workload.expected Workload.fib Workload.Small)
+        (answer_of o))
+    [ Config.Rollback; Config.Splice ]
+
+let multiple_failures () =
+  let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice } in
+  let _, o = run ~cfg ~failures:[ (400, 1); (700, 5); (900, 6) ] Workload.fib Workload.Small in
+  Alcotest.check value "three failures" (Workload.expected Workload.fib Workload.Small)
+    (answer_of o)
+
+let simultaneous_failures () =
+  let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Rollback } in
+  let _, o = run ~cfg ~failures:[ (500, 2); (500, 3) ] Workload.fib Workload.Small in
+  Alcotest.check value "simultaneous pair" (Workload.expected Workload.fib Workload.Small)
+    (answer_of o)
+
+let failure_before_start () =
+  let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Rollback } in
+  let _, o = run ~cfg ~failures:[ (1, 4) ] Workload.fib Workload.Small in
+  Alcotest.check value "failure at t=1" (Workload.expected Workload.fib Workload.Small)
+    (answer_of o)
+
+let gradient_distributed_with_failure () =
+  (* the node-local gradient model (§3.3 / ref [10]) on a ring, with and
+     without a failure *)
+  let cfg =
+    { (Config.default ~nodes:8) with
+      Config.topology = Recflow_net.Topology.Ring 8;
+      policy = Recflow_balance.Policy.Gradient_distributed { threshold = 1 };
+      recovery = Config.Splice }
+  in
+  let c, o = run ~cfg Workload.tree_sum Workload.Small in
+  Alcotest.check value "fault-free" (Workload.expected Workload.tree_sum Workload.Small)
+    (answer_of o);
+  check "gradient messages flowed" true
+    (Counter.get (Cluster.counters c) "msg.gradient" > 0);
+  let _, o = run ~cfg ~failures:[ (400, 3) ] Workload.tree_sum Workload.Small in
+  Alcotest.check value "with failure" (Workload.expected Workload.tree_sum Workload.Small)
+    (answer_of o)
+
+let static_policy_with_failure () =
+  let cfg =
+    { (Config.default ~nodes:8) with Config.recovery = Config.Rollback;
+      policy = Recflow_balance.Policy.Static_hash }
+  in
+  let c, o = run ~cfg ~failures:[ (400, 3) ] Workload.fib Workload.Small in
+  Alcotest.check value "static recovers" (Workload.expected Workload.fib Workload.Small)
+    (answer_of o);
+  check "static reassignments happened" true
+    (Counter.get (Cluster.counters c) "static.reassigned" > 0)
+
+let splice_property =
+  QCheck.Test.make ~name:"splice survives any single failure (random seed/time/victim)"
+    ~count:25
+    QCheck.(triple (int_range 0 1000) (int_range 50 2000) (int_range 0 7))
+    (fun (seed, time, victim) ->
+      let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice; seed } in
+      let _, o = run ~cfg ~failures:[ (time, victim) ] Workload.tree_sum Workload.Tiny in
+      match o.Cluster.answer with
+      | Some v -> Value.equal v (Workload.expected Workload.tree_sum Workload.Tiny)
+      | None -> false)
+
+let rollback_property =
+  QCheck.Test.make ~name:"rollback survives any single failure (random seed/time/victim)"
+    ~count:25
+    QCheck.(triple (int_range 0 1000) (int_range 50 2000) (int_range 0 7))
+    (fun (seed, time, victim) ->
+      let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Rollback; seed } in
+      let _, o = run ~cfg ~failures:[ (time, victim) ] Workload.tree_sum Workload.Tiny in
+      match o.Cluster.answer with
+      | Some v -> Value.equal v (Workload.expected Workload.tree_sum Workload.Tiny)
+      | None -> false)
+
+let adoption_off_still_correct () =
+  let cfg =
+    { (Config.default ~nodes:8) with Config.recovery = Config.Splice; adoption_grace = 0 }
+  in
+  let _, o = run ~cfg ~failures:[ (500, 2) ] Workload.fib Workload.Small in
+  Alcotest.check value "raw protocol (no inheritance)"
+    (Workload.expected Workload.fib Workload.Small)
+    (answer_of o)
+
+let ancestor_depth_two () =
+  let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice; ancestor_depth = 2 } in
+  let _, o = run ~cfg ~failures:[ (400, 1); (400, 2) ] Workload.fib Workload.Small in
+  Alcotest.check value "great-grandparent links" (Workload.expected Workload.fib Workload.Small)
+    (answer_of o)
+
+(* ---------------- journal invariants ---------------- *)
+
+let journal_invariants () =
+  let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice } in
+  let c, o = run ~cfg ~failures:[ (500, 2) ] ~drain:true Workload.fib Workload.Small in
+  ignore (answer_of o);
+  let j = Cluster.journal c in
+  (* every Completed activation was Activated first, per stamp+task *)
+  List.iter
+    (fun st ->
+      let events = Journal.for_stamp j st in
+      List.iter
+        (fun (e : Journal.entry) ->
+          match e.Journal.event with
+          | Journal.Completed { task; _ } ->
+            check "completed implies activated" true
+              (List.exists
+                 (fun (e' : Journal.entry) ->
+                   e'.Journal.time <= e.Journal.time
+                   &&
+                   match e'.Journal.event with
+                   | Journal.Activated { task = t'; _ } -> t' = task
+                   | _ -> false)
+                 events)
+          | Journal.Activated { task; _ } ->
+            check "activated implies spawned/respawned" true
+              (List.exists
+                 (fun (e' : Journal.entry) ->
+                   e'.Journal.time <= e.Journal.time
+                   &&
+                   match e'.Journal.event with
+                   | Journal.Spawned { task = t'; _ } | Journal.Respawned { task = t'; _ } ->
+                     t' = task
+                   | _ -> false)
+                 events)
+          | _ -> ())
+        events)
+    (Journal.stamps j)
+
+let determinism () =
+  let go () =
+    let cfg = { (Config.default ~nodes:8) with Config.recovery = Config.Splice; seed = 77 } in
+    let c, o = run ~cfg ~failures:[ (600, 3) ] Workload.fib Workload.Small in
+    (o.Cluster.answer_time, o.Cluster.events, List.length (Journal.entries (Cluster.journal c)))
+  in
+  check "identical replay" true (go () = go ())
+
+let seed_changes_schedule () =
+  let go seed =
+    let cfg =
+      { (Config.default ~nodes:8) with Config.policy = Recflow_balance.Policy.Random; seed }
+    in
+    let _, o = run ~cfg Workload.fib Workload.Small in
+    o.Cluster.answer_time
+  in
+  (* different placement, same answer; times normally differ *)
+  check "seeds explored" true (go 1 <> go 2 || go 1 <> go 3)
+
+(* ---------------- errors and edges ---------------- *)
+
+let program_error_surfaces () =
+  let p = Recflow_lang.Parser.parse_program_exn "def f(x) = 1 / x" in
+  let c = Cluster.create (Config.default ~nodes:2) p in
+  Cluster.start c ~fname:"f" ~args:[ Value.Int 0 ];
+  let o = Cluster.run c in
+  check "no answer" true (o.Cluster.answer = None);
+  match o.Cluster.error with
+  | Some msg -> check "division reported" true (String.length msg > 0)
+  | None -> Alcotest.fail "error not surfaced"
+
+let start_validation () =
+  let p = Recflow_lang.Parser.parse_program_exn "def f(x) = x" in
+  let c = Cluster.create (Config.default ~nodes:2) p in
+  check "unknown entry" true
+    (try
+       Cluster.start c ~fname:"nope" ~args:[];
+       false
+     with Invalid_argument _ -> true);
+  check "bad arity" true
+    (try
+       Cluster.start c ~fname:"f" ~args:[];
+       false
+     with Invalid_argument _ -> true);
+  Cluster.start c ~fname:"f" ~args:[ Value.Int 1 ];
+  check "double start" true
+    (try
+       Cluster.start c ~fname:"f" ~args:[ Value.Int 1 ];
+       false
+     with Invalid_argument _ -> true);
+  check "run before start" true
+    (let c2 = Cluster.create (Config.default ~nodes:2) p in
+     try
+       ignore (Cluster.run c2);
+       false
+     with Invalid_argument _ -> true)
+
+let config_validation () =
+  let bad f =
+    let cfg = f (Config.default ~nodes:4) in
+    match Config.validate cfg with Error _ -> true | Ok () -> false
+  in
+  check "replicate too big" true (bad (fun c -> { c with Config.recovery = Config.Replicate 9 }));
+  check "replicate zero" true (bad (fun c -> { c with Config.recovery = Config.Replicate 0 }));
+  check "bad work_tick" true (bad (fun c -> { c with Config.work_tick = 0 }));
+  check "bad inline_depth" true (bad (fun c -> { c with Config.inline_depth = 0 }));
+  check "negative ancestor depth" true (bad (fun c -> { c with Config.ancestor_depth = -1 }));
+  check "default valid" true (Config.validate (Config.default ~nodes:4) = Ok ())
+
+let horizon_stops () =
+  let cfg = { (Config.default ~nodes:2) with Config.horizon = 50 } in
+  let _, o = run ~cfg Workload.fib Workload.Small in
+  check "no answer within tiny horizon" true (o.Cluster.answer = None);
+  check "stopped at/before horizon" true (o.Cluster.sim_time <= 50)
+
+let dead_nodes_mark_tasks () =
+  let cfg = { (Config.default ~nodes:4) with Config.recovery = Config.Rollback } in
+  let c, _ = run ~cfg ~failures:[ (300, 1) ] Workload.fib Workload.Small in
+  let n = Cluster.node c 1 in
+  check "node dead" false (Node.is_alive n);
+  check_int "no live tasks on a dead node" 0 (Node.live_tasks n)
+
+let counters_consistency () =
+  let c, _ = run Workload.fib Workload.Small in
+  let g name = Counter.get (Cluster.counters c) name in
+  (* the root packet is parented on the super-root, which takes no ack *)
+  check "every packet acked (no failures)" true (g "msg.task_packet" = g "msg.ack" + 1);
+  check "spawn count matches packets" true (g "spawn.remote" + 1 = g "msg.task_packet");
+  check_int "no aborts fault-free" 0 (g "task.aborted")
+
+let work_conservation () =
+  (* distributed work should be close to the serial reduction count *)
+  let c, o = run Workload.fib Workload.Small in
+  ignore (answer_of o);
+  let work = Cluster.total_work c in
+  let serial = Workload.serial_work Workload.fib Workload.Small in
+  check "work within 3x of serial reductions" true (work > serial / 3 && work < serial * 3);
+  check_int "no waste fault-free" 0 (Cluster.total_waste c)
+
+(* ---------------- timeline ---------------- *)
+
+let timeline_render () =
+  let cfg = { (Config.default ~nodes:4) with Config.recovery = Config.Splice } in
+  let c, o = run ~cfg ~failures:[ (400, 2) ] Workload.tree_sum Workload.Small in
+  ignore (answer_of o);
+  let s = Recflow_machine.Timeline.render (Cluster.journal c) ~nodes:4 ~width:40 () in
+  check "the failed node's row shows dead buckets" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l ->
+           String.length l > 2 && l.[0] = 'P' && l.[1] = '2'
+           &&
+           let has_x = ref false in
+           String.iter (fun ch -> if ch = 'X' then has_x := true) l;
+           !has_x));
+  check_int "one row per node + header + legend" (4 + 2)
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' s)))
+
+let timeline_occupancy () =
+  let cfg = { (Config.default ~nodes:4) with Config.recovery = Config.Splice } in
+  let c, o = run ~cfg ~failures:[ (400, 2) ] Workload.tree_sum Workload.Small in
+  let until = o.Cluster.sim_time in
+  let grid = Recflow_machine.Timeline.occupancy (Cluster.journal c) ~nodes:4 ~buckets:50 ~until in
+  check_int "rows" 4 (Array.length grid);
+  check_int "cols" 50 (Array.length grid.(0));
+  (* the failed node is marked dead from some bucket onward, and stays so *)
+  let dead_from =
+    Array.to_list grid.(2) |> List.mapi (fun i v -> (i, v))
+    |> List.find_opt (fun (_, v) -> v < 0)
+  in
+  (match dead_from with
+  | Some (i, _) ->
+    check "dead forever after" true
+      (Array.for_all (fun v -> v < 0)
+         (Array.sub grid.(2) i (Array.length grid.(2) - i)))
+  | None -> Alcotest.fail "failed node never marked dead");
+  (* live nodes never show a dead marker *)
+  check "survivors never dead" true
+    (Array.for_all (fun v -> v >= 0) grid.(0)
+    && Array.for_all (fun v -> v >= 0) grid.(1)
+    && Array.for_all (fun v -> v >= 0) grid.(3))
+
+let timeline_empty () =
+  let j = Journal.create () in
+  check "placeholder" true (Recflow_machine.Timeline.render j ~nodes:2 () = "(empty journal)\n")
+
+let suites =
+  [
+    ( "machine.fault_free",
+      [
+        Alcotest.test_case "all workloads x sizes" `Quick fault_free_matrix;
+        Alcotest.test_case "all topologies" `Quick topologies_matrix;
+        Alcotest.test_case "all policies" `Quick policies_matrix;
+        Alcotest.test_case "single processor" `Quick single_processor;
+        Alcotest.test_case "inline grain" `Quick inline_grain_preserves_answer;
+        Alcotest.test_case "counters" `Quick counters_consistency;
+        Alcotest.test_case "work conservation" `Quick work_conservation;
+      ] );
+    ( "machine.recovery",
+      [
+        Alcotest.test_case "all modes with failure" `Quick recovery_modes_with_failure;
+        Alcotest.test_case "no recovery loses" `Quick no_recovery_loses_answer;
+        Alcotest.test_case "root failure" `Quick root_failure_recovered;
+        Alcotest.test_case "multiple failures" `Quick multiple_failures;
+        Alcotest.test_case "simultaneous failures" `Quick simultaneous_failures;
+        Alcotest.test_case "failure before start" `Quick failure_before_start;
+        Alcotest.test_case "static with failure" `Quick static_policy_with_failure;
+        Alcotest.test_case "distributed gradient" `Quick gradient_distributed_with_failure;
+        Alcotest.test_case "adoption off" `Quick adoption_off_still_correct;
+        Alcotest.test_case "ancestor depth 2" `Quick ancestor_depth_two;
+        Alcotest.test_case "dead node state" `Quick dead_nodes_mark_tasks;
+        qtest splice_property;
+        qtest rollback_property;
+      ] );
+    ( "machine.invariants",
+      [
+        Alcotest.test_case "journal invariants" `Quick journal_invariants;
+        Alcotest.test_case "determinism" `Quick determinism;
+        Alcotest.test_case "seed sensitivity" `Quick seed_changes_schedule;
+        Alcotest.test_case "program error" `Quick program_error_surfaces;
+        Alcotest.test_case "start validation" `Quick start_validation;
+        Alcotest.test_case "config validation" `Quick config_validation;
+        Alcotest.test_case "horizon" `Quick horizon_stops;
+      ] );
+    ( "machine.timeline",
+      [
+        Alcotest.test_case "render" `Quick timeline_render;
+        Alcotest.test_case "occupancy" `Quick timeline_occupancy;
+        Alcotest.test_case "empty" `Quick timeline_empty;
+      ] );
+  ]

@@ -1,0 +1,296 @@
+(* Tests for the simulation substrate: RNG, heap, engine, trace. *)
+
+module Rng = Recflow_sim.Rng
+module Heap = Recflow_sim.Heap
+module Engine = Recflow_sim.Engine
+module Trace = Recflow_sim.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- Rng ---------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  check "different seeds diverge" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let rng_copy_independent () =
+  let a = Rng.create 3 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* b is now one draw behind and stays independent *)
+  check "copies evolve separately" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let rng_split_diverges () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 16 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 16 (fun _ -> Rng.next_int64 b) in
+  check "split streams differ" true (xs <> ys)
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let t = Rng.create seed in
+      let x = Rng.int t bound in
+      x >= 0 && x < bound)
+
+let rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let t = Rng.create seed in
+      let x = Rng.int_in t lo (lo + span) in
+      x >= lo && x <= lo + span)
+
+let rng_int_invalid () =
+  let t = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int t 0))
+
+let rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let t = Rng.create seed in
+      let x = Rng.float t bound in
+      x >= 0.0 && x < bound)
+
+let rng_exponential_positive () =
+  let t = Rng.create 11 in
+  for _ = 1 to 200 do
+    check "exp >= 0" true (Rng.exponential t 5.0 >= 0.0)
+  done
+
+let rng_shuffle_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 50) int))
+    (fun (seed, xs) ->
+      let t = Rng.create seed in
+      let arr = Array.of_list xs in
+      Rng.shuffle t arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let rng_pick_member () =
+  let t = Rng.create 2 in
+  let arr = [| 1; 5; 9 |] in
+  for _ = 1 to 50 do
+    let x = Rng.pick t arr in
+    check "pick from array" true (Array.exists (fun y -> y = x) arr)
+  done
+
+(* ---------------- Heap ---------------- *)
+
+let heap_sorted_drain =
+  QCheck.Test.make ~name:"Heap drains in sorted order" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 100) int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+let heap_peek_min () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  check_int "length unchanged by peek" 3 (Heap.length h)
+
+let heap_pop_exn_empty () =
+  let h : int Heap.t = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let heap_clear () =
+  let h = Heap.of_list ~cmp:compare [ 3; 1 ] in
+  Heap.clear h;
+  check "empty after clear" true (Heap.is_empty h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let heap_to_list_content () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2; 7 ] in
+  Alcotest.(check (list int)) "contents" [ 2; 4; 7 ] (List.sort compare (Heap.to_list h))
+
+(* ---------------- Engine ---------------- *)
+
+let engine_orders_by_time () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:30 "c";
+  Engine.schedule e ~delay:10 "a";
+  Engine.schedule e ~delay:20 "b";
+  let order = ref [] in
+  Engine.run e (fun _ ev -> order := ev :: !order);
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let engine_fifo_ties () =
+  let e = Engine.create () in
+  List.iter (fun s -> Engine.schedule e ~delay:5 s) [ "1"; "2"; "3"; "4" ];
+  let order = ref [] in
+  Engine.run e (fun _ ev -> order := ev :: !order);
+  Alcotest.(check (list string)) "FIFO at equal time" [ "1"; "2"; "3"; "4" ] (List.rev !order)
+
+let engine_clock_advances () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:42 ();
+  (match Engine.next e with
+  | Some (at, ()) -> check_int "timestamp" 42 at
+  | None -> Alcotest.fail "missing event");
+  check_int "clock" 42 (Engine.now e)
+
+let engine_past_raises () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10 ();
+  ignore (Engine.next e);
+  check "scheduling in the past rejected" true
+    (try
+       Engine.schedule_at e ~time:5 ();
+       false
+     with Invalid_argument _ -> true)
+
+let engine_negative_delay () =
+  let e = Engine.create () in
+  check "negative delay rejected" true
+    (try
+       Engine.schedule e ~delay:(-1) ();
+       false
+     with Invalid_argument _ -> true)
+
+let engine_until_horizon () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10 "in";
+  Engine.schedule e ~delay:100 "out";
+  let seen = ref [] in
+  Engine.run e ~until:50 (fun _ ev -> seen := ev :: !seen);
+  Alcotest.(check (list string)) "horizon respected" [ "in" ] (List.rev !seen);
+  check_int "event beyond horizon still queued" 1 (Engine.pending e)
+
+let engine_stop () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:i i
+  done;
+  let n = ref 0 in
+  Engine.run e (fun _ _ ->
+      incr n;
+      if !n = 2 then Engine.stop e);
+  check_int "stopped after two" 2 !n;
+  check_int "rest pending" 3 (Engine.pending e)
+
+let engine_dispatch_count () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    Engine.schedule e ~delay:1 ()
+  done;
+  Engine.run e (fun _ () -> ());
+  check_int "dispatched" 7 (Engine.events_dispatched e)
+
+let engine_handler_schedules () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1 3;
+  let total = ref 0 in
+  Engine.run e (fun _ n ->
+      total := !total + n;
+      if n > 1 then Engine.schedule e ~delay:1 (n - 1));
+  check_int "cascade 3+2+1" 6 !total
+
+(* ---------------- Trace ---------------- *)
+
+let trace_basic () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.log t ~time:1 ~level:Trace.Info ~tag:"a" "hello";
+  Trace.logf t ~time:2 ~level:Trace.Warn ~tag:"b" "x=%d" 42;
+  check_int "count" 2 (Trace.count t);
+  match Trace.records t with
+  | [ r1; r2 ] ->
+    Alcotest.(check string) "msg 1" "hello" r1.Trace.message;
+    Alcotest.(check string) "msg 2" "x=42" r2.Trace.message
+  | _ -> Alcotest.fail "expected two records"
+
+let trace_ring_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.log t ~time:i ~level:Trace.Debug ~tag:"t" (string_of_int i)
+  done;
+  check_int "total count includes evicted" 5 (Trace.count t);
+  Alcotest.(check (list string)) "last three retained" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Trace.message) (Trace.records t))
+
+let trace_find_by_tag () =
+  let t = Trace.create () in
+  Trace.log t ~time:1 ~level:Trace.Info ~tag:"x" "one";
+  Trace.log t ~time:2 ~level:Trace.Info ~tag:"y" "two";
+  Trace.log t ~time:3 ~level:Trace.Info ~tag:"x" "three";
+  Alcotest.(check (list string)) "find x" [ "one"; "three" ]
+    (List.map (fun r -> r.Trace.message) (Trace.find t ~tag:"x"))
+
+let trace_clear () =
+  let t = Trace.create () in
+  Trace.log t ~time:1 ~level:Trace.Info ~tag:"x" "one";
+  Trace.clear t;
+  check_int "records dropped" 0 (List.length (Trace.records t))
+
+let trace_capacity_invalid () =
+  check "capacity 0 rejected" true
+    (try
+       ignore (Trace.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let suites =
+  [
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+        Alcotest.test_case "copy" `Quick rng_copy_independent;
+        Alcotest.test_case "split" `Quick rng_split_diverges;
+        Alcotest.test_case "int invalid" `Quick rng_int_invalid;
+        Alcotest.test_case "exponential" `Quick rng_exponential_positive;
+        Alcotest.test_case "pick" `Quick rng_pick_member;
+        qtest rng_int_bounds;
+        qtest rng_int_in_bounds;
+        qtest rng_float_bounds;
+        qtest rng_shuffle_permutation;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "peek min" `Quick heap_peek_min;
+        Alcotest.test_case "pop_exn empty" `Quick heap_pop_exn_empty;
+        Alcotest.test_case "clear" `Quick heap_clear;
+        Alcotest.test_case "to_list" `Quick heap_to_list_content;
+        qtest heap_sorted_drain;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time order" `Quick engine_orders_by_time;
+        Alcotest.test_case "FIFO ties" `Quick engine_fifo_ties;
+        Alcotest.test_case "clock" `Quick engine_clock_advances;
+        Alcotest.test_case "past rejected" `Quick engine_past_raises;
+        Alcotest.test_case "negative delay" `Quick engine_negative_delay;
+        Alcotest.test_case "horizon" `Quick engine_until_horizon;
+        Alcotest.test_case "stop" `Quick engine_stop;
+        Alcotest.test_case "dispatch count" `Quick engine_dispatch_count;
+        Alcotest.test_case "handler schedules" `Quick engine_handler_schedules;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "basic" `Quick trace_basic;
+        Alcotest.test_case "ring eviction" `Quick trace_ring_eviction;
+        Alcotest.test_case "find by tag" `Quick trace_find_by_tag;
+        Alcotest.test_case "clear" `Quick trace_clear;
+        Alcotest.test_case "capacity invalid" `Quick trace_capacity_invalid;
+      ] );
+  ]

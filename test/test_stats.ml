@@ -1,0 +1,207 @@
+(* Tests for counters, summaries, histograms and table rendering. *)
+
+module Counter = Recflow_stats.Counter
+module Summary = Recflow_stats.Summary
+module Histogram = Recflow_stats.Histogram
+module Table = Recflow_stats.Table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- Counter ---------------- *)
+
+let counter_basic () =
+  let s = Counter.create_set () in
+  Counter.incr s "a";
+  Counter.incr s "a";
+  Counter.add s "b" 5;
+  check_int "a" 2 (Counter.get s "a");
+  check_int "b" 5 (Counter.get s "b");
+  check_int "missing is zero" 0 (Counter.get s "nope")
+
+let counter_names_sorted () =
+  let s = Counter.create_set () in
+  Counter.incr s "zz";
+  Counter.incr s "aa";
+  Alcotest.(check (list string)) "sorted" [ "aa"; "zz" ] (Counter.names s)
+
+let counter_merge () =
+  let a = Counter.create_set () and b = Counter.create_set () in
+  Counter.add a "x" 1;
+  Counter.add b "x" 2;
+  Counter.add b "y" 3;
+  let m = Counter.merge a b in
+  check_int "x summed" 3 (Counter.get m "x");
+  check_int "y carried" 3 (Counter.get m "y");
+  check_int "inputs untouched" 1 (Counter.get a "x")
+
+let counter_reset () =
+  let s = Counter.create_set () in
+  Counter.add s "x" 9;
+  Counter.reset s;
+  check_int "reset to zero" 0 (Counter.get s "x")
+
+(* ---------------- Summary ---------------- *)
+
+let summary_known_values () =
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Summary.count s);
+  check_float "mean" 5.0 (Summary.mean s);
+  check_float "stddev (population)" 2.0 (Summary.stddev s);
+  check_float "min" 2.0 (Summary.min_value s);
+  check_float "max" 9.0 (Summary.max_value s);
+  check_float "total" 40.0 (Summary.total s)
+
+let summary_percentile_nearest_rank () =
+  let s = Summary.create () in
+  List.iter (Summary.observe_int s) [ 15; 20; 35; 40; 50 ];
+  check_float "p30 = 2nd" 20.0 (Summary.percentile s 30.0);
+  check_float "p40 = 2nd" 20.0 (Summary.percentile s 40.0);
+  check_float "p50 = 3rd" 35.0 (Summary.percentile s 50.0);
+  check_float "p100 = max" 50.0 (Summary.percentile s 100.0);
+  check_float "p0 = min" 15.0 (Summary.percentile s 0.0)
+
+let summary_empty_raises () =
+  let s = Summary.create () in
+  check_float "mean of empty" 0.0 (Summary.mean s);
+  check "min raises" true
+    (try
+       ignore (Summary.min_value s);
+       false
+     with Invalid_argument _ -> true);
+  check "percentile raises" true
+    (try
+       ignore (Summary.percentile s 50.0);
+       false
+     with Invalid_argument _ -> true)
+
+let summary_percentile_range () =
+  let s = Summary.create () in
+  Summary.observe s 1.0;
+  check "p>100 rejected" true
+    (try
+       ignore (Summary.percentile s 101.0);
+       false
+     with Invalid_argument _ -> true)
+
+let summary_mean_bounded =
+  QCheck.Test.make ~name:"Summary mean within [min,max]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.observe s) xs;
+      let m = Summary.mean s in
+      m >= Summary.min_value s -. 1e-9 && m <= Summary.max_value s +. 1e-9)
+
+let summary_order_preserved () =
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (list (float 0.0))) "observation order" [ 3.0; 1.0; 2.0 ] (Summary.to_list s)
+
+(* ---------------- Histogram ---------------- *)
+
+let histogram_buckets () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Histogram.observe h) [ 0.0; 1.9; 2.0; 9.99; 5.0 ];
+  Alcotest.(check (array int)) "placement" [| 2; 1; 1; 0; 1 |] (Histogram.bucket_counts h);
+  check_int "count" 5 (Histogram.count h)
+
+let histogram_clamping () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:2 in
+  Histogram.observe h (-5.0);
+  Histogram.observe h 50.0;
+  check_int "underflow" 1 (Histogram.underflow h);
+  check_int "overflow" 1 (Histogram.overflow h);
+  Alcotest.(check (array int)) "clamped into edge buckets" [| 1; 1 |] (Histogram.bucket_counts h)
+
+let histogram_bounds () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:4 in
+  let lo, hi = Histogram.bucket_bounds h 1 in
+  check_float "bucket lo" 2.5 lo;
+  check_float "bucket hi" 5.0 hi
+
+let histogram_invalid () =
+  check "lo >= hi rejected" true
+    (try
+       ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~buckets:3);
+       false
+     with Invalid_argument _ -> true);
+  check "0 buckets rejected" true
+    (try
+       ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Table ---------------- *)
+
+let table_rows_and_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "beta"; "22" ];
+  Alcotest.(check (list (list string))) "rows" [ [ "alpha"; "1" ]; [ "beta"; "22" ] ] (Table.rows t);
+  let rendered = Format.asprintf "%a" Table.pp t in
+  check "title present" true (String.length rendered > 0 && String.sub rendered 0 3 = "== ");
+  check "contains beta" true
+    (String.split_on_char '\n' rendered |> List.exists (fun l -> String.length l > 0 && l.[0] = 'b'))
+
+let table_width_mismatch () =
+  let t = Table.create ~title:"x" ~columns:[ "a"; "b" ] in
+  check "short row rejected" true
+    (try
+       Table.add_row t [ "only" ];
+       false
+     with Invalid_argument _ -> true)
+
+let table_csv_escaping () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "has,comma"; "has\"quote" ];
+  let csv = Table.to_csv t in
+  check "comma quoted" true
+    (String.length csv > 0
+    && String.split_on_char '\n' csv
+       |> List.exists (fun l -> String.length l > 0 && l.[0] = '"'))
+
+let table_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.141592);
+  Alcotest.(check string) "float decimals" "3.1416" (Table.cell_float ~decimals:4 3.141592);
+  Alcotest.(check string) "pct" "12.5%" (Table.cell_pct 0.125)
+
+let suites =
+  [
+    ( "stats.counter",
+      [
+        Alcotest.test_case "basic" `Quick counter_basic;
+        Alcotest.test_case "names sorted" `Quick counter_names_sorted;
+        Alcotest.test_case "merge" `Quick counter_merge;
+        Alcotest.test_case "reset" `Quick counter_reset;
+      ] );
+    ( "stats.summary",
+      [
+        Alcotest.test_case "known values" `Quick summary_known_values;
+        Alcotest.test_case "percentile nearest-rank" `Quick summary_percentile_nearest_rank;
+        Alcotest.test_case "empty" `Quick summary_empty_raises;
+        Alcotest.test_case "percentile range" `Quick summary_percentile_range;
+        Alcotest.test_case "order preserved" `Quick summary_order_preserved;
+        qtest summary_mean_bounded;
+      ] );
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "buckets" `Quick histogram_buckets;
+        Alcotest.test_case "clamping" `Quick histogram_clamping;
+        Alcotest.test_case "bounds" `Quick histogram_bounds;
+        Alcotest.test_case "invalid" `Quick histogram_invalid;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "rows and render" `Quick table_rows_and_render;
+        Alcotest.test_case "width mismatch" `Quick table_width_mismatch;
+        Alcotest.test_case "csv escaping" `Quick table_csv_escaping;
+        Alcotest.test_case "cells" `Quick table_cells;
+      ] );
+  ]

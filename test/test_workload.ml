@@ -1,0 +1,89 @@
+(* Tests for the workload catalogue. *)
+
+module Workload = Recflow_workload.Workload
+module Value = Recflow_lang.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let value = Alcotest.testable Value.pp Value.equal
+
+let all_parse_and_evaluate () =
+  List.iter
+    (fun w ->
+      ignore (Workload.program w);
+      let v = Workload.expected w Workload.Tiny in
+      check (w.Workload.name ^ " evaluates") true
+        (match v with Value.Int _ -> true | _ -> false);
+      check (w.Workload.name ^ " does work") true (Workload.serial_work w Workload.Tiny > 0);
+      check (w.Workload.name ^ " spawns tasks") true (Workload.task_count w Workload.Tiny > 1))
+    Workload.all
+
+let known_answers () =
+  Alcotest.check value "fib small" (Value.Int 144) (Workload.expected Workload.fib Workload.Small);
+  Alcotest.check value "nqueens 5" (Value.Int 10)
+    (Workload.expected Workload.nqueens Workload.Small);
+  Alcotest.check value "nqueens 6" (Value.Int 4)
+    (Workload.expected Workload.nqueens Workload.Medium);
+  Alcotest.check value "map_reduce 0..63"
+    (Value.Int (List.fold_left (fun acc i -> acc + (i * i)) 0 (List.init 64 Fun.id)))
+    (Workload.expected Workload.map_reduce Workload.Small);
+  Alcotest.check value "tak" (Value.Int 5) (Workload.expected Workload.tak Workload.Small)
+
+let quicksort_sorts () =
+  (* the checksum is position-weighted, so it detects ordering mistakes:
+     recompute it from a reference sort of the same pseudo-random list *)
+  let p = Workload.program Workload.quicksort in
+  let xs, _ =
+    Recflow_lang.Eval_serial.eval p "randlist" [ Value.Int 30; Value.Int 1 ]
+  in
+  let sorted = List.sort compare (Option.get (Value.to_int_list xs)) in
+  let expected_checksum =
+    List.fold_left (fun (i, acc) x -> (i + 1, acc + ((i + 1) * x))) (0, 0) sorted |> snd
+  in
+  Alcotest.check value "checksum of reference sort" (Value.Int expected_checksum)
+    (Workload.expected Workload.quicksort Workload.Small)
+
+let sizes_monotone () =
+  List.iter
+    (fun w ->
+      check
+        (w.Workload.name ^ " grows with size")
+        true
+        (Workload.serial_work w Workload.Small >= Workload.serial_work w Workload.Tiny))
+    Workload.all
+
+let synthetic_shape () =
+  let w = Workload.synthetic ~branching:3 ~depth:2 ~grain:0 in
+  (* medium = depth 2: 1 + 3 + 9 synth calls, plus one spin per leaf *)
+  check_int "task count" (13 + 9) (Workload.task_count w Workload.Medium);
+  Alcotest.check value "sums zeros" (Value.Int 0) (Workload.expected w Workload.Medium)
+
+let synthetic_validation () =
+  check "branching 0 rejected" true
+    (try
+       ignore (Workload.synthetic ~branching:0 ~depth:1 ~grain:1);
+       false
+     with Invalid_argument _ -> true);
+  check "negative depth rejected" true
+    (try
+       ignore (Workload.synthetic ~branching:2 ~depth:(-1) ~grain:1);
+       false
+     with Invalid_argument _ -> true)
+
+let by_name () =
+  check "fib found" true (Workload.by_name "fib" <> None);
+  check "missing" true (Workload.by_name "zzz" = None)
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "all parse and evaluate" `Quick all_parse_and_evaluate;
+        Alcotest.test_case "known answers" `Quick known_answers;
+        Alcotest.test_case "quicksort sorts" `Quick quicksort_sorts;
+        Alcotest.test_case "sizes monotone" `Quick sizes_monotone;
+        Alcotest.test_case "synthetic shape" `Quick synthetic_shape;
+        Alcotest.test_case "synthetic validation" `Quick synthetic_validation;
+        Alcotest.test_case "by name" `Quick by_name;
+      ] );
+  ]
