@@ -9,6 +9,28 @@
 
 module Registry = Recflow_experiments.Registry
 module Report = Recflow_experiments.Report
+module Harness = Recflow_experiments.Harness
+module Cluster = Recflow_machine.Cluster
+module Metrics = Recflow_obs.Metrics
+
+(* Dump one metrics document per simulated run into [dir]; file names are
+   ordinal so a whole experiment sweep becomes a browsable trajectory. *)
+let install_metrics_hook dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let n = ref 0 in
+  Harness.set_obs_hook
+    (Some
+       (fun info (r : Harness.run) ->
+         incr n;
+         let path =
+           Filename.concat dir
+             (Printf.sprintf "run-%05d-%s-%s.json" !n info.Harness.workload_name
+                info.Harness.size_name)
+         in
+         Metrics.write ~path
+           (Metrics.run_json ~workload:info.Harness.workload_name ~size:info.Harness.size_name
+              ~cluster:r.Harness.cluster ~outcome:r.Harness.outcome ())));
+  n
 
 let run_entries quick markdown entries =
   let reports =
@@ -38,7 +60,14 @@ let run_entries quick markdown entries =
     exit 1
   end
 
-let main quick list_only markdown ids =
+let main quick list_only markdown metrics_dir ids =
+  let runs_dumped = Option.map install_metrics_hook metrics_dir in
+  let finish code =
+    (match (metrics_dir, runs_dumped) with
+    | Some dir, Some n -> Format.printf "%d run metrics documents written to %s/@." !n dir
+    | _ -> ());
+    code
+  in
   if list_only then begin
     List.iter
       (fun (e : Registry.entry) -> Format.printf "%-4s %s@." e.Registry.id e.Registry.title)
@@ -60,7 +89,7 @@ let main quick list_only markdown ids =
           ids
     in
     run_entries quick markdown entries;
-    0
+    finish 0
   end
 
 open Cmdliner
@@ -76,12 +105,21 @@ let markdown =
     & opt (some string) None
     & info [ "markdown" ] ~docv:"FILE" ~doc:"Also write the reports as markdown to $(docv).")
 
+let metrics_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write one JSON metrics document (config metadata, counters, recovery-episode spans) \
+           per simulated run into $(docv), created if missing.")
+
 let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids to run.")
 
 let cmd =
   let doc = "regenerate the figures and tables of Lin & Keller (ICPP 1986)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ quick $ list_only $ markdown $ ids)
+    Term.(const main $ quick $ list_only $ markdown $ metrics_dir $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,7 +4,9 @@
      recflow --workload fib --size medium --nodes 8
      recflow --workload tree_sum --recovery rollback --fail 3000@2 --journal
      recflow --program my.rf --entry main --arg 10 --arg 20 --topology mesh:4x4 \
-             --policy random --recovery splice --fail 500@1 --fail 900@5 --trace *)
+             --policy random --recovery splice --fail 500@1 --fail 900@5 --trace
+     recflow --workload fib --size small --fail 500@1 \
+             --emit-trace t.json --metrics-json m.json --trace-jsonl t.jsonl *)
 
 module Config = Recflow_machine.Config
 module Cluster = Recflow_machine.Cluster
@@ -12,6 +14,11 @@ module Journal = Recflow_machine.Journal
 module Workload = Recflow_workload.Workload
 module Value = Recflow_lang.Value
 module Counter = Recflow_stats.Counter
+module Trace = Recflow_sim.Trace
+module Sink = Recflow_obs_core.Sink
+module Perfetto = Recflow_obs.Perfetto
+module Episode = Recflow_obs.Episode
+module Metrics = Recflow_obs.Metrics
 
 let parse_failure s =
   match String.split_on_char '@' s with
@@ -41,7 +48,7 @@ let recovery_of_string s =
 
 let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
     detect_delay workload_name size_name program_file entry args failures show_journal
-    show_trace show_stats show_timeline drain =
+    show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl =
   let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
   let* topology =
     match topology with
@@ -96,9 +103,20 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
     | Error msg -> Error ("invalid configuration: " ^ msg)
   in
   let cluster = Cluster.create cfg program in
+  (* stream the full protocol trace to disk while it happens — the ring
+     only retains the newest [trace_capacity] records *)
+  let jsonl_sink =
+    Option.map
+      (fun path ->
+        let s = Sink.file ~render:Trace.to_json_line path in
+        Trace.attach_sink (Cluster.trace cluster) s;
+        s)
+      trace_jsonl
+  in
   List.iter (fun (t, p) -> Cluster.fail_at cluster ~time:t p) failures;
   Cluster.start cluster ~fname:entry ~args:argv;
   let outcome = Cluster.run ~drain cluster in
+  Option.iter Sink.close jsonl_sink;
   (match outcome.Cluster.answer with
   | Some v ->
     Format.printf "answer: %s (at t=%s)@." (Value.to_string v)
@@ -115,7 +133,12 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
     Format.printf "@.counters:@.";
     Counter.pp Format.std_formatter (Cluster.counters cluster);
     Format.printf "total work: %d ticks, wasted: %d ticks@." (Cluster.total_work cluster)
-      (Cluster.total_waste cluster)
+      (Cluster.total_waste cluster);
+    match Episode.analyze (Cluster.journal cluster) with
+    | [] -> ()
+    | episodes ->
+      Format.printf "@.recovery episodes:@.";
+      List.iter (fun e -> Format.printf "  %a@." Episode.pp e) episodes
   end;
   if show_timeline then begin
     Format.printf "@.timeline:@.";
@@ -131,8 +154,24 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
   end;
   if show_trace then begin
     Format.printf "@.trace:@.";
-    Recflow_sim.Trace.dump Format.std_formatter (Cluster.trace cluster)
+    Trace.dump ?limit:trace_limit Format.std_formatter (Cluster.trace cluster)
   end;
+  let nodes_n = Recflow_net.Topology.size cfg.Config.topology in
+  Option.iter
+    (fun path ->
+      Perfetto.write ~path (Cluster.journal cluster) ~nodes:nodes_n ();
+      Format.printf "perfetto trace written to %s (open in ui.perfetto.dev)@." path)
+    emit_trace;
+  Option.iter
+    (fun path ->
+      let doc =
+        Metrics.run_json ?workload:workload_name
+          ?size:(Option.map (fun _ -> size_name) workload_name)
+          ?expected ~cluster ~outcome ()
+      in
+      Metrics.write ~path doc;
+      Format.printf "metrics written to %s@." path)
+    metrics_json;
   match outcome.Cluster.answer with Some _ -> 0 | None -> 1
 
 open Cmdliner
@@ -203,6 +242,12 @@ let show_journal = Arg.(value & flag & info [ "journal" ] ~doc:"Dump the lifecyc
 
 let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol trace.")
 
+let trace_limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-limit" ] ~docv:"N" ~doc:"With $(b,--trace): only the last $(docv) records.")
+
 let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print counters and work totals.")
 
 let show_timeline =
@@ -210,12 +255,36 @@ let show_timeline =
 
 let drain = Arg.(value & flag & info [ "drain" ] ~doc:"Keep simulating after the answer arrives.")
 
+let emit_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome-trace-format $(docv) (view in ui.perfetto.dev).")
+
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write run metadata, counters and recovery-episode metrics as JSON to $(docv).")
+
+let trace_jsonl =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Stream every protocol trace record to $(docv) as JSON lines while the run executes \
+           (unbounded, unlike the in-memory ring).")
+
 let cmd =
   let doc = "run applicative programs on a simulated fault-tolerant multiprocessor" in
   Cmd.v (Cmd.info "recflow" ~doc)
     Term.(
       const main $ nodes $ topology $ policy $ recovery $ ckpt_keep_all $ ancestor_depth
       $ inline_depth $ seed $ detect_delay $ workload $ size $ program_file $ entry $ args
-      $ failures $ show_journal $ show_trace $ show_stats $ show_timeline $ drain)
+      $ failures $ show_journal $ show_trace $ trace_limit $ show_stats $ show_timeline $ drain
+      $ emit_trace $ metrics_json $ trace_jsonl)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,18 @@ module Counter = Recflow_stats.Counter
 
 type run = { cluster : Cluster.t; outcome : Cluster.outcome; correct : bool; makespan : int }
 
+type obs_info = { workload_name : string; size_name : string }
+
+let obs_hook : (obs_info -> run -> unit) option ref = ref None
+
+let set_obs_hook h = obs_hook := h
+
+let size_name = function
+  | Workload.Tiny -> "tiny"
+  | Workload.Small -> "small"
+  | Workload.Medium -> "medium"
+  | Workload.Large -> "large"
+
 let run ?(drain = false) config workload size ~failures =
   let cluster = Cluster.create config (Workload.program workload) in
   Recflow_fault.Plan.apply cluster failures;
@@ -18,7 +30,12 @@ let run ?(drain = false) config workload size ~failures =
   let makespan =
     match outcome.Cluster.answer_time with Some t -> t | None -> outcome.Cluster.sim_time
   in
-  { cluster; outcome; correct; makespan }
+  let r = { cluster; outcome; correct; makespan } in
+  (match !obs_hook with
+  | Some hook ->
+    hook { workload_name = workload.Workload.name; size_name = size_name size } r
+  | None -> ());
+  r
 
 let probe config workload size = run config workload size ~failures:[]
 

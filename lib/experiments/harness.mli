@@ -21,6 +21,14 @@ val run :
 val probe : Config.t -> Workload.t -> Workload.size -> run
 (** Fault-free run (the oracle for fault placement and baselines). *)
 
+type obs_info = { workload_name : string; size_name : string }
+
+val set_obs_hook : (obs_info -> run -> unit) option -> unit
+(** Install (or clear) an observability callback invoked after every
+    harness run, probes included — the experiments binary uses it to dump
+    a metrics document per simulated run ([--metrics-dir]) without any
+    experiment knowing.  The hook must not mutate the cluster. *)
+
 val synthetic_setup : quick:bool -> Workload.t * Workload.size * int
 (** The standard controlled workload of the quantitative experiments: a
     binary tree (branching 2, depth 8, leaf grain 60) at Medium size

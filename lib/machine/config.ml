@@ -49,6 +49,36 @@ let default ~nodes =
     trace_capacity = 65536;
   }
 
+type meta_value = [ `Int of int | `Str of string | `Bool of bool ]
+
+let metadata t : (string * meta_value) list =
+  [
+    ("nodes", `Int (Recflow_net.Topology.size t.topology));
+    ("topology", `Str (Recflow_net.Topology.to_string t.topology));
+    ("policy", `Str (Recflow_balance.Policy.spec_to_string t.policy));
+    ("recovery", `Str (recovery_to_string t.recovery));
+    ( "ckpt_mode",
+      `Str
+        (match t.ckpt_mode with
+        | Recflow_recovery.Ckpt_table.Topmost -> "topmost"
+        | Recflow_recovery.Ckpt_table.Keep_all -> "keep-all") );
+    ("ancestor_depth", `Int t.ancestor_depth);
+    ("replicate_depth", `Int t.replicate_depth);
+    ("inline_depth", if t.inline_depth = max_int then `Str "unbounded" else `Int t.inline_depth);
+    ("work_tick", `Int t.work_tick);
+    ("spawn_cost", `Int t.spawn_cost);
+    ("ctx_switch", `Int t.ctx_switch);
+    ("latency_base", `Int t.latency.Recflow_net.Latency.base);
+    ("latency_per_hop", `Int t.latency.Recflow_net.Latency.per_hop);
+    ("latency_jitter", `Int t.latency.Recflow_net.Latency.jitter);
+    ("detect_delay", `Int t.detect_delay);
+    ("gradient_period", `Int t.gradient_period);
+    ("adoption_grace", `Int t.adoption_grace);
+    ("bounce_delay", `Int t.bounce_delay);
+    ("seed", `Int t.seed);
+    ("trace_capacity", `Int t.trace_capacity);
+  ]
+
 let validate t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   if Recflow_net.Topology.size t.topology < 1 then err "topology has no nodes"

@@ -57,3 +57,11 @@ val default : nodes:int -> t
     model.  Experiments override fields as needed. *)
 
 val validate : t -> (unit, string) result
+
+type meta_value = [ `Int of int | `Str of string | `Bool of bool ]
+
+val metadata : t -> (string * meta_value) list
+(** The run-defining knobs (nodes, topology, policy, recovery mode,
+    checkpoint mode, cost model, rng seed, ...) as typed key/value pairs,
+    in a stable order.  Every exported metrics document embeds this so a
+    benchmark trajectory can be reproduced from the artefact alone. *)

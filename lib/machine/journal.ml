@@ -5,9 +5,10 @@ type event =
   | Spawned of { task : Ids.task_id; dest : Ids.proc_id; replica : int }
   | Activated of { task : Ids.task_id; proc : Ids.proc_id }
   | Acked of { task : Ids.task_id; proc : Ids.proc_id }
-  | Completed of { task : Ids.task_id; proc : Ids.proc_id }
+  | Completed of { task : Ids.task_id; proc : Ids.proc_id; work : int }
   | Inlined of { parent_task : Ids.task_id; proc : Ids.proc_id; work : int }
-  | Aborted of { task : Ids.task_id; proc : Ids.proc_id }
+  | Aborted of { task : Ids.task_id; proc : Ids.proc_id; work : int }
+  | Lost of { task : Ids.task_id; proc : Ids.proc_id; work : int }
   | Respawned of { task : Ids.task_id; dest : Ids.proc_id; reason : string }
   | Inherited of { orphan_task : Ids.task_id; proc : Ids.proc_id }
   | Result_accepted of { task : Ids.task_id }
@@ -40,6 +41,16 @@ let record t ~time ~stamp event =
 
 let entries t = List.rev t.rev_entries
 
+let length t = List.length t.rev_entries
+
+let last_entry_time t = match t.rev_entries with [] -> None | e :: _ -> Some e.time
+
+let failures t =
+  List.rev
+    (List.filter_map
+       (fun e -> match e.event with Failure { proc } -> Some (e.time, proc) | _ -> None)
+       t.rev_entries)
+
 let for_stamp t stamp =
   match Hashtbl.find_opt t.by_stamp (key_of_stamp stamp) with
   | Some r -> List.rev !r
@@ -67,6 +78,7 @@ let event_label = function
   | Completed _ -> "completed"
   | Inlined _ -> "inlined"
   | Aborted _ -> "aborted"
+  | Lost _ -> "lost"
   | Respawned _ -> "respawned"
   | Inherited _ -> "inherited"
   | Result_accepted _ -> "result_accepted"
@@ -82,11 +94,11 @@ let pp_entry ppf e =
     | Spawned { task; dest; replica } ->
       Printf.sprintf "task%d -> %s%s" task (Ids.proc_to_string dest)
         (if replica > 0 then Printf.sprintf " (replica %d)" replica else "")
-    | Activated { task; proc }
-    | Acked { task; proc }
-    | Completed { task; proc }
-    | Aborted { task; proc } ->
+    | Activated { task; proc } | Acked { task; proc } ->
       Printf.sprintf "task%d on %s" task (Ids.proc_to_string proc)
+    | Completed { task; proc; work } | Aborted { task; proc; work } | Lost { task; proc; work }
+      ->
+      Printf.sprintf "task%d on %s (work %d)" task (Ids.proc_to_string proc) work
     | Inlined { parent_task; proc; work } ->
       Printf.sprintf "inside task%d on %s (work %d)" parent_task (Ids.proc_to_string proc) work
     | Respawned { task; dest; reason } ->

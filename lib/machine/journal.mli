@@ -14,10 +14,14 @@ type event =
   | Activated of { task : Ids.task_id; proc : Ids.proc_id }
   | Acked of { task : Ids.task_id; proc : Ids.proc_id }
       (** parent received the positive acknowledgement (state b/d → c/e) *)
-  | Completed of { task : Ids.task_id; proc : Ids.proc_id }
+  | Completed of { task : Ids.task_id; proc : Ids.proc_id; work : int }
+      (** [work] is the busy ticks the task consumed on [proc] *)
   | Inlined of { parent_task : Ids.task_id; proc : Ids.proc_id; work : int }
       (** evaluated inside the parent below the grain boundary *)
-  | Aborted of { task : Ids.task_id; proc : Ids.proc_id }
+  | Aborted of { task : Ids.task_id; proc : Ids.proc_id; work : int }
+  | Lost of { task : Ids.task_id; proc : Ids.proc_id; work : int }
+      (** the task died with its processor — [work] busy ticks destroyed
+          (recorded at kill time, before the [Failure] entry) *)
   | Respawned of { task : Ids.task_id; dest : Ids.proc_id; reason : string }
       (** re-issued from a functional checkpoint ("notice" | "orphan-result") *)
   | Inherited of { orphan_task : Ids.task_id; proc : Ids.proc_id }
@@ -41,6 +45,15 @@ val record : t -> time:int -> stamp:Stamp.t -> event -> unit
 
 val entries : t -> entry list
 (** Chronological. *)
+
+val length : t -> int
+
+val last_entry_time : t -> int option
+(** Time of the newest entry. *)
+
+val failures : t -> (int * Ids.proc_id) list
+(** [(time, proc)] of every [Failure] entry, chronological — the episode
+    boundaries the observability layer folds over. *)
 
 val for_stamp : t -> Stamp.t -> entry list
 (** Chronological entries for one stamp. *)

@@ -484,7 +484,7 @@ let return_result t ctx task value =
 let complete_task t ctx task value =
   task.state <- Done;
   Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
-    (Journal.Completed { task = task.tid; proc = t.nid });
+    (Journal.Completed { task = task.tid; proc = t.nid; work = task.work });
   return_result t ctx task value
 
 (* ------------------------------------------------------------------ *)
@@ -496,7 +496,7 @@ let rec abort_task t ctx task =
     task.state <- Aborted;
     Counter.incr ctx.counters "task.aborted";
     Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
-      (Journal.Aborted { task = task.tid; proc = t.nid });
+      (Journal.Aborted { task = task.tid; proc = t.nid; work = task.work });
     (* Cascade to outstanding children so their processors can reclaim
        them; checkpoints for this doomed subtree are dropped. *)
     Hashtbl.iter
@@ -1213,6 +1213,16 @@ let kill t ctx =
     Queue.clear t.run_queue;
     Counter.add ctx.counters "task.lost_in_failure" (live_tasks t);
     (* Tasks die with the node; mark them so queries do not mistake them
-       for survivors.  Their packets live on in peers' checkpoint tables. *)
-    Hashtbl.iter (fun _ task -> if task_live task then task.state <- Aborted) t.tasks
+       for survivors.  Their packets live on in peers' checkpoint tables.
+       A [Lost] entry (distinct from [Aborted], which means rollback
+       garbage collection) preserves the destroyed work for the
+       observability layer. *)
+    Hashtbl.iter
+      (fun _ task ->
+        if task_live task then begin
+          Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
+            (Journal.Lost { task = task.tid; proc = t.nid; work = task.work });
+          task.state <- Aborted
+        end)
+      t.tasks
   end

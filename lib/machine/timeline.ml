@@ -35,7 +35,7 @@ let occupancy journal ~nodes ~buckets ~until =
       | Journal.Activated { task; proc } ->
         Hashtbl.replace home task proc;
         bump proc e.Journal.time 1
-      | Journal.Completed { task; proc } | Journal.Aborted { task; proc } ->
+      | Journal.Completed { task; proc; _ } | Journal.Aborted { task; proc; _ } ->
         Hashtbl.remove home task;
         bump proc e.Journal.time (-1)
       | Journal.Failure { proc } ->

@@ -1,0 +1,44 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer emits machine-readable artefacts (Chrome-trace
+    files, JSONL event streams, metrics documents) and the test suite must
+    re-read them; the toolchain here has no JSON library baked in, so this
+    module provides the small dependency-free subset we need: a value tree,
+    a compact printer with correct string escaping, and a strict
+    recursive-descent parser used by round-trip tests and the CLI smoke
+    check. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Strings are escaped per RFC 8259;
+    non-finite floats render as [null] (JSON has no representation for
+    them). *)
+
+val to_channel : out_channel -> t -> unit
+
+val write_file : path:string -> t -> unit
+(** Write [to_string] plus a trailing newline to [path] (truncates). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON document; trailing non-whitespace is an
+    error.  Numbers with [.], [e] or [E] become [Float], the rest [Int].
+    [\uXXXX] escapes outside ASCII decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** Field lookup ([None] for absent field or non-object). *)
+
+val to_list : t -> t list
+(** [[]] for non-arrays. *)
+
+val str : t -> string option
+
+val int : t -> int option
+(** Accepts [Int]; floats are not silently truncated. *)

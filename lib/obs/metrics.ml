@@ -1,0 +1,70 @@
+module Cluster = Recflow_machine.Cluster
+module Config = Recflow_machine.Config
+module Journal = Recflow_machine.Journal
+module Counter = Recflow_stats.Counter
+module Trace = Recflow_sim.Trace
+module Value = Recflow_lang.Value
+module Json = Recflow_obs_core.Json
+
+let schema = "recflow.metrics/1"
+
+let meta_value_json : Config.meta_value -> Json.t = function
+  | `Int n -> Json.Int n
+  | `Str s -> Json.Str s
+  | `Bool b -> Json.Bool b
+
+let meta_json ?workload ?size config =
+  let fields = List.map (fun (k, v) -> (k, meta_value_json v)) (Config.metadata config) in
+  let opt name = function Some v -> [ (name, Json.Str v) ] | None -> [] in
+  Json.Obj (fields @ opt "workload" workload @ opt "size" size)
+
+let opt_int = function Some n -> Json.Int n | None -> Json.Null
+
+let outcome_json ?expected (outcome : Cluster.outcome) ~total_work ~total_waste =
+  let answer = match outcome.Cluster.answer with Some v -> Json.Str (Value.to_string v) | None -> Json.Null in
+  let correct =
+    match (expected, outcome.Cluster.answer) with
+    | Some e, Some v -> [ ("correct", Json.Bool (Value.equal e v)) ]
+    | Some _, None -> [ ("correct", Json.Bool false) ]
+    | None, _ -> []
+  in
+  Json.Obj
+    ([
+       ("answer", answer);
+       ("answer_time", opt_int outcome.Cluster.answer_time);
+       ("sim_time", Json.Int outcome.Cluster.sim_time);
+       ("events", Json.Int outcome.Cluster.events);
+       ( "error",
+         match outcome.Cluster.error with Some e -> Json.Str e | None -> Json.Null );
+       ("total_work", Json.Int total_work);
+       ("total_waste", Json.Int total_waste);
+     ]
+    @ correct)
+
+let run_json ?workload ?size ?expected ~cluster ~outcome () =
+  let journal = Cluster.journal cluster in
+  let episodes = Episode.analyze journal in
+  let trace = Cluster.trace cluster in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("meta", meta_json ?workload ?size (Cluster.config cluster));
+      ( "outcome",
+        outcome_json ?expected outcome ~total_work:(Cluster.total_work cluster)
+          ~total_waste:(Cluster.total_waste cluster) );
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Counter.to_alist (Cluster.counters cluster)))
+      );
+      ( "trace",
+        Json.Obj
+          [
+            ("logged", Json.Int (Trace.count trace));
+            ("retained", Json.Int (List.length (Trace.records trace)));
+          ] );
+      ("journal_entries", Json.Int (Journal.length journal));
+      ("episodes", Json.List (List.map Episode.to_json episodes));
+      ("episode_summary", Episode.aggregate_to_json (Episode.aggregate episodes));
+    ]
+
+let write ~path doc = Json.write_file ~path doc

@@ -1,0 +1,214 @@
+module Journal = Recflow_machine.Journal
+module Timeline = Recflow_machine.Timeline
+module Stamp = Recflow_recovery.Stamp
+module Json = Recflow_obs_core.Json
+
+(* pid space: one "process" per simulated processor, plus one synthetic
+   process for cluster-level events that have no processor (result
+   splicing, duplicate suppression, orphan bookkeeping). *)
+let cluster_pid ~nodes = nodes
+
+let meta ~pid ~name ~sort_index =
+  [
+    Json.Obj
+      [
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("ts", Json.Int 0);
+        ("name", Json.Str "process_name");
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ];
+    Json.Obj
+      [
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("ts", Json.Int 0);
+        ("name", Json.Str "process_sort_index");
+        ("args", Json.Obj [ ("sort_index", Json.Int sort_index) ]);
+      ];
+  ]
+
+let slice ~pid ~tid ~ts ~dur ~name ~stamp ~task ~outcome =
+  Json.Obj
+    [
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Int ts);
+      ("dur", Json.Int (max 0 dur));
+      ("name", Json.Str name);
+      ("cat", Json.Str "task");
+      ( "args",
+        Json.Obj
+          [
+            ("task", Json.Int task);
+            ("stamp", Json.Str (Stamp.to_string stamp));
+            ("outcome", Json.Str outcome);
+          ] );
+    ]
+
+let instant ?(scope = "t") ~pid ~ts ~name ~cat args =
+  Json.Obj
+    [
+      ("ph", Json.Str "i");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("ts", Json.Int ts);
+      ("s", Json.Str scope);
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("args", Json.Obj args);
+    ]
+
+let counter ~pid ~ts ~value =
+  Json.Obj
+    [
+      ("ph", Json.Str "C");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("ts", Json.Int ts);
+      ("name", Json.Str "occupancy");
+      ("args", Json.Obj [ ("live", Json.Int (max 0 value)) ]);
+    ]
+
+type open_slice = { proc : int; lane : int; start : int; stamp : Stamp.t }
+
+let events journal ~nodes ?(occupancy_buckets = 96) () =
+  let entries = Journal.entries journal in
+  let last_time = List.fold_left (fun acc (e : Journal.entry) -> max acc e.Journal.time) 0 entries in
+  let out = ref [] in
+  let push ev = out := ev :: !out in
+  (* lane allocation: reuse the lowest freed lane per processor so
+     concurrent tasks stack compactly instead of each claiming a row *)
+  let free_lanes = Array.make (max 1 nodes) [] in
+  let next_lane = Array.make (max 1 nodes) 0 in
+  let claim proc =
+    if proc < 0 || proc >= nodes then 0
+    else
+      match free_lanes.(proc) with
+      | lane :: rest ->
+        free_lanes.(proc) <- rest;
+        lane
+      | [] ->
+        let lane = next_lane.(proc) in
+        next_lane.(proc) <- lane + 1;
+        lane
+  in
+  let release proc lane =
+    if proc >= 0 && proc < nodes then
+      free_lanes.(proc) <- List.sort compare (lane :: free_lanes.(proc))
+  in
+  let open_slices : (int, open_slice) Hashtbl.t = Hashtbl.create 256 in
+  let close_slice ~task ~at ~outcome =
+    match Hashtbl.find_opt open_slices task with
+    | None -> ()
+    | Some s ->
+      Hashtbl.remove open_slices task;
+      release s.proc s.lane;
+      push
+        (slice ~pid:s.proc ~tid:s.lane ~ts:s.start ~dur:(at - s.start)
+           ~name:(Printf.sprintf "t%d %s" task (Stamp.to_string s.stamp))
+           ~stamp:s.stamp ~task ~outcome)
+  in
+  let stamp_args stamp rest = ("stamp", Json.Str (Stamp.to_string stamp)) :: rest in
+  List.iter
+    (fun (e : Journal.entry) ->
+      let ts = e.Journal.time in
+      let stamp = e.Journal.stamp in
+      match e.Journal.event with
+      | Journal.Activated { task; proc } ->
+        let lane = claim proc in
+        Hashtbl.replace open_slices task { proc; lane; start = ts; stamp }
+      | Journal.Completed { task; _ } -> close_slice ~task ~at:ts ~outcome:"completed"
+      | Journal.Aborted { task; proc; _ } ->
+        (* an abort may target a task that never activated here; record the
+           instant either way *)
+        close_slice ~task ~at:ts ~outcome:"aborted";
+        push
+          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+             ~ts ~name:"abort" ~cat:"recovery"
+             (stamp_args stamp [ ("task", Json.Int task) ]))
+      | Journal.Lost { task; proc; work } ->
+        close_slice ~task ~at:ts ~outcome:"killed";
+        push
+          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+             ~ts ~name:"lost" ~cat:"failure"
+             (stamp_args stamp [ ("task", Json.Int task); ("work", Json.Int work) ]))
+      | Journal.Failure { proc } ->
+        (* [Lost] entries have already closed resident slices; sweep any
+           stragglers so nothing survives its processor *)
+        let victims =
+          Hashtbl.fold (fun task s acc -> if s.proc = proc then task :: acc else acc) open_slices []
+        in
+        List.iter (fun task -> close_slice ~task ~at:ts ~outcome:"killed") victims;
+        push (instant ~scope:"p" ~pid:proc ~ts ~name:"failure" ~cat:"failure" [])
+      | Journal.Spawned { task; dest; replica } ->
+        let args = stamp_args stamp [ ("task", Json.Int task) ] in
+        let args = if replica > 0 then ("replica", Json.Int replica) :: args else args in
+        push
+          (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
+             ~ts ~name:"spawn" ~cat:"lifecycle" args)
+      | Journal.Respawned { task; dest; reason } ->
+        push
+          (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
+             ~ts ~name:"reissue" ~cat:"recovery"
+             (stamp_args stamp [ ("task", Json.Int task); ("reason", Json.Str reason) ]))
+      | Journal.Inherited { orphan_task; proc } ->
+        push
+          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+             ~ts ~name:"inherit" ~cat:"recovery"
+             (stamp_args stamp [ ("orphan_task", Json.Int orphan_task) ]))
+      | Journal.Relayed { via } ->
+        push
+          (instant ~pid:(if via >= 0 && via < nodes then via else cluster_pid ~nodes)
+             ~ts ~name:"relay" ~cat:"recovery" (stamp_args stamp []))
+      | Journal.Relay_dropped { at; reason } ->
+        push
+          (instant ~pid:(if at >= 0 && at < nodes then at else cluster_pid ~nodes)
+             ~ts ~name:"relay-drop" ~cat:"recovery"
+             (stamp_args stamp [ ("reason", Json.Str reason) ]))
+      | Journal.Inlined { parent_task; proc; work } ->
+        push
+          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+             ~ts ~name:"inline" ~cat:"lifecycle"
+             (stamp_args stamp [ ("parent_task", Json.Int parent_task); ("work", Json.Int work) ]))
+      | Journal.Result_accepted { task } ->
+        push
+          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"result-accepted" ~cat:"lifecycle"
+             (stamp_args stamp [ ("task", Json.Int task) ]))
+      | Journal.Duplicate_ignored { task } ->
+        push
+          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"duplicate-ignored" ~cat:"recovery"
+             (stamp_args stamp [ ("task", Json.Int task) ]))
+      | Journal.Orphan_dropped { task } ->
+        push
+          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"orphan-dropped" ~cat:"recovery"
+             (stamp_args stamp [ ("task", Json.Int task) ]))
+      | Journal.Acked _ -> ())
+    entries;
+  (* tasks still running when the journal ends *)
+  let unfinished = Hashtbl.fold (fun task _ acc -> task :: acc) open_slices [] in
+  List.iter (fun task -> close_slice ~task ~at:last_time ~outcome:"unfinished") unfinished;
+  (* occupancy counter track from the reconstructed timeline *)
+  if occupancy_buckets > 0 && entries <> [] && nodes > 0 then begin
+    let until = max 1 last_time in
+    let grid = Timeline.occupancy journal ~nodes ~buckets:occupancy_buckets ~until in
+    for proc = 0 to nodes - 1 do
+      for b = 0 to occupancy_buckets - 1 do
+        let ts = b * until / occupancy_buckets in
+        push (counter ~pid:proc ~ts ~value:grid.(proc).(b))
+      done
+    done
+  end;
+  let header =
+    List.concat
+      (List.init nodes (fun p -> meta ~pid:p ~name:(Printf.sprintf "P%d" p) ~sort_index:p)
+      @ [ meta ~pid:(cluster_pid ~nodes) ~name:"cluster" ~sort_index:nodes ])
+  in
+  header @ List.rev !out
+
+let to_json journal ~nodes ?occupancy_buckets () =
+  Json.List (events journal ~nodes ?occupancy_buckets ())
+
+let write ~path journal ~nodes ?occupancy_buckets () =
+  Json.write_file ~path (to_json journal ~nodes ?occupancy_buckets ())

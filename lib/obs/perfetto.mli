@@ -1,0 +1,25 @@
+(** Chrome-trace-format / Perfetto export of a run.
+
+    Converts a {!Recflow_machine.Journal} into a [trace.json] loadable in
+    [ui.perfetto.dev] (or [chrome://tracing]): one process group per
+    simulated processor, task activations as duration slices laid out on
+    greedily-reused lanes, recovery events (failures, reissues, relays,
+    inheritance, drops) as instant events, and a per-processor occupancy
+    counter track derived from {!Recflow_machine.Timeline.occupancy}.
+    One simulation tick maps to one microsecond.
+
+    The output is the "JSON array" flavour of the trace-event format: a
+    top-level array where every element has at least ["ph"], ["ts"] and
+    ["pid"] fields. *)
+
+module Journal = Recflow_machine.Journal
+
+val events : Journal.t -> nodes:int -> ?occupancy_buckets:int -> unit -> Recflow_obs_core.Json.t list
+(** All trace events, metadata first.  [occupancy_buckets] (default 96)
+    sizes the counter track; [0] disables it. *)
+
+val to_json : Journal.t -> nodes:int -> ?occupancy_buckets:int -> unit -> Recflow_obs_core.Json.t
+(** The events wrapped as a JSON array. *)
+
+val write : path:string -> Journal.t -> nodes:int -> ?occupancy_buckets:int -> unit -> unit
+(** [to_json] serialised to [path]. *)

@@ -1,0 +1,91 @@
+type 'a t = {
+  mutable emitted : int;
+  emit_fn : 'a -> unit;
+  flush_fn : unit -> unit;
+  close_fn : unit -> unit;
+  mutable closed : bool;
+}
+
+let make ?(flush = ignore) ?(close = ignore) emit_fn =
+  { emitted = 0; emit_fn; flush_fn = flush; close_fn = close; closed = false }
+
+let emit t x =
+  if not t.closed then begin
+    t.emitted <- t.emitted + 1;
+    t.emit_fn x
+  end
+
+let flush t = if not t.closed then t.flush_fn ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.close_fn ()
+  end
+
+let emitted t = t.emitted
+
+let null () = make ignore
+
+let of_fun ?flush ?close f = make ?flush ?close f
+
+let tee a b =
+  make
+    ~flush:(fun () -> flush a; flush b)
+    ~close:(fun () -> close a; close b)
+    (fun x -> emit a x; emit b x)
+
+let line_writer ~render oc x =
+  output_string oc (render x);
+  output_char oc '\n'
+
+let channel ~render oc =
+  make ~flush:(fun () -> Stdlib.flush oc) ~close:(fun () -> Stdlib.flush oc) (line_writer ~render oc)
+
+let file ~render path =
+  let oc = open_out path in
+  make ~flush:(fun () -> Stdlib.flush oc) ~close:(fun () -> close_out oc) (line_writer ~render oc)
+
+module Ring = struct
+  type 'a ring = {
+    cap : int;
+    mutable buf : 'a array;
+    mutable start : int;  (* index of oldest value *)
+    mutable len : int;
+    mutable pushed : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Sink.Ring.create: capacity must be positive";
+    { cap = capacity; buf = [||]; start = 0; len = 0; pushed = 0 }
+
+  let push r x =
+    if Array.length r.buf = 0 then r.buf <- Array.make r.cap x;
+    if r.len < r.cap then begin
+      r.buf.((r.start + r.len) mod r.cap) <- x;
+      r.len <- r.len + 1
+    end
+    else begin
+      r.buf.(r.start) <- x;
+      r.start <- (r.start + 1) mod r.cap
+    end;
+    r.pushed <- r.pushed + 1
+
+  let to_list r =
+    let rec collect i acc =
+      if i < 0 then acc else collect (i - 1) (r.buf.((r.start + i) mod r.cap) :: acc)
+    in
+    collect (r.len - 1) []
+
+  let total r = r.pushed
+
+  let length r = r.len
+
+  let capacity r = r.cap
+
+  let clear r =
+    r.start <- 0;
+    r.len <- 0
+
+  let sink r = make (push r)
+end

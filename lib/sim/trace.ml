@@ -1,54 +1,54 @@
+module Sink = Recflow_obs_core.Sink
+module Json = Recflow_obs_core.Json
+
 type level = Debug | Info | Warn | Error
 
 type record = { time : int; level : level; tag : string; message : string }
 
 type t = {
-  capacity : int;
-  mutable buf : record array;
-  mutable start : int;  (* index of oldest record *)
-  mutable len : int;
-  mutable total : int;
+  ring : record Sink.Ring.ring;
+  mutable extra : record Sink.t option;  (* attached consumers, teed *)
 }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buf = [||]; start = 0; len = 0; total = 0 }
+  { ring = Sink.Ring.create ~capacity; extra = None }
+
+let attach_sink t s =
+  t.extra <- (match t.extra with None -> Some s | Some prev -> Some (Sink.tee prev s))
 
 let log t ~time ~level ~tag message =
   let r = { time; level; tag; message } in
-  if Array.length t.buf = 0 then t.buf <- Array.make t.capacity r;
-  if t.len < t.capacity then begin
-    t.buf.((t.start + t.len) mod t.capacity) <- r;
-    t.len <- t.len + 1
-  end
-  else begin
-    t.buf.(t.start) <- r;
-    t.start <- (t.start + 1) mod t.capacity
-  end;
-  t.total <- t.total + 1
+  Sink.Ring.push t.ring r;
+  match t.extra with None -> () | Some s -> Sink.emit s r
 
 let logf t ~time ~level ~tag fmt =
   Format.kasprintf (fun message -> log t ~time ~level ~tag message) fmt
 
-let records t =
-  let rec collect i acc =
-    if i < 0 then acc else collect (i - 1) (t.buf.((t.start + i) mod t.capacity) :: acc)
-  in
-  collect (t.len - 1) []
+let records t = Sink.Ring.to_list t.ring
 
 let find t ~tag = List.filter (fun r -> String.equal r.tag tag) (records t)
 
-let count t = t.total
+let count t = Sink.Ring.total t.ring
 
-let clear t =
-  t.start <- 0;
-  t.len <- 0
+let clear t = Sink.Ring.clear t.ring
 
 let level_label = function
   | Debug -> "DEBUG"
   | Info -> "INFO"
   | Warn -> "WARN"
   | Error -> "ERROR"
+
+let to_json r =
+  Json.Obj
+    [
+      ("ts", Json.Int r.time);
+      ("level", Json.Str (level_label r.level));
+      ("tag", Json.Str r.tag);
+      ("msg", Json.Str r.message);
+    ]
+
+let to_json_line r = Json.to_string (to_json r)
 
 let pp_record ppf r =
   Format.fprintf ppf "[%8d] %-5s %-12s %s" r.time (level_label r.level) r.tag r.message

@@ -3,8 +3,11 @@
     Nodes and recovery drivers append human-readable records; tests and the
     experiment harness scan them to assert that a particular protocol step
     actually happened (e.g. "C re-issued checkpoint B2 after B failed").
-    The buffer is a ring: only the most recent [capacity] records are kept,
-    together with a monotone count of everything ever logged. *)
+    The buffer is a {!Recflow_obs_core.Sink.Ring}: only the most recent
+    [capacity] records are kept, together with a monotone count of
+    everything ever logged.  Extra {!Recflow_obs_core.Sink.t}s can be
+    attached so million-event runs stream every record to disk (JSONL)
+    instead of silently evicting. *)
 
 type level = Debug | Info | Warn | Error
 
@@ -14,6 +17,11 @@ type t
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity is 65536 records. *)
+
+val attach_sink : t -> record Recflow_obs_core.Sink.t -> unit
+(** Every subsequent record is also pushed into the sink (in addition to
+    the ring).  Repeated calls tee; the caller keeps ownership and must
+    {!Recflow_obs_core.Sink.close} file-backed sinks after the run. *)
 
 val log : t -> time:int -> level:level -> tag:string -> string -> unit
 
@@ -30,6 +38,12 @@ val count : t -> int
 (** Total records ever logged (including evicted ones). *)
 
 val clear : t -> unit
+
+val to_json : record -> Recflow_obs_core.Json.t
+
+val to_json_line : record -> string
+(** One-line JSON rendering ([{"ts":..,"level":..,"tag":..,"msg":..}]),
+    ready for a JSONL {!Recflow_obs_core.Sink.file}. *)
 
 val pp_record : Format.formatter -> record -> unit
 

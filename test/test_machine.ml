@@ -392,6 +392,32 @@ let timeline_empty () =
   let j = Journal.create () in
   check "placeholder" true (Recflow_machine.Timeline.render j ~nodes:2 () = "(empty journal)\n")
 
+let occupancy_empty_journal () =
+  let grid = Recflow_machine.Timeline.occupancy (Journal.create ()) ~nodes:3 ~buckets:10 ~until:100 in
+  check_int "rows" 3 (Array.length grid);
+  check_int "cols" 10 (Array.length grid.(0));
+  check "all zero" true (Array.for_all (fun row -> Array.for_all (fun v -> v = 0) row) grid)
+
+let occupancy_failure_in_bucket_zero () =
+  let j = Journal.create () in
+  Journal.record j ~time:0 ~stamp:Stamp.root (Journal.Failure { proc = 1 });
+  Journal.record j ~time:50 ~stamp:(Stamp.of_digits [ 1 ]) (Journal.Activated { task = 7; proc = 0 });
+  let grid = Recflow_machine.Timeline.occupancy j ~nodes:2 ~buckets:8 ~until:100 in
+  check "failed node dead from bucket 0" true (Array.for_all (fun v -> v = -1) grid.(1));
+  check "survivor unaffected" true (Array.for_all (fun v -> v >= 0) grid.(0));
+  check_int "survivor occupied at activation bucket" 1 grid.(0).(4)
+
+let occupancy_until_before_entries () =
+  (* events beyond [until] clamp into the last bucket instead of indexing
+     out of bounds *)
+  let j = Journal.create () in
+  Journal.record j ~time:100 ~stamp:(Stamp.of_digits [ 0 ]) (Journal.Activated { task = 1; proc = 0 });
+  Journal.record j ~time:200 ~stamp:(Stamp.of_digits [ 1 ]) (Journal.Activated { task = 2; proc = 0 });
+  let grid = Recflow_machine.Timeline.occupancy j ~nodes:1 ~buckets:4 ~until:10 in
+  check_int "cols" 4 (Array.length grid.(0));
+  check_int "both activations clamp to last bucket" 2 grid.(0).(3);
+  check_int "earlier buckets empty" 0 grid.(0).(0)
+
 let suites =
   [
     ( "machine.fault_free",
@@ -435,5 +461,8 @@ let suites =
         Alcotest.test_case "render" `Quick timeline_render;
         Alcotest.test_case "occupancy" `Quick timeline_occupancy;
         Alcotest.test_case "empty" `Quick timeline_empty;
+        Alcotest.test_case "occupancy empty journal" `Quick occupancy_empty_journal;
+        Alcotest.test_case "occupancy failure in bucket 0" `Quick occupancy_failure_in_bucket_zero;
+        Alcotest.test_case "occupancy until before entries" `Quick occupancy_until_before_entries;
       ] );
   ]

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Formatting gate: run `dune build @fmt` when ocamlformat is available.
+# Build images without ocamlformat skip the check instead of failing, so
+# this is safe to call unconditionally from CI or a pre-commit hook.
+set -e
+cd "$(dirname "$0")/.."
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check-fmt: ocamlformat not installed, skipping"
+  exit 0
+fi
+exec dune build @fmt
