@@ -248,6 +248,45 @@ let bench_q8 =
          ignore (run_cluster cfg synthetic Workload.Small [ (3000, 2) ])))
 
 (* ------------------------------------------------------------------ *)
+(* Sequential vs parallel sweep wall-clock                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Recflow_parallel.Pool
+
+(* A Q2-style sweep over the synthetic workload: one failure injected at a
+   range of times under both recovery schemes — 16 independent simulations,
+   the shape the experiments driver fans out under --jobs. *)
+let sweep_points =
+  List.concat_map
+    (fun recovery -> List.init 8 (fun i -> (recovery, 1000 + (500 * i))))
+    [ Config.Rollback; Config.Splice ]
+
+let time_sweep ~jobs =
+  let pool = Pool.create ~jobs () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.map pool
+      (fun (recovery, t) ->
+        let o = run_cluster (quant_cfg recovery) synthetic Workload.Small [ (t, 2) ] in
+        (o.Cluster.sim_time, o.Cluster.events, o.Cluster.answer))
+      sweep_points
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Pool.shutdown pool;
+  (outcomes, dt)
+
+let report_sweep_scaling () =
+  Format.printf "@.--- sequential vs parallel synthetic sweep (%d simulations) ---@."
+    (List.length sweep_points);
+  let seq_outcomes, seq_t = time_sweep ~jobs:1 in
+  Format.printf "  jobs=1   %6.2f s@." seq_t;
+  let jobs = max 2 (Domain.recommended_domain_count ()) in
+  let par_outcomes, par_t = time_sweep ~jobs in
+  Format.printf "  jobs=%-3d %6.2f s   speedup %.2fx   results %s@." jobs par_t (seq_t /. par_t)
+    (if seq_outcomes = par_outcomes then "identical" else "DIFFER");
+  if seq_outcomes <> par_outcomes then failwith "parallel sweep diverged from sequential"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -277,6 +316,7 @@ let () =
   run_group "experiments"
     [ bench_fig1; bench_fig3; bench_fig5; bench_fig6; bench_q1; bench_q2_rollback;
       bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8 ];
+  report_sweep_scaling ();
   (* Regenerate the actual tables so the benchmark log carries the rows
      the paper reports. *)
   Format.printf "@.=== reproduced tables (quick mode) ===@.";

@@ -12,6 +12,7 @@ module Report = Recflow_experiments.Report
 module Harness = Recflow_experiments.Harness
 module Cluster = Recflow_machine.Cluster
 module Metrics = Recflow_obs.Metrics
+module Pool = Recflow_parallel.Pool
 
 (* Dump one metrics document per simulated run into [dir]; file names are
    ordinal so a whole experiment sweep becomes a browsable trajectory. *)
@@ -36,9 +37,9 @@ let run_entries quick markdown entries =
   let reports =
     List.map
       (fun (e : Registry.entry) ->
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let r = e.Registry.run ~quick () in
-        let dt = Sys.time () -. t0 in
+        let dt = Unix.gettimeofday () -. t0 in
         Format.printf "%a" Report.pp r;
         Format.printf "(%.1fs)@." dt;
         r)
@@ -60,7 +61,13 @@ let run_entries quick markdown entries =
     exit 1
   end
 
-let main quick list_only markdown metrics_dir ids =
+let main quick list_only markdown metrics_dir jobs ids =
+  (match jobs with
+  | Some j when j < 1 ->
+    Format.eprintf "--jobs must be >= 1@.";
+    exit 2
+  | Some j -> Pool.set_default_jobs j
+  | None -> ());
   let runs_dumped = Option.map install_metrics_hook metrics_dir in
   let finish code =
     (match (metrics_dir, runs_dumped) with
@@ -114,12 +121,22 @@ let metrics_dir =
           "Write one JSON metrics document (config metadata, counters, recovery-episode spans) \
            per simulated run into $(docv), created if missing.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan each experiment sweep out over $(docv) domains (default: the machine's \
+           recommended domain count).  Reports are bit-identical at any $(docv); $(docv)=1 \
+           runs strictly sequentially.")
+
 let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids to run.")
 
 let cmd =
   let doc = "regenerate the figures and tables of Lin & Keller (ICPP 1986)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ quick $ list_only $ markdown $ metrics_dir $ ids)
+    Term.(const main $ quick $ list_only $ markdown $ metrics_dir $ jobs $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -37,7 +37,7 @@ let run ?(quick = false) () =
           "static reassignments"; "answer ok" ]
   in
   let results =
-    List.map
+    Harness.run_many
       (fun (name, policy, topology) ->
         let cfg =
           {
@@ -59,19 +59,24 @@ let run ?(quick = false) () =
         in
         let faulty = Harness.run cfg w size ~failures:(Plan.single ~time:t_fail victim) in
         let reassigned = Harness.counter faulty "static.reassigned" in
-        Table.add_row table
-          [
-            name;
-            Harness.c_int probe.Harness.makespan;
-            Harness.c_float ~decimals:2 (balance_spread probe.Harness.cluster);
-            Harness.c_int faulty.Harness.makespan;
-            Printf.sprintf "%+d" (faulty.Harness.makespan - probe.Harness.makespan);
-            Harness.c_int reassigned;
-            Harness.c_bool (probe.Harness.correct && faulty.Harness.correct);
-          ];
         (name, probe, faulty, reassigned))
       policies
   in
+  (* Rows are rendered after the fan-out so the table mutates on one
+     domain only, in policy order. *)
+  List.iter
+    (fun (name, probe, faulty, reassigned) ->
+      Table.add_row table
+        [
+          name;
+          Harness.c_int probe.Harness.makespan;
+          Harness.c_float ~decimals:2 (balance_spread probe.Harness.cluster);
+          Harness.c_int faulty.Harness.makespan;
+          Printf.sprintf "%+d" (faulty.Harness.makespan - probe.Harness.makespan);
+          Harness.c_int reassigned;
+          Harness.c_bool (probe.Harness.correct && faulty.Harness.correct);
+        ])
+    results;
   let reassigned_of name =
     let _, _, _, r = List.find (fun (n, _, _, _) -> n = name) results in
     r

@@ -305,8 +305,11 @@ let candidates_for ~quick target =
 let opt_time = function Some t -> string_of_int t | None -> "-"
 
 let run ?(quick = false) () =
+  (* The eight case searches are independent; each stays sequential inside
+     (first matching candidate wins) so the found schedule is identical at
+     any pool width. *)
   let results =
-    List.map
+    Harness.run_many
       (fun case -> (case, search case (candidates_for ~quick case)))
       Splice_case.all
   in

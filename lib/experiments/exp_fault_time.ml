@@ -20,7 +20,7 @@ type point = {
 let sweep cfg w size quick =
   let probe = Harness.probe cfg w size in
   let journal = Cluster.journal probe.Harness.cluster in
-  List.map
+  Harness.run_many
     (fun frac ->
       let t_fail = int_of_float (frac *. float_of_int probe.Harness.makespan) in
       let root_host =
@@ -53,13 +53,12 @@ let run ?(quick = false) () =
   in
   let detects = [ 200; 2500 ] in
   let grid =
-    List.concat_map
-      (fun detect ->
-        [
-          ("rollback", detect, sweep (mk Config.Rollback detect) w size quick);
-          ("splice", detect, sweep (mk Config.Splice detect) w size quick);
-        ])
-      detects
+    Harness.run_many
+      (fun (scheme, recovery, detect) -> (scheme, detect, sweep (mk recovery detect) w size quick))
+      (List.concat_map
+         (fun detect ->
+           [ ("rollback", Config.Rollback, detect); ("splice", Config.Splice, detect) ])
+         detects)
   in
   let table =
     Table.create ~title:"Recovery cost vs fault time and detection delay"

@@ -17,7 +17,7 @@ let run ?(quick = false) () =
   let w, size, inline_depth = Harness.synthetic_setup ~quick in
   let graces = if quick then [ 0; 80; 800 ] else [ 0; 20; 80; 200; 800; 3000 ] in
   let points =
-    List.map
+    Harness.run_many
       (fun grace ->
         let cfg =
           {

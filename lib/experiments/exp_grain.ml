@@ -26,7 +26,7 @@ let run ?(quick = false) () =
     |> List.sort_uniq compare
   in
   let points =
-    List.map
+    Harness.run_many
       (fun inline_depth ->
         let cfg =
           {

@@ -63,24 +63,37 @@ let run ?(quick = false) () =
   in
   let cfg1 = mk 1 in
   let cfg2 = mk 2 in
-  let probe1 = Harness.probe cfg1 w size in
-  let probe2 = Harness.probe cfg2 w size in
+  let probe1, probe2 =
+    match Harness.run_many (fun cfg -> Harness.probe cfg w size) [ cfg1; cfg2 ] with
+    | [ p1; p2 ] -> (p1, p2)
+    | _ -> assert false
+  in
   let rows =
     List.filter_map Fun.id
-      [
-        scenario_row cfg1 w size probe1 ~scenario:"single failure (reference)"
-          ~victims_at:(fun j t ->
-            Option.map (fun v -> [ v ]) (Plan.Pick.busiest_at j ~time:t ~exclude:[]));
-        scenario_row cfg1 w size probe1 ~scenario:"two failures, disjoint branches"
-          ~victims_at:(fun j t ->
-            Option.map (fun (a, b) -> [ a; b ]) (Plan.Pick.disjoint_pair j ~time:t));
-        scenario_row cfg1 w size probe1 ~scenario:"parent+grandparent chain (depth-1 links)"
-          ~victims_at:(fun j t ->
-            Option.map (fun (p, g) -> [ p; g ]) (Plan.Pick.parent_grandparent_pair j ~time:t));
-        scenario_row cfg2 w size probe2 ~scenario:"parent+grandparent chain (depth-2 links)"
-          ~victims_at:(fun j t ->
-            Option.map (fun (p, g) -> [ p; g ]) (Plan.Pick.parent_grandparent_pair j ~time:t));
-      ]
+    @@ Harness.run_many
+         (fun scenario -> scenario ())
+         [
+           (fun () ->
+             scenario_row cfg1 w size probe1 ~scenario:"single failure (reference)"
+               ~victims_at:(fun j t ->
+                 Option.map (fun v -> [ v ]) (Plan.Pick.busiest_at j ~time:t ~exclude:[])));
+           (fun () ->
+             scenario_row cfg1 w size probe1 ~scenario:"two failures, disjoint branches"
+               ~victims_at:(fun j t ->
+                 Option.map (fun (a, b) -> [ a; b ]) (Plan.Pick.disjoint_pair j ~time:t)));
+           (fun () ->
+             scenario_row cfg1 w size probe1 ~scenario:"parent+grandparent chain (depth-1 links)"
+               ~victims_at:(fun j t ->
+                 Option.map
+                   (fun (p, g) -> [ p; g ])
+                   (Plan.Pick.parent_grandparent_pair j ~time:t)));
+           (fun () ->
+             scenario_row cfg2 w size probe2 ~scenario:"parent+grandparent chain (depth-2 links)"
+               ~victims_at:(fun j t ->
+                 Option.map
+                   (fun (p, g) -> [ p; g ])
+                   (Plan.Pick.parent_grandparent_pair j ~time:t)));
+         ]
   in
   let table =
     Table.create ~title:"Multiple simultaneous failures under splice"

@@ -15,7 +15,7 @@ let run ?(quick = false) () =
       mech "task replication k=3 (depth<=2)" (Config.Replicate 3);
     ]
   in
-  let runs = List.map (fun (name, cfg) -> (name, Harness.probe cfg w size)) rows in
+  let runs = Harness.run_many (fun (name, cfg) -> (name, Harness.probe cfg w size)) rows in
   let baseline = List.assoc "no fault tolerance" runs in
   let table =
     Table.create ~title:"Fault-free overhead by mechanism (synthetic b=2 d=8 g=60, 8 processors)"

@@ -40,7 +40,7 @@ let run ?(quick = false) () =
     ]
   in
   let rows =
-    List.map
+    Harness.run_many
       (fun (name, recovery) ->
         let cfg = { base with Config.recovery } in
         let probe = Harness.probe cfg w size in

@@ -18,17 +18,20 @@ let run ?(quick = false) () =
   let splice_adopted = ref 0 and splice_relayed = ref 0 in
   let rollback_dropped = ref 0 and rollback_salvaged = ref 0 in
   let all_correct = ref true in
-  List.iter
-    (fun detect ->
-      List.iter
-        (fun recovery ->
-          let cfg =
-            { base with Config.recovery; detect_delay = detect;
-              policy = Recflow_balance.Policy.Random }
-          in
-          let probe = Harness.probe cfg w size in
-          let journal = Cluster.journal probe.Harness.cluster in
-          List.iter
+  (* One block per (detect, scheme): probe once, then every fault time of
+     the block in parallel; accumulation and table rows happen afterwards
+     on the submitting domain, in sweep order. *)
+  let blocks =
+    Harness.run_many
+      (fun (detect, recovery) ->
+        let cfg =
+          { base with Config.recovery; detect_delay = detect;
+            policy = Recflow_balance.Policy.Random }
+        in
+        let probe = Harness.probe cfg w size in
+        let journal = Cluster.journal probe.Harness.cluster in
+        let points =
+          Harness.run_many
             (fun frac ->
               let t_fail = int_of_float (frac *. float_of_int probe.Harness.makespan) in
               let root_host =
@@ -42,34 +45,56 @@ let run ?(quick = false) () =
                 Harness.run ~drain:true cfg w size
                   ~failures:(Plan.single ~time:t_fail victim)
               in
-              if not r.Harness.correct then all_correct := false;
               let c name = Harness.counter r name in
-              let adopted = c "spawn.skipped_preheld" in
-              (match recovery with
-              | Config.Splice ->
-                splice_adopted := !splice_adopted + adopted;
-                splice_relayed := !splice_relayed + c "relay.forwarded"
-              | Config.Rollback ->
-                rollback_dropped := !rollback_dropped + c "result.orphan_dropped";
-                rollback_salvaged := !rollback_salvaged + c "relay.forwarded"
-              | Config.No_recovery | Config.Replicate _ -> ());
-              Table.add_row table
+              ( frac,
                 [
-                  Printf.sprintf "%.0f%%" (100.0 *. frac);
-                  Harness.c_int detect;
-                  Config.recovery_to_string recovery;
-                  Harness.c_int (c "relay.sent" + c "result.orphan_dropped");
-                  Harness.c_int (c "relay.forwarded");
-                  Harness.c_int adopted;
-                  Harness.c_int (c "dup.ignored");
-                  Harness.c_int (c "relay.stranded");
-                  Harness.c_int (c "result.orphan_dropped");
-                  Harness.c_bool r.Harness.correct;
-                ])
-            fractions;
-          Table.add_separator table)
-        [ Config.Rollback; Config.Splice ])
-    detects;
+                  ("relay.sent", c "relay.sent");
+                  ("relay.forwarded", c "relay.forwarded");
+                  ("spawn.skipped_preheld", c "spawn.skipped_preheld");
+                  ("dup.ignored", c "dup.ignored");
+                  ("relay.stranded", c "relay.stranded");
+                  ("result.orphan_dropped", c "result.orphan_dropped");
+                ],
+                r.Harness.correct ))
+            fractions
+        in
+        (detect, recovery, points))
+      (List.concat_map
+         (fun detect ->
+           List.map (fun recovery -> (detect, recovery)) [ Config.Rollback; Config.Splice ])
+         detects)
+  in
+  List.iter
+    (fun (detect, recovery, points) ->
+      List.iter
+        (fun (frac, counters, correct) ->
+          if not correct then all_correct := false;
+          let c name = List.assoc name counters in
+          let adopted = c "spawn.skipped_preheld" in
+          (match recovery with
+          | Config.Splice ->
+            splice_adopted := !splice_adopted + adopted;
+            splice_relayed := !splice_relayed + c "relay.forwarded"
+          | Config.Rollback ->
+            rollback_dropped := !rollback_dropped + c "result.orphan_dropped";
+            rollback_salvaged := !rollback_salvaged + c "relay.forwarded"
+          | Config.No_recovery | Config.Replicate _ -> ());
+          Table.add_row table
+            [
+              Printf.sprintf "%.0f%%" (100.0 *. frac);
+              Harness.c_int detect;
+              Config.recovery_to_string recovery;
+              Harness.c_int (c "relay.sent" + c "result.orphan_dropped");
+              Harness.c_int (c "relay.forwarded");
+              Harness.c_int adopted;
+              Harness.c_int (c "dup.ignored");
+              Harness.c_int (c "relay.stranded");
+              Harness.c_int (c "result.orphan_dropped");
+              Harness.c_bool correct;
+            ])
+        points;
+      Table.add_separator table)
+    blocks;
   let checks =
     [
       ("all runs produce the serial answer", !all_correct);

@@ -17,7 +17,7 @@ let run ?(quick = false) () =
   let w, size, inline_depth = Harness.synthetic_setup ~quick in
   let node_counts = if quick then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8; 16; 32 ] in
   let points =
-    List.map
+    Harness.run_many
       (fun nodes ->
         let cfg =
           {

@@ -27,7 +27,7 @@ let plan_for probe n =
 let sweep cfg w size counts =
   let probe = Harness.probe cfg w size in
   ( probe,
-    List.map
+    Harness.run_many
       (fun n ->
         let plan = plan_for probe n in
         let r = Harness.run cfg w size ~failures:plan in

@@ -29,7 +29,7 @@ let run ?(quick = false) () =
     }
   in
   let rows =
-    List.map
+    Harness.run_many
       (fun (name, mode) ->
         let cfg = mk mode in
         let probe = Harness.probe cfg w size in

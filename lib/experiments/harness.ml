@@ -3,14 +3,31 @@ module Config = Recflow_machine.Config
 module Workload = Recflow_workload.Workload
 module Value = Recflow_lang.Value
 module Counter = Recflow_stats.Counter
+module Rng = Recflow_sim.Rng
+module Pool = Recflow_parallel.Pool
 
 type run = { cluster : Cluster.t; outcome : Cluster.outcome; correct : bool; makespan : int }
 
 type obs_info = { workload_name : string; size_name : string }
 
+(* The hook is a process-wide mutable and harness runs execute on pool
+   domains, so both the install and every invocation go through one lock:
+   hook bodies (metrics-document writes, counters) are serialized and
+   need no synchronisation of their own. *)
+let obs_lock = Mutex.create ()
+
 let obs_hook : (obs_info -> run -> unit) option ref = ref None
 
-let set_obs_hook h = obs_hook := h
+let set_obs_hook h =
+  Mutex.lock obs_lock;
+  obs_hook := h;
+  Mutex.unlock obs_lock
+
+let notify_obs info r =
+  Mutex.lock obs_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock obs_lock)
+    (fun () -> match !obs_hook with Some hook -> hook info r | None -> ())
 
 let size_name = function
   | Workload.Tiny -> "tiny"
@@ -31,13 +48,21 @@ let run ?(drain = false) config workload size ~failures =
     match outcome.Cluster.answer_time with Some t -> t | None -> outcome.Cluster.sim_time
   in
   let r = { cluster; outcome; correct; makespan } in
-  (match !obs_hook with
-  | Some hook ->
-    hook { workload_name = workload.Workload.name; size_name = size_name size } r
-  | None -> ());
+  notify_obs { workload_name = workload.Workload.name; size_name = size_name size } r;
   r
 
 let probe config workload size = run config workload size ~failures:[]
+
+let run_many f xs = Pool.map (Pool.default ()) f xs
+
+let run_many_seeded ~seed f xs =
+  (* Derive one independent stream per element by splitting a master
+     generator *before* the fan-out: stream [i] depends only on [seed]
+     and [i], never on which domain (or how many) runs the element, so a
+     sweep is bit-identical at any [--jobs]. *)
+  let master = Rng.create seed in
+  let seeded = List.map (fun x -> (Rng.split master, x)) xs in
+  run_many (fun (rng, x) -> f ~rng x) seeded
 
 let synthetic_setup ~quick =
   let depth = 8 in

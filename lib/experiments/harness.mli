@@ -21,13 +21,34 @@ val run :
 val probe : Config.t -> Workload.t -> Workload.size -> run
 (** Fault-free run (the oracle for fault placement and baselines). *)
 
+val run_many : ('a -> 'b) -> 'a list -> 'b list
+(** [run_many f xs] is [List.map f xs] fanned out over the shared domain
+    pool ({!Recflow_parallel.Pool.default}, sized by the driver's
+    [--jobs]).  Results come back in the order of [xs] and every run is
+    determined by its own [Config.seed], so a sweep's output is
+    bit-identical at any pool width.  Use for the independent points of
+    an experiment sweep; the elements must not share mutable state. *)
+
+val run_many_seeded :
+  seed:int -> (rng:Recflow_sim.Rng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!run_many} for sweeps that draw extra randomness: element [i]
+    receives a private stream split off a master generator seeded with
+    [seed] before the fan-out, so the draws depend only on [(seed, i)]
+    and the sweep stays bit-identical at any [--jobs]. *)
+
 type obs_info = { workload_name : string; size_name : string }
 
 val set_obs_hook : (obs_info -> run -> unit) option -> unit
 (** Install (or clear) an observability callback invoked after every
     harness run, probes included — the experiments binary uses it to dump
     a metrics document per simulated run ([--metrics-dir]) without any
-    experiment knowing.  The hook must not mutate the cluster. *)
+    experiment knowing.  The hook must not mutate the cluster.
+
+    Installation and every invocation are serialized behind one mutex, so
+    the hook may keep plain mutable state even when runs execute on pool
+    domains ({!run_many}); completion order across domains — and hence
+    e.g. ordinal file numbering — is not deterministic under [--jobs] > 1,
+    but the set of invocations is. *)
 
 val synthetic_setup : quick:bool -> Workload.t * Workload.size * int
 (** The standard controlled workload of the quantitative experiments: a

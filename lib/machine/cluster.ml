@@ -102,7 +102,11 @@ let place t ~origin ~key =
 let first_alive t ~key =
   match Router.alive_nodes t.router with
   | [] -> None
-  | alive -> Some (List.nth alive (abs key mod List.length alive))
+  | alive ->
+    (* [abs min_int] is negative (two's complement has no positive
+       counterpart), which made [mod] produce a negative index and
+       [List.nth] raise; masking the sign bit keeps every key usable. *)
+    Some (List.nth alive (key land max_int mod List.length alive))
 
 let hops t ~src ~dst =
   let src = if src = Ids.super_root then dst else src in

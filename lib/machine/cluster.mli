@@ -70,3 +70,8 @@ val total_waste : t -> int
 
 val root_location : t -> Ids.proc_id option
 (** Processor currently hosting the root task, if dispatched. *)
+
+val first_alive : t -> key:int -> Ids.proc_id option
+(** Deterministic pick among the processors currently alive, hashed by
+    [key] (any int, including [min_int]); [None] when all are dead.
+    Nodes use it to re-home tasks whose preferred destination died. *)

@@ -1,0 +1,153 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;  (* guards [queue] and [closed] *)
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* One batch per [map] call: tasks decrement [remaining] once their result
+   (or exception) is stored; the submitter sleeps on [finished] only when
+   the shared queue is empty, i.e. every leftover task is already running
+   on some worker. *)
+type batch = { bm : Mutex.t; finished : Condition.t; mutable remaining : int }
+
+let worker t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* closed and drained *)
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ()
+    end
+  done
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> j | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map (type b) t (f : _ -> b) xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results : b option array = Array.make n None in
+    let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+    let batch = { bm = Mutex.create (); finished = Condition.create (); remaining = n } in
+    let task i () =
+      (match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Mutex.lock batch.bm;
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.broadcast batch.finished;
+      Mutex.unlock batch.bm
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    (* The submitter helps drain the queue (so [jobs = 1] is plain
+       sequential execution in submission order and nested [map] calls
+       cannot starve), then waits for any task still running elsewhere. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+      Mutex.unlock t.mutex;
+      match job with
+      | Some j ->
+        j ();
+        help ()
+      | None ->
+        Mutex.lock batch.bm;
+        if batch.remaining > 0 then Condition.wait batch.finished batch.bm;
+        let settled = batch.remaining = 0 in
+        Mutex.unlock batch.bm;
+        if not settled then help ()
+    in
+    help ();
+    Array.iter
+      (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.to_list (Array.map Option.get results)
+
+let run t thunks = map t (fun f -> f ()) thunks
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_state : (int option * t option) ref = ref (None, None)
+
+let default_mutex = Mutex.create ()
+
+let () = at_exit (fun () -> match !default_state with _, Some p -> shutdown p | _ -> ())
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_mutex;
+  (match !default_state with _, Some p -> shutdown p | _ -> ());
+  default_state := (Some j, None);
+  Mutex.unlock default_mutex
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_state with
+    | _, Some p -> p
+    | width, None ->
+      let p = create ?jobs:width () in
+      default_state := (width, Some p);
+      p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let default_jobs () =
+  Mutex.lock default_mutex;
+  let j =
+    match !default_state with
+    | _, Some p -> p.jobs
+    | Some w, None -> w
+    | None, None -> max 1 (Domain.recommended_domain_count ())
+  in
+  Mutex.unlock default_mutex;
+  j

@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for embarrassingly parallel fan-out.
+
+    A pool owns [jobs - 1] worker domains draining a shared queue of
+    thunks; the submitting domain also participates while it waits, so a
+    pool never deadlocks on nested submissions and [jobs = 1] degenerates
+    to plain sequential execution on the caller — the property the
+    experiments driver relies on for its [--jobs 1] determinism oracle.
+
+    Results are returned in submission order regardless of which domain
+    executed what, and the first (lowest-index) exception raised by a task
+    is re-raised in the submitter with its original backtrace. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts a pool of [jobs] execution slots ([jobs - 1]
+    spawned domains plus the submitter).  [jobs] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1.
+    Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of execution slots (worker domains + the submitting caller). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], possibly on
+    different domains, and returns the results in the order of [xs].
+    If any application raises, the exception of the lowest-index failing
+    element is re-raised after the whole batch has settled (no task is
+    abandoned mid-flight). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] is [map pool (fun f -> f ()) thunks]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; a shut-down pool
+    executes subsequent [map] calls sequentially on the caller. *)
+
+(** {1 Shared default pool}
+
+    The experiments harness fans out through one process-wide pool so a
+    single [--jobs] flag governs every sweep. *)
+
+val set_default_jobs : int -> unit
+(** Replace the default pool with one of the given width (shutting down
+    the previous one if it was started).  Raises [Invalid_argument] if
+    [jobs < 1]. *)
+
+val default : unit -> t
+(** The shared pool, created on first use with the default width. *)
+
+val default_jobs : unit -> int
+(** Width the default pool has (or would be created with). *)

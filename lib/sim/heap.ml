@@ -1,8 +1,20 @@
+(* The backing store is an [Obj.t array] rather than an ['a array] so freed
+   slots can be overwritten with a junk value ([dummy]): with a plain
+   polymorphic array there is no value of type ['a] to clear with, and
+   leaving the old pointer in place retains every popped element (task
+   packets, messages) until the slot happens to be reused — for the event
+   queue that means for the life of the simulation.  The array is created
+   from [dummy] (an immediate), never from a float element, so it is never
+   subject to the flat float-array representation and the [Obj.repr]/
+   [Obj.obj] round-trip is representation-safe. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : Obj.t array;
   mutable size : int;
 }
+
+let dummy = Obj.repr 0
 
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
@@ -10,11 +22,25 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let grow t x =
+let get : 'a. 'a t -> int -> 'a = fun t i -> Obj.obj (Array.unsafe_get t.data i)
+
+let set : 'a. 'a t -> int -> 'a -> unit = fun t i x -> Array.unsafe_set t.data i (Obj.repr x)
+
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap dummy in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+(* Halve the store once it is three-quarters junk, so a drained heap does
+   not pin its high-water mark worth of slots. *)
+let shrink t =
+  let cap = Array.length t.data in
+  if cap > 16 && t.size <= cap / 4 then begin
+    let ndata = Array.make (cap / 2) dummy in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -22,10 +48,10 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if t.cmp (get t i) (get t parent) < 0 then begin
+      let tmp = Array.unsafe_get t.data i in
+      Array.unsafe_set t.data i (Array.unsafe_get t.data parent);
+      Array.unsafe_set t.data parent tmp;
       sift_up t parent
     end
   end
@@ -33,32 +59,35 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    let tmp = Array.unsafe_get t.data i in
+    Array.unsafe_set t.data i (Array.unsafe_get t.data !smallest);
+    Array.unsafe_set t.data !smallest tmp;
     sift_down t !smallest
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  set t t.size x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (get t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- dummy;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- dummy;
+    shrink t;
     Some top
   end
 
@@ -72,7 +101,7 @@ let clear t =
   t.size <- 0
 
 let to_list t =
-  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (get t i :: acc) in
   collect (t.size - 1) []
 
 let of_list ~cmp xs =

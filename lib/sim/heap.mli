@@ -18,7 +18,9 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element.  The vacated slot is cleared
+    (and the store shrunk as the heap drains), so a popped element is not
+    retained by the heap once the caller drops it. *)
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)

@@ -20,12 +20,25 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* 2^62: draws keep 62 bits because a 63-bit value does not fit OCaml's
+   tagged int and [Int64.to_int] would wrap it negative. *)
+let draw_range = 0x4000_0000_0000_0000L
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits: a 63-bit value does not fit OCaml's tagged int and
-     [Int64.to_int] would wrap it negative. *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  (* Rejection sampling: [r mod bound] alone over-represents the first
+     [2^62 mod bound] residues, so draws at or above the largest multiple
+     of [bound] below 2^62 are re-drawn.  For realistic bounds the accept
+     region is nearly all of the range, so this almost never costs an
+     extra draw and the emitted stream matches the biased one except on
+     the (astronomically rare) rejected draws. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.mul (Int64.div draw_range b) b in
+  let rec draw () =
+    let r = Int64.shift_right_logical (next_int64 t) 2 in
+    if r < limit then Int64.to_int (Int64.rem r b) else draw ()
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

@@ -23,8 +23,8 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
-    if [bound <= 0]. *)
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection sampling,
+    no modulo bias).  Raises [Invalid_argument] if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)

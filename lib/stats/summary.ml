@@ -2,20 +2,37 @@ type t = {
   mutable samples : float list;  (* reverse observation order *)
   mutable n : int;
   mutable sum : float;
-  mutable sumsq : float;
+  mutable wmean : float;  (* Welford running mean *)
+  mutable m2 : float;  (* Welford sum of squared deviations *)
   mutable lo : float;
   mutable hi : float;
+  mutable sorted : float array option;  (* cache, invalidated by [observe] *)
 }
 
-let create () = { samples = []; n = 0; sum = 0.0; sumsq = 0.0; lo = infinity; hi = neg_infinity }
+let create () =
+  {
+    samples = [];
+    n = 0;
+    sum = 0.0;
+    wmean = 0.0;
+    m2 = 0.0;
+    lo = infinity;
+    hi = neg_infinity;
+    sorted = None;
+  }
 
 let observe t x =
   t.samples <- x :: t.samples;
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
-  t.sumsq <- t.sumsq +. (x *. x);
+  (* Welford's update: numerically stable where the textbook
+     sumsq/n - mean^2 cancels catastrophically for large offsets. *)
+  let delta = x -. t.wmean in
+  t.wmean <- t.wmean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.wmean));
   if x < t.lo then t.lo <- x;
-  if x > t.hi then t.hi <- x
+  if x > t.hi then t.hi <- x;
+  t.sorted <- None
 
 let observe_int t x = observe t (float_of_int x)
 
@@ -25,13 +42,7 @@ let total t = t.sum
 
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
-let stddev t =
-  if t.n < 2 then 0.0
-  else begin
-    let m = mean t in
-    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
-    sqrt (Float.max var 0.0)
-  end
+let stddev t = if t.n < 2 then 0.0 else sqrt (Float.max (t.m2 /. float_of_int t.n) 0.0)
 
 let require_nonempty t fn = if t.n = 0 then invalid_arg ("Summary." ^ fn ^ ": empty")
 
@@ -43,11 +54,19 @@ let max_value t =
   require_nonempty t "max_value";
   t.hi
 
+let sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.samples in
+    Array.sort Float.compare arr;
+    t.sorted <- Some arr;
+    arr
+
 let percentile t p =
   require_nonempty t "percentile";
   if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
-  let sorted = List.sort Float.compare t.samples in
-  let arr = Array.of_list sorted in
+  let arr = sorted t in
   let n = Array.length arr in
   (* Nearest-rank: smallest index k with k/n >= p/100. *)
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in

@@ -1,7 +1,10 @@
 (** Sample accumulator: running moments plus retained samples for quantiles.
 
     Small enough to keep one per metric per experiment run; quantiles are
-    exact (samples are retained and sorted on demand). *)
+    exact (samples are retained, sorted on demand and the sorted array is
+    cached until the next observation).  Moments use Welford's online
+    algorithm, so the standard deviation stays accurate even when samples
+    sit on a large common offset. *)
 
 type t
 
@@ -19,7 +22,8 @@ val mean : t -> float
 (** 0.0 when empty. *)
 
 val stddev : t -> float
-(** Population standard deviation; 0.0 when fewer than two samples. *)
+(** Population standard deviation (Welford); 0.0 when fewer than two
+    samples. *)
 
 val min_value : t -> float
 (** @raise Invalid_argument when empty. *)

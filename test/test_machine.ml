@@ -388,6 +388,28 @@ let timeline_occupancy () =
     && Array.for_all (fun v -> v >= 0) grid.(1)
     && Array.for_all (fun v -> v >= 0) grid.(3))
 
+(* ---------------- first_alive ---------------- *)
+
+let first_alive_min_int () =
+  (* Regression: [abs min_int] is still negative, so hashing with [abs]
+     produced a negative index and [List.nth] raised.  [key land max_int]
+     must work for every int, extremes included. *)
+  let c = Cluster.create (Config.default ~nodes:8) (Workload.program Workload.fib) in
+  List.iter
+    (fun key ->
+      match Cluster.first_alive c ~key with
+      | Some p -> check (Printf.sprintf "key %d in range" key) true (p >= 0 && p < 8)
+      | None -> Alcotest.fail (Printf.sprintf "key %d: no pick among 8 alive nodes" key))
+    [ min_int; min_int + 1; -1; 0; 1; max_int ]
+
+let first_alive_deterministic () =
+  let c = Cluster.create (Config.default ~nodes:8) (Workload.program Workload.fib) in
+  List.iter
+    (fun key ->
+      check "same key, same pick" true
+        (Cluster.first_alive c ~key = Cluster.first_alive c ~key))
+    [ min_int; 17; 123456789 ]
+
 let timeline_empty () =
   let j = Journal.create () in
   check "placeholder" true (Recflow_machine.Timeline.render j ~nodes:2 () = "(empty journal)\n")
@@ -455,6 +477,8 @@ let suites =
         Alcotest.test_case "start validation" `Quick start_validation;
         Alcotest.test_case "config validation" `Quick config_validation;
         Alcotest.test_case "horizon" `Quick horizon_stops;
+        Alcotest.test_case "first_alive min_int" `Quick first_alive_min_int;
+        Alcotest.test_case "first_alive deterministic" `Quick first_alive_deterministic;
       ] );
     ( "machine.timeline",
       [

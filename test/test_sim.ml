@@ -90,6 +90,47 @@ let rng_pick_member () =
     check "pick from array" true (Array.exists (fun y -> y = x) arr)
   done
 
+let rng_int_unbiased_small_bound () =
+  (* Rejection sampling: every residue of a small bound lands within a
+     tight band of the expected frequency. *)
+  let t = Rng.create 97 in
+  let bound = 3 and draws = 30_000 in
+  let buckets = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Rng.int t bound in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      check
+        (Printf.sprintf "bucket %d near uniform (%d)" i n)
+        true
+        (abs (n - (draws / bound)) < draws / 20))
+    buckets
+
+let rng_int_huge_bound_in_range () =
+  (* bound = max_int (2^62 - 1) is the worst case for the old modulo: the
+     raw 62-bit draw is taken nearly verbatim, so any sign/wrap slip shows
+     up immediately. *)
+  let t = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int t max_int in
+    check "in [0, max_int)" true (x >= 0 && x < max_int)
+  done
+
+let rng_int_stream_stable () =
+  (* The fix must not disturb the accepted stream: for small bounds the
+     draw is (virtually) never rejected, so the sequence is exactly the
+     pre-fix [r mod bound] one.  Pinned so silent stream changes fail. *)
+  let t = Rng.create 42 in
+  let got = List.init 8 (fun _ -> Rng.int t 100) in
+  let u = Rng.create 42 in
+  let expected =
+    List.init 8 (fun _ ->
+        Int64.to_int (Int64.rem (Int64.shift_right_logical (Rng.next_int64 u) 2) 100L))
+  in
+  Alcotest.(check (list int)) "same stream as r mod bound" expected got
+
 (* ---------------- Heap ---------------- *)
 
 let heap_sorted_drain =
@@ -123,6 +164,48 @@ let heap_clear () =
 let heap_to_list_content () =
   let h = Heap.of_list ~cmp:compare [ 4; 2; 7 ] in
   Alcotest.(check (list int)) "contents" [ 2; 4; 7 ] (List.sort compare (Heap.to_list h))
+
+(* Regression for the retention leak: [pop] used to leave the vacated slot
+   pointing at a live element, pinning popped payloads until the slot was
+   reused.  Payloads are boxed and watched through a [Weak] array; after
+   popping everything and a major GC they must all be collectable. *)
+let heap_pop_releases () =
+  let n = 32 in
+  let weak = Weak.create n in
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set weak i (Some payload);
+    Heap.push h (i, payload)
+  done;
+  for _ = 1 to n do
+    ignore (Heap.pop_exn h)
+  done;
+  Gc.full_major ();
+  let retained = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr retained
+  done;
+  check_int "popped payloads collected" 0 !retained
+
+let heap_floats () =
+  (* The Obj-backed store must not trip over the flat float-array
+     representation: float elements stay boxed and drain correctly. *)
+  let h = Heap.of_list ~cmp:Float.compare [ 2.5; 0.5; 1.5 ] in
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list (float 0.0))) "sorted floats" [ 0.5; 1.5; 2.5 ] (drain [])
+
+let heap_shrinks_when_drained () =
+  (* Interleaved push/pop around the shrink threshold must preserve heap
+     order (exercises the blit in [shrink]). *)
+  let h = Heap.create ~cmp:compare in
+  for i = 511 downto 0 do
+    Heap.push h i
+  done;
+  for i = 0 to 500 do
+    check_int "ordered drain across shrink" i (Heap.pop_exn h)
+  done;
+  check_int "tail intact" 11 (Heap.length h)
 
 (* ---------------- Engine ---------------- *)
 
@@ -260,6 +343,9 @@ let suites =
         Alcotest.test_case "int invalid" `Quick rng_int_invalid;
         Alcotest.test_case "exponential" `Quick rng_exponential_positive;
         Alcotest.test_case "pick" `Quick rng_pick_member;
+        Alcotest.test_case "int unbiased" `Quick rng_int_unbiased_small_bound;
+        Alcotest.test_case "int huge bound" `Quick rng_int_huge_bound_in_range;
+        Alcotest.test_case "int stream stable" `Quick rng_int_stream_stable;
         qtest rng_int_bounds;
         qtest rng_int_in_bounds;
         qtest rng_float_bounds;
@@ -271,6 +357,9 @@ let suites =
         Alcotest.test_case "pop_exn empty" `Quick heap_pop_exn_empty;
         Alcotest.test_case "clear" `Quick heap_clear;
         Alcotest.test_case "to_list" `Quick heap_to_list_content;
+        Alcotest.test_case "pop releases" `Quick heap_pop_releases;
+        Alcotest.test_case "float elements" `Quick heap_floats;
+        Alcotest.test_case "shrink keeps order" `Quick heap_shrinks_when_drained;
         qtest heap_sorted_drain;
       ] );
     ( "sim.engine",

@@ -102,6 +102,33 @@ let summary_order_preserved () =
   List.iter (Summary.observe s) [ 3.0; 1.0; 2.0 ];
   Alcotest.(check (list (float 0.0))) "observation order" [ 3.0; 1.0; 2.0 ] (Summary.to_list s)
 
+let summary_stddev_large_offset () =
+  (* Regression for catastrophic cancellation: the textbook
+     sumsq/n - mean^2 form loses all significant digits when samples sit
+     on a 1e9 offset (it used to report sd = 0 or NaN here).  Welford
+     keeps the true population sd of {1e9, 1e9+1, 1e9+2}: sqrt(2/3). *)
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 1e9; 1e9 +. 1.0; 1e9 +. 2.0 ];
+  Alcotest.(check (float 1e-6)) "sd on large offset" (sqrt (2.0 /. 3.0)) (Summary.stddev s);
+  Alcotest.(check (float 1e-6)) "mean on large offset" (1e9 +. 1.0) (Summary.mean s)
+
+let summary_stddev_constant () =
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 5.0; 5.0; 5.0; 5.0 ];
+  check_float "constant samples" 0.0 (Summary.stddev s)
+
+let summary_sorted_cache_invalidation () =
+  (* The sorted array is cached between quantile calls; a fresh
+     observation must invalidate it or percentiles go stale. *)
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 1.0; 2.0; 3.0 ];
+  check_float "median before" 2.0 (Summary.median s);
+  Summary.observe s 100.0;
+  check_float "max after new obs" 100.0 (Summary.percentile s 100.0);
+  check_float "median reflects new sample" 2.0 (Summary.median s);
+  Summary.observe s (-100.0);
+  check_float "min after new obs" (-100.0) (Summary.percentile s 0.0)
+
 (* ---------------- Histogram ---------------- *)
 
 let histogram_buckets () =
@@ -188,6 +215,9 @@ let suites =
         Alcotest.test_case "empty" `Quick summary_empty_raises;
         Alcotest.test_case "percentile range" `Quick summary_percentile_range;
         Alcotest.test_case "order preserved" `Quick summary_order_preserved;
+        Alcotest.test_case "stddev large offset" `Quick summary_stddev_large_offset;
+        Alcotest.test_case "stddev constant" `Quick summary_stddev_constant;
+        Alcotest.test_case "sorted cache invalidation" `Quick summary_sorted_cache_invalidation;
         qtest summary_mean_bounded;
       ] );
     ( "stats.histogram",
