@@ -1,0 +1,15 @@
+(** X4 — Chaos: loss, duplication, reordering, partitions, suspicion.
+
+    The reliable network assumed by the paper is replaced by a hostile
+    one: messages are dropped, duplicated, reordered, delayed and cut by a
+    transient partition, with the reliable transport (transport acks,
+    exponential-backoff retransmission, duplicate suppression) armed.  The
+    sweep over loss rate × suspicion timeout measures the *price* of the
+    weather — makespan inflation over the chaos-free baseline and
+    retransmission volume — and shows that per §1 an aggressive timeout
+    converts network weather into false suspicions, which determinacy (§2)
+    renders benign: the falsely-suspected processor coexists with its twin
+    and the answer never changes.  The recovery oracle is asserted on
+    every run. *)
+
+val run : ?quick:bool -> unit -> Report.t

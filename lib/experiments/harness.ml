@@ -6,7 +6,15 @@ module Counter = Recflow_stats.Counter
 module Rng = Recflow_sim.Rng
 module Pool = Recflow_parallel.Pool
 
-type run = { cluster : Cluster.t; outcome : Cluster.outcome; correct : bool; makespan : int }
+module Oracle = Recflow_machine.Oracle
+
+type run = {
+  cluster : Cluster.t;
+  outcome : Cluster.outcome;
+  correct : bool;
+  makespan : int;
+  oracle : Oracle.report;
+}
 
 type obs_info = { workload_name : string; size_name : string }
 
@@ -40,6 +48,8 @@ let run ?(drain = false) config workload size ~failures =
   Recflow_fault.Plan.apply cluster failures;
   Cluster.start cluster ~fname:workload.Workload.entry ~args:(workload.Workload.args size);
   let outcome = Cluster.run ~drain cluster in
+  (* every harness run answers to the recovery oracle — no opt-out *)
+  let oracle = Oracle.assert_ok cluster in
   let expected = Workload.expected workload size in
   let correct =
     match outcome.Cluster.answer with Some v -> Value.equal v expected | None -> false
@@ -47,7 +57,7 @@ let run ?(drain = false) config workload size ~failures =
   let makespan =
     match outcome.Cluster.answer_time with Some t -> t | None -> outcome.Cluster.sim_time
   in
-  let r = { cluster; outcome; correct; makespan } in
+  let r = { cluster; outcome; correct; makespan; oracle } in
   notify_obs { workload_name = workload.Workload.name; size_name = size_name size } r;
   r
 

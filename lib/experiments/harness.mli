@@ -13,10 +13,14 @@ type run = {
   outcome : Cluster.outcome;
   correct : bool;  (** answer present and equal to the serial reference *)
   makespan : int;  (** answer time, or sim end when no answer *)
+  oracle : Recflow_machine.Oracle.report;
+      (** recovery-correctness report; {!run} already asserted it holds *)
 }
 
 val run :
   ?drain:bool -> Config.t -> Workload.t -> Workload.size -> failures:Recflow_fault.Plan.t -> run
+(** Build, fault-inject and drive a cluster, then check the recovery
+    oracle ({!Recflow_machine.Oracle.assert_ok} — raises on violation). *)
 
 val probe : Config.t -> Workload.t -> Workload.size -> run
 (** Fault-free run (the oracle for fault placement and baselines). *)

@@ -29,6 +29,8 @@ let all =
     { id = "X2"; title = "Ablation: adoption grace for offspring inheritance";
       run = Exp_grace.run };
     { id = "X3"; title = "Ablation: task granularity (inline threshold)"; run = Exp_grain.run };
+    { id = "X4"; title = "Chaos: loss, duplication, reordering, partitions, suspicion";
+      run = Exp_chaos.run };
   ]
 
 let find id =

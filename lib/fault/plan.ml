@@ -1,6 +1,7 @@
 module Ids = Recflow_recovery.Ids
 module Stamp = Recflow_recovery.Stamp
 module Journal = Recflow_machine.Journal
+module Chaos = Recflow_net.Chaos
 
 type t = (int * Ids.proc_id) list
 
@@ -43,6 +44,25 @@ let poisson ~rng ~procs ~mean_interval ~until =
       else go t rest ((int_of_float t, v) :: acc)
   in
   go 0.0 victims []
+
+(* Chaos-spec combinators: build a network fault plan by piping
+   [Chaos.none] through these, then place it in [Config.chaos]. *)
+
+let drop_rate r spec = { spec with Chaos.drop_rate = r }
+
+let duplicate_rate r spec = { spec with Chaos.dup_rate = r }
+
+let reorder ~rate ~spread spec = { spec with Chaos.reorder_rate = rate; reorder_spread = spread }
+
+let delay_spikes ~rate ~max_delay spec =
+  { spec with Chaos.spike_rate = rate; spike_max = max_delay }
+
+let partition ~from ~until ~groups spec =
+  {
+    spec with
+    Chaos.partitions =
+      spec.Chaos.partitions @ [ { Chaos.p_from = from; p_until = until; groups } ];
+  }
 
 module Pick = struct
   (* Activations live at [time]: activated at or before, not completed/

@@ -35,6 +35,31 @@ val poisson :
     @raise Invalid_argument if [procs <= 0], [mean_interval <= 0.] or
     [until < 0]. *)
 
+(** {2 Network fault plans}
+
+    Combinators building a {!Recflow_net.Chaos.spec} for [Config.chaos]:
+    {[
+      let chaos =
+        Chaos.none
+        |> Plan.drop_rate 0.2
+        |> Plan.duplicate_rate 0.1
+        |> Plan.partition ~from:800 ~until:1600 ~groups:[ [ 1; 2 ] ]
+    ]} *)
+
+val drop_rate : float -> Recflow_net.Chaos.spec -> Recflow_net.Chaos.spec
+
+val duplicate_rate : float -> Recflow_net.Chaos.spec -> Recflow_net.Chaos.spec
+
+val reorder : rate:float -> spread:int -> Recflow_net.Chaos.spec -> Recflow_net.Chaos.spec
+
+val delay_spikes :
+  rate:float -> max_delay:int -> Recflow_net.Chaos.spec -> Recflow_net.Chaos.spec
+
+val partition :
+  from:int -> until:int -> groups:int list list -> Recflow_net.Chaos.spec -> Recflow_net.Chaos.spec
+(** Append a partition window; see {!Recflow_net.Chaos.partition} for the
+    island semantics. *)
+
 (** Victim selection from a probe run's journal. *)
 module Pick : sig
   val busiest_at :

@@ -13,12 +13,29 @@ module Topology = Recflow_net.Topology
 module Latency = Recflow_net.Latency
 module Policy = Recflow_balance.Policy
 
+module Chaos = Recflow_net.Chaos
+
 type event =
-  | Deliver of { src : Ids.proc_id; dst : Ids.proc_id; msg : Message.t }
+  | Deliver of { src : Ids.proc_id; dst : Ids.proc_id; msg : Message.t; seq : int }
+      (** [seq >= 0] marks a reliable (tracked, retransmitted) send *)
+  | Tack of { seq : int }  (** transport ack arriving back at the sender *)
+  | Retry of { seq : int }  (** retransmission timer for a reliable send *)
   | Bounce of { src : Ids.proc_id; dead : Ids.proc_id; msg : Message.t }
   | Step of Ids.proc_id
   | Fail of Ids.proc_id
   | Gradient_tick of Ids.proc_id
+
+(* One in-flight reliable send.  [p_settled] flips when the transport ack
+   arrives or the destination is discovered dead; the next timer firing
+   then retires the entry. *)
+type pending_send = {
+  p_src : Ids.proc_id;
+  p_dst : Ids.proc_id;
+  p_msg : Message.t;
+  p_born : int;
+  mutable p_attempt : int;
+  mutable p_settled : bool;
+}
 
 type outcome = {
   answer : Value.t option;
@@ -32,7 +49,9 @@ type root_state = {
   mutable packet : Packet.t option;  (** the super-root's functional checkpoint *)
   mutable dest : Ids.proc_id;
   mutable task : Ids.task_id;
-  mutable pending : (int * Value.t) list;  (** salvaged results awaiting the twin *)
+  mutable pending : (Stamp.t * Packet.link * Value.t) list;
+      (** salvaged orphan results awaiting the twin, with the orphan's
+          stamp and dead parent so depth is preserved on forwarding *)
 }
 
 type t = {
@@ -51,9 +70,24 @@ type t = {
   root : root_state;
   mutable answer : Value.t option;
   mutable answer_time : int option;
+  mutable root_answers : Value.t list;
+      (** every root result that reached the super-root (newest first);
+          twins of a falsely-suspected root may deliver more than one *)
   mutable error : string option;
   mutable started : bool;
   mutable drain : bool;
+  chaos : Chaos.t option;  (** [None] when the spec is quiet: zero draws *)
+  mutable next_seq : int;
+  pending_sends : (int, pending_send) Hashtbl.t;
+  seen_seqs : (int, unit) Hashtbl.t;  (** receiver-side duplicate filter *)
+  suspected : (Ids.proc_id, unit) Hashtbl.t;
+      (** destinations some sender gave up on (timeout suspicion); a member
+          may well still be alive — it is *treated* as faulty per §1 *)
+  last_heard : (Ids.proc_id * Ids.proc_id, int) Hashtbl.t;
+      (** (observer, subject) → last tick any delivery or transport ack
+          from [subject] reached [observer]; the suspicion detector fires
+          only on a destination silent for the whole window, not on one
+          unlucky send *)
   mutable node_ctx : Node.ctx option;
       (* built once on first use: rebuilding ~14 closures per dispatched
          event shows up at millions of events *)
@@ -70,6 +104,18 @@ let trace t = t.trace
 let router t = t.router
 
 let now t = Engine.now t.engine
+
+let quiescent t = Engine.pending t.engine = 0
+
+let root_answers t = List.rev t.root_answers
+
+let error t = t.error
+
+let unsettled_sends t =
+  Hashtbl.fold (fun _ p n -> if p.p_settled then n else n + 1) t.pending_sends 0
+
+let suspected_nodes t =
+  Hashtbl.fold (fun pid () acc -> pid :: acc) t.suspected [] |> List.sort compare
 
 let node t pid =
   if pid < 0 || pid >= Array.length t.node_arr then
@@ -117,14 +163,84 @@ let hops t ~src ~dst =
     | Some h -> h
     | None -> Topology.ideal_distance (Router.topology t.router) src dst
 
+(* Transmit one message (or retransmission): wire latency plus, when a
+   chaos instance is armed, the perturbation verdict — drop it, or deliver
+   one or more copies with extra delay. *)
+let transmit t ~extra ~src ~dst ~seq msg =
+  let copy d =
+    let delay =
+      extra + d
+      + Latency.delay ~rng:(fun bound -> Rng.int t.rng bound) t.cfg.Config.latency
+          ~hops:(hops t ~src ~dst)
+    in
+    Engine.schedule t.engine ~delay (Deliver { src; dst; msg; seq })
+  in
+  match t.chaos with
+  | None -> copy 0
+  | Some ch -> (
+    match Chaos.decide ch ~now:(now t) ~src ~dst with
+    | Chaos.Drop reason ->
+      Counter.incr t.counters "net.msg_dropped";
+      if reason = `Partition then Counter.incr t.counters "net.partition_dropped";
+      Trace.logf t.trace ~time:(now t) ~level:Trace.Debug ~tag:"chaos" "%s %s -> %s: %s"
+        (match reason with `Loss -> "lost" | `Partition -> "severed")
+        (Ids.proc_to_string src) (Ids.proc_to_string dst) (Message.label msg)
+    | Chaos.Pass { extra_delays } ->
+      List.iteri
+        (fun i d ->
+          if i > 0 then Counter.incr t.counters "net.dup_injected";
+          if d > 0 then Counter.incr t.counters "net.delayed";
+          copy d)
+        extra_delays)
+
+(* Transport-level acknowledgement of reliable send [seq], from the
+   receiver [src] back to the original sender [dst].  Unreliable itself —
+   a lost ack just costs a retransmission, which the duplicate filter
+   absorbs. *)
+let send_transport_ack t ~src ~dst ~seq =
+  Counter.incr t.counters "net.ack_sent";
+  let copy d =
+    let delay =
+      d
+      + Latency.delay ~rng:(fun bound -> Rng.int t.rng bound) t.cfg.Config.latency
+          ~hops:(hops t ~src ~dst)
+    in
+    Engine.schedule t.engine ~delay (Tack { seq })
+  in
+  match t.chaos with
+  | None -> copy 0
+  | Some ch -> (
+    match Chaos.decide ch ~now:(now t) ~src ~dst with
+    | Chaos.Drop _ -> Counter.incr t.counters "net.ack_dropped"
+    | Chaos.Pass { extra_delays } -> List.iter copy extra_delays)
+
+(* The §4.2 protocol messages that drive recovery forward are the ones the
+   transport must not lose; the rest (app-level acks, gradient gossip,
+   aborts) are advisory and stay fire-and-forget.  Failure notices are on
+   the reliable side: an accusation that silently vanishes leaves one peer
+   relaying results toward a processor the rest of the cluster has written
+   off, and the views of who is dead never reconverge. *)
+let reliable_kind = function
+  | Message.Task_packet _ | Message.Result _ | Message.Orphan_alive _ | Message.Reparent _
+  | Message.Failure_notice _ ->
+    true
+  | Message.Ack _ | Message.Gradient _ | Message.Abort _ -> false
+
 let send_after t ~delay:extra ~src ~dst msg =
   Counter.incr t.counters "msg.sent";
-  let delay =
-    extra
-    + Latency.delay ~rng:(fun bound -> Rng.int t.rng bound) t.cfg.Config.latency
-        ~hops:(hops t ~src ~dst)
+  let seq =
+    if t.cfg.Config.reliable && src <> dst && reliable_kind msg then begin
+      let s = t.next_seq in
+      t.next_seq <- s + 1;
+      Hashtbl.replace t.pending_sends s
+        { p_src = src; p_dst = dst; p_msg = msg; p_born = now t; p_attempt = 0;
+          p_settled = false };
+      Engine.schedule t.engine ~delay:(extra + t.cfg.Config.retry.Config.rto) (Retry { seq = s });
+      s
+    end
+    else -1
   in
-  Engine.schedule t.engine ~delay (Deliver { src; dst; msg })
+  transmit t ~extra ~src ~dst ~seq msg
 
 let send t ~src ~dst msg = send_after t ~delay:0 ~src ~dst msg
 
@@ -191,9 +307,21 @@ let create cfg program =
     root = { packet = None; dest = -2; task = Ids.no_task; pending = [] };
     answer = None;
     answer_time = None;
+    root_answers = [];
     error = None;
     started = false;
     drain = false;
+    chaos =
+      (* an independent stream: enabling chaos must not perturb the
+         placement / jitter draws of [t.rng], and a quiet spec must not
+         change anything at all *)
+      (if Chaos.quiet cfg.Config.chaos then None
+       else Some (Chaos.create ~seed:(cfg.Config.seed lxor 0x5eedca05) cfg.Config.chaos));
+    next_seq = 0;
+    pending_sends = Hashtbl.create 64;
+    seen_seqs = Hashtbl.create 256;
+    suspected = Hashtbl.create 4;
+    last_heard = Hashtbl.create 64;
     node_ctx = None;
   }
 
@@ -213,9 +341,23 @@ let dispatch_root t ~reason =
     | [] -> Trace.log t.trace ~time:(now t) ~level:Trace.Error ~tag:"SR" "no live processor for root"
     | _ :: _ ->
       let task_id = fresh_task_id t () in
-      let dest = place t ~origin:Ids.super_root ~key:(Stamp.hash packet.Packet.stamp + task_id) in
-      (* capture the dead activation's identity before re-homing *)
-      let dead_task = t.root.task and dead_dest = t.root.dest in
+      let key = Stamp.hash packet.Packet.stamp + task_id in
+      let dest = place t ~origin:Ids.super_root ~key in
+      (* A suspected processor is router-alive, so placement can pick it —
+         but the rest of the cluster has written it off and would never
+         relay the twin's results home.  Re-home on an unsuspected
+         survivor whenever one exists. *)
+      let dest =
+        if not (Hashtbl.mem t.suspected dest) then dest
+        else
+          match
+            List.filter
+              (fun p -> not (Hashtbl.mem t.suspected p))
+              (Router.alive_nodes t.router)
+          with
+          | [] -> dest (* every survivor is accused; any choice is a guess *)
+          | clear -> List.nth clear (key land max_int mod List.length clear)
+      in
       t.root.dest <- dest;
       t.root.task <- task_id;
       send t ~src:Ids.super_root ~dst:dest
@@ -227,26 +369,35 @@ let dispatch_root t ~reason =
         Counter.incr t.counters "reissue.root";
         Journal.record t.journal ~time:(now t) ~stamp:Stamp.root
           (Journal.Respawned { task = task_id; dest; reason }));
-      (* Forward any salvaged results that were waiting for a twin. *)
+      (* Forward any salvaged orphan results that were waiting for a twin.
+         A direct child of the root fills the twin's call slot; a deeper
+         orphan (reachable here because §5.2 ancestor links can skip past
+         a dead grandparent) must instead be driven down the chain of
+         twins, so it keeps its [To_grandparent] shape — filling the
+         root's slot with a grandchild's partial value would silently
+         drop the rest of that subtree. *)
       let pending = t.root.pending in
       t.root.pending <- [];
       List.iter
-        (fun (slot, value) ->
+        (fun (stamp, (dead_parent : Packet.link), value) ->
+          let direct =
+            match Stamp.parent stamp with
+            | Some p -> Stamp.equal p Stamp.root
+            | None -> false
+          in
+          let relay, slot =
+            if direct then (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
+            else (Message.To_grandparent { dead_parent }, -1)
+          in
           send t ~src:Ids.super_root ~dst:dest
             (Message.Result
-               {
-                 stamp = Stamp.root;
-                 value;
-                 target = { Packet.task = task_id; proc = dest; slot };
-                 relay =
-                   Message.To_step_parent
-                     { dead_parent = { Packet.task = dead_task; proc = dead_dest; slot } };
-               }))
+               { stamp; value; target = { Packet.task = task_id; proc = dest; slot }; relay }))
         pending)
 
 let super_root_deliver t msg =
   match msg with
   | Message.Result { value; relay = Message.To_parent; _ } ->
+    t.root_answers <- value :: t.root_answers;
     if t.answer = None then begin
       t.answer <- Some value;
       t.answer_time <- Some (now t);
@@ -254,24 +405,39 @@ let super_root_deliver t msg =
         (Value.to_string value);
       if not t.drain then Engine.stop t.engine
     end
-  | Message.Result { value; target; relay = Message.To_grandparent { dead_parent }; _ } ->
-    (* An orphan child of the (dead) root salvages its result through the
-       super-root acting as grandparent. *)
+  | Message.Result { stamp; value; target; relay = Message.To_grandparent { dead_parent }; _ }
+    ->
+    (* An orphaned result salvages itself through the super-root acting
+       as an ancestor.  Only a *direct* child of the dead root fills a
+       root call slot; a deeper orphan (its parent and grandparent both
+       dead, escalated here via §5.2 ancestor links) keeps its
+       [To_grandparent] shape and is driven down the chain of twins by
+       the root twin — its value is one subtree fragment, not the whole
+       slot. *)
     if t.answer = None && t.cfg.Config.recovery = Config.Splice then begin
+      let direct =
+        match Stamp.parent stamp with
+        | Some p -> Stamp.equal p Stamp.root
+        | None -> false
+      in
       let root_alive = t.root.dest >= 0 && Router.alive t.router t.root.dest in
-      if root_alive && t.root.dest <> dead_parent.Packet.proc then
+      if root_alive && t.root.dest <> dead_parent.Packet.proc then begin
         (* a twin already exists: forward straight to it *)
+        let relay, slot =
+          if direct then (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
+          else (Message.To_grandparent { dead_parent }, -1)
+        in
         send t ~src:Ids.super_root ~dst:t.root.dest
           (Message.Result
              {
-               stamp = Stamp.root;
+               stamp;
                value;
-               target =
-                 { Packet.task = t.root.task; proc = t.root.dest; slot = dead_parent.Packet.slot };
-               relay = Message.To_step_parent { dead_parent };
+               target = { Packet.task = t.root.task; proc = t.root.dest; slot };
+               relay;
              })
+      end
       else begin
-        t.root.pending <- (dead_parent.Packet.slot, value) :: t.root.pending;
+        t.root.pending <- (stamp, dead_parent, value) :: t.root.pending;
         dispatch_root t ~reason:(Some "orphan-result")
       end;
       ignore target
@@ -303,6 +469,30 @@ let fail_at t ~time pid =
     invalid_arg (Printf.sprintf "Cluster.fail_at: no processor %d" pid);
   Engine.schedule_at t.engine ~time (Fail pid)
 
+(* Error detection: every live peer learns after a detection delay that
+   grows with its distance from the failed (or suspected) node, and the
+   super-root notices the loss of the root task's processor.  The suspect
+   itself is never notified of its own "death": a falsely-suspected live
+   processor keeps running obliviously, coexisting with its twins. *)
+let broadcast_failure t pid =
+  let topo = Router.topology t.router in
+  Array.iter
+    (fun peer ->
+      if Node.is_alive peer && Node.id peer <> pid then begin
+        let d = Topology.ideal_distance topo pid (Node.id peer) in
+        let delay = t.cfg.Config.detect_delay + (d * t.cfg.Config.latency.Latency.per_hop) in
+        Engine.schedule t.engine ~delay
+          (Deliver
+             { src = Node.id peer; dst = Node.id peer;
+               msg = Message.Failure_notice { failed = pid }; seq = -1 })
+      end)
+    t.node_arr;
+  if t.root.dest = pid && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+    Engine.schedule t.engine ~delay:t.cfg.Config.detect_delay
+      (Deliver
+         { src = Ids.super_root; dst = Ids.super_root;
+           msg = Message.Failure_notice { failed = pid }; seq = -1 })
+
 let handle_fail t pid =
   let n = t.node_arr.(pid) in
   if Node.is_alive n then begin
@@ -312,55 +502,182 @@ let handle_fail t pid =
     Journal.record t.journal ~time:(now t) ~stamp:Stamp.root (Journal.Failure { proc = pid });
     Trace.logf t.trace ~time:(now t) ~level:Trace.Warn ~tag:"cluster" "%s failed"
       (Ids.proc_to_string pid);
-    (* Error detection: every live peer learns after a detection delay that
-       grows with its distance from the failed node. *)
-    let topo = Router.topology t.router in
-    Array.iter
-      (fun peer ->
-        if Node.is_alive peer then begin
-          let d = Topology.ideal_distance topo pid (Node.id peer) in
-          let delay = t.cfg.Config.detect_delay + (d * t.cfg.Config.latency.Latency.per_hop) in
-          Engine.schedule t.engine ~delay
-            (Deliver
-               { src = Node.id peer; dst = Node.id peer; msg = Message.Failure_notice { failed = pid } })
-        end)
-      t.node_arr;
-    (* The super-root notices the loss of the root task's processor. *)
-    if t.root.dest = pid && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then begin
-      let delay = t.cfg.Config.detect_delay in
-      Engine.schedule t.engine ~delay
-        (Deliver { src = Ids.super_root; dst = Ids.super_root; msg = Message.Failure_notice { failed = pid } })
-    end
+    broadcast_failure t pid
   end
 
 (* ------------------------------------------------------------------ *)
 (* Event loop                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Retransmission schedule: attempt n fires rto·backoffⁿ after the
+   previous one, capped so a long suspicion window cannot overflow. *)
+let retry_delay t attempt =
+  let { Config.rto; backoff; _ } = t.cfg.Config.retry in
+  let d = float_of_int rto *. (backoff ** float_of_int attempt) in
+  max 1 (min (rto * 64) (int_of_float d))
+
+(* The sender has waited out the whole suspicion window without a transport
+   ack: per §1 an unresponsive destination is *treated* as faulty, live or
+   not — the message takes the same bounce path an undeliverable send
+   would, and the existing recovery machinery (checkpoint re-issue, twins,
+   grandparent relay) does the rest.  A falsely-suspected live processor
+   simply coexists with its twin; determinacy makes whichever result lands
+   first the right one. *)
+let give_up t seq p =
+  Hashtbl.remove t.pending_sends seq;
+  let first_time = not (Hashtbl.mem t.suspected p.p_dst) in
+  Hashtbl.replace t.suspected p.p_dst ();
+  Counter.incr t.counters "net.suspected";
+  if p.p_dst >= 0 && Node.is_alive t.node_arr.(p.p_dst) then begin
+    Counter.incr t.counters "net.false_suspicion";
+    Trace.logf t.trace ~time:(now t) ~level:Trace.Warn ~tag:"suspect"
+      "%s suspects live %s (no ack in %d ticks): treating as faulty"
+      (Ids.proc_to_string p.p_src) (Ids.proc_to_string p.p_dst)
+      (now t - p.p_born)
+  end
+  else
+    Trace.logf t.trace ~time:(now t) ~level:Trace.Info ~tag:"suspect"
+      "%s suspects %s (no ack in %d ticks)" (Ids.proc_to_string p.p_src)
+      (Ids.proc_to_string p.p_dst)
+      (now t - p.p_born);
+  (* First suspicion of this destination: tell the cluster, so every
+     holder of a checkpoint filed under the suspect re-issues a twin and
+     the views of who is dead stay convergent — a sender keeping its
+     verdict private leaves peers relaying results toward a processor it
+     has written off, and nobody re-homes the suspect's work.  Unlike the
+     out-of-band fail-stop detector in [handle_fail], these notices
+     originate at the accuser and cross the same hostile network, so an
+     isolated island's false accusations cannot poison the mainland.  The
+     accuser itself learns through the bounce path, and the suspect is
+     never told of its own "death" — it keeps running obliviously,
+     coexisting with its twins. *)
+  if first_time && p.p_dst >= 0 then begin
+    Array.iter
+      (fun peer ->
+        let pid = Node.id peer in
+        if Node.is_alive peer && pid <> p.p_dst && pid <> p.p_src then
+          (* reliable: a lost accusation would leave this peer's view of
+             the membership divergent forever *)
+          send_after t ~delay:t.cfg.Config.detect_delay ~src:p.p_src ~dst:pid
+            (Message.Failure_notice { failed = p.p_dst }))
+      t.node_arr;
+    if t.root.dest = p.p_dst && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery
+    then
+      Engine.schedule t.engine ~delay:t.cfg.Config.detect_delay
+        (Deliver
+           { src = Ids.super_root; dst = Ids.super_root;
+             msg = Message.Failure_notice { failed = p.p_dst }; seq = -1 })
+  end;
+  if p.p_src = Ids.super_root then begin
+    Counter.incr t.counters "msg.bounced";
+    if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+      Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
+        (Deliver
+           { src = Ids.super_root; dst = Ids.super_root;
+             msg = Message.Failure_notice { failed = p.p_dst }; seq = -1 })
+  end
+  else Engine.schedule t.engine ~delay:0 (Bounce { src = p.p_src; dead = p.p_dst; msg = p.p_msg })
+
+(* Receiver half of the reliable transport: acknowledge and deduplicate.
+   Returns true when [msg] should actually be processed. *)
+let transport_accept t ~src ~dst ~seq =
+  seq < 0
+  ||
+  if Hashtbl.mem t.seen_seqs seq then begin
+    Counter.incr t.counters "net.dup_suppressed";
+    (* re-ack: the ack for the first copy may itself have been lost *)
+    send_transport_ack t ~src:dst ~dst:src ~seq;
+    false
+  end
+  else begin
+    Hashtbl.replace t.seen_seqs seq ();
+    send_transport_ack t ~src:dst ~dst:src ~seq;
+    true
+  end
+
 let handle_event t _at ev =
   match ev with
-  | Deliver { src; dst; msg } ->
+  | Deliver { src; dst; msg; seq } ->
+    (* any arrival is evidence the sender is alive and reachable *)
+    if src <> dst then Hashtbl.replace t.last_heard (dst, src) (now t);
     if dst = Ids.super_root then begin
-      match msg with
-      | Message.Failure_notice { failed } ->
-        if t.root.dest = failed && t.answer = None then dispatch_root t ~reason:(Some "notice")
-      | _ -> super_root_deliver t msg
+      if transport_accept t ~src ~dst ~seq then
+        match msg with
+        | Message.Failure_notice { failed } ->
+          if t.root.dest = failed && t.answer = None then dispatch_root t ~reason:(Some "notice")
+        | _ -> super_root_deliver t msg
     end
     else begin
       let n = t.node_arr.(dst) in
-      if Node.is_alive n then Node.deliver n (ctx t) msg
-      else if src = Ids.super_root then begin
-        (* the super-root's own send bounced: re-dispatch the root *)
-        Counter.incr t.counters "msg.bounced";
-        if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
-          Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
-            (Deliver
-               { src = Ids.super_root; dst = Ids.super_root;
-                 msg = Message.Failure_notice { failed = dst } })
+      if Node.is_alive n then begin
+        if transport_accept t ~src ~dst ~seq then Node.deliver n (ctx t) msg
       end
-      else
-        Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay (Bounce { src; dead = dst; msg })
+      else begin
+        (* The destination is dead.  For a reliable send, cancel the
+           retransmission timer and let only the first copy to arrive
+           trigger the bounce; an unreliable send bounces as before. *)
+        let already_settled =
+          seq >= 0
+          &&
+          match Hashtbl.find_opt t.pending_sends seq with
+          | Some p ->
+            let was = p.p_settled in
+            p.p_settled <- true;
+            was
+          | None -> true
+        in
+        if not already_settled then
+          if src = Ids.super_root then begin
+            (* the super-root's own send bounced: re-dispatch the root *)
+            Counter.incr t.counters "msg.bounced";
+            if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+              Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
+                (Deliver
+                   { src = Ids.super_root; dst = Ids.super_root;
+                     msg = Message.Failure_notice { failed = dst }; seq = -1 })
+          end
+          else
+            Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
+              (Bounce { src; dead = dst; msg })
+      end
     end
+  | Tack { seq } -> (
+    match Hashtbl.find_opt t.pending_sends seq with
+    | Some p ->
+      p.p_settled <- true;
+      Hashtbl.replace t.last_heard (p.p_src, p.p_dst) (now t)
+    | None -> ())
+  | Retry { seq } -> (
+    match Hashtbl.find_opt t.pending_sends seq with
+    | None -> ()
+    | Some p ->
+      if p.p_settled then Hashtbl.remove t.pending_sends seq
+      else if p.p_src >= 0 && not (Node.is_alive t.node_arr.(p.p_src)) then
+        (* the sender itself died: nobody is waiting on this delivery *)
+        Hashtbl.remove t.pending_sends seq
+      else begin
+        let { Config.suspicion_after; _ } = t.cfg.Config.retry in
+        let elapsed = now t - p.p_born in
+        (* Suspicion is a verdict on the *destination*, not on one unlucky
+           send: give up only when the sender has heard nothing back from
+           that processor — no delivery, no transport ack on any sequence —
+           for a whole window.  A send whose own acks keep getting eaten
+           retries for as long as the destination shows other signs of
+           life. *)
+        let heard =
+          Option.value ~default:(-1) (Hashtbl.find_opt t.last_heard (p.p_src, p.p_dst))
+        in
+        let silent = now t - heard >= suspicion_after in
+        if elapsed >= suspicion_after && silent && p.p_dst <> Ids.super_root then
+          give_up t seq p
+        else begin
+          (* never give up on the super-root: it is the cluster itself *)
+          p.p_attempt <- p.p_attempt + 1;
+          Counter.incr t.counters "net.retransmit";
+          transmit t ~extra:0 ~src:p.p_src ~dst:p.p_dst ~seq p.p_msg;
+          Engine.schedule t.engine ~delay:(retry_delay t p.p_attempt) (Retry { seq })
+        end
+      end)
   | Bounce { src; dead; msg } ->
     if src >= 0 then begin
       let n = t.node_arr.(src) in

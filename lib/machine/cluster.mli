@@ -75,3 +75,24 @@ val first_alive : t -> key:int -> Ids.proc_id option
 (** Deterministic pick among the processors currently alive, hashed by
     [key] (any int, including [min_int]); [None] when all are dead.
     Nodes use it to re-home tasks whose preferred destination died. *)
+
+val quiescent : t -> bool
+(** No events left in the queue: the run drained completely (as opposed to
+    stopping early on the answer or at the horizon). *)
+
+val root_answers : t -> Value.t list
+(** Every root result that reached the super-root, in arrival order.  More
+    than one arrives when a falsely-suspected root host coexists with its
+    twin; determinacy demands they all carry the same value. *)
+
+val error : t -> string option
+(** Program (not processor) error, if any. *)
+
+val unsettled_sends : t -> int
+(** Reliable sends still awaiting a transport ack or a bounce.  Zero at
+    quiescence. *)
+
+val suspected_nodes : t -> Ids.proc_id list
+(** Destinations some sender gave up on (timeout-based suspicion), sorted.
+    A member may still be alive — it is *treated* as faulty per §1, its
+    residual work abandoned in favour of a twin. *)

@@ -6,6 +6,8 @@ let recovery_to_string = function
   | Splice -> "splice"
   | Replicate k -> Printf.sprintf "replicate:%d" k
 
+type retry = { rto : int; backoff : float; suspicion_after : int }
+
 type t = {
   topology : Recflow_net.Topology.t;
   latency : Recflow_net.Latency.t;
@@ -25,6 +27,9 @@ type t = {
   horizon : int;
   seed : int;
   trace_capacity : int;
+  chaos : Recflow_net.Chaos.spec;
+  reliable : bool;
+  retry : retry;
 }
 
 let default ~nodes =
@@ -47,6 +52,9 @@ let default ~nodes =
     horizon = 200_000_000;
     seed = 42;
     trace_capacity = 65536;
+    chaos = Recflow_net.Chaos.none;
+    reliable = false;
+    retry = { rto = 150; backoff = 2.0; suspicion_after = 1500 };
   }
 
 type meta_value = [ `Int of int | `Str of string | `Bool of bool ]
@@ -77,6 +85,15 @@ let metadata t : (string * meta_value) list =
     ("bounce_delay", `Int t.bounce_delay);
     ("seed", `Int t.seed);
     ("trace_capacity", `Int t.trace_capacity);
+    ("reliable", `Bool t.reliable);
+    ("retry_rto", `Int t.retry.rto);
+    ("retry_backoff", `Str (Printf.sprintf "%g" t.retry.backoff));
+    ("suspicion_after", `Int t.retry.suspicion_after);
+    ("chaos_drop_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.drop_rate));
+    ("chaos_dup_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.dup_rate));
+    ("chaos_reorder_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.reorder_rate));
+    ("chaos_spike_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.spike_rate));
+    ("chaos_partitions", `Int (List.length t.chaos.Recflow_net.Chaos.partitions));
   ]
 
 let validate t =
@@ -92,9 +109,21 @@ let validate t =
   else if t.gradient_period < 1 then err "gradient_period must be >= 1"
   else if t.bounce_delay < 1 then err "bounce_delay must be >= 1"
   else if t.horizon < 1 then err "horizon must be >= 1"
+  else if t.retry.rto < 1 then err "retry rto must be >= 1"
+  else if t.retry.backoff < 1.0 then err "retry backoff base must be >= 1"
+  else if t.reliable && t.retry.suspicion_after <= t.detect_delay then
+    err
+      "suspicion_after must exceed detect_delay (timeout suspicion is the slow local fallback \
+       to the failure-notice broadcast)"
   else
-    match t.recovery with
-    | Replicate k when k < 1 -> err "replication factor must be >= 1"
-    | Replicate k when k > Recflow_net.Topology.size t.topology ->
-      err "replication factor %d exceeds cluster size" k
-    | No_recovery | Rollback | Splice | Replicate _ -> Ok ()
+    match Recflow_net.Chaos.validate t.chaos with
+    | Error m -> err "%s" m
+    | Ok () ->
+      if Recflow_net.Chaos.lossy t.chaos && not t.reliable then
+        err "a lossy chaos spec (drop_rate > 0 or partitions) requires reliable transport"
+      else (
+        match t.recovery with
+        | Replicate k when k < 1 -> err "replication factor must be >= 1"
+        | Replicate k when k > Recflow_net.Topology.size t.topology ->
+          err "replication factor %d exceeds cluster size" k
+        | No_recovery | Rollback | Splice | Replicate _ -> Ok ())

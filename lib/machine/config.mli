@@ -8,6 +8,17 @@ type recovery =
 
 val recovery_to_string : recovery -> string
 
+type retry = {
+  rto : int;  (** ticks before the first retransmission of an unacked send *)
+  backoff : float;  (** exponential backoff base: attempt n waits rto·backoffⁿ *)
+  suspicion_after : int;
+      (** ticks of silence after which the sender gives up, *suspects* the
+          destination (treats it as faulty per §1, even if it is merely
+          slow or partitioned) and routes the message down the bounce
+          recovery path.  Must exceed [detect_delay] so real failures are
+          normally announced before suspicion fires. *)
+}
+
 type t = {
   topology : Recflow_net.Topology.t;
   latency : Recflow_net.Latency.t;
@@ -49,6 +60,17 @@ type t = {
   horizon : int;  (** hard simulation-time stop *)
   seed : int;
   trace_capacity : int;
+  chaos : Recflow_net.Chaos.spec;
+      (** network perturbation (loss, duplication, reordering, delay
+          spikes, partition windows); [Chaos.none] leaves every run
+          bit-identical to the reliable network *)
+  reliable : bool;
+      (** arm the transport layer: [Task_packet]/[Result]/[Orphan_alive]/
+          [Reparent] sends carry sequence numbers, are acknowledged
+          hop-to-hop, retransmitted with exponential backoff and
+          deduplicated at the receiver; required whenever [chaos] can
+          destroy messages *)
+  retry : retry;  (** retransmission timing (only used when [reliable]) *)
 }
 
 val default : nodes:int -> t

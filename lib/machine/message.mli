@@ -69,6 +69,7 @@ type t =
   | Failure_notice of { failed : Ids.proc_id }
 
 val label : t -> string
-(** Counter key: "task_packet", "ack", "result", "abort", "failure_notice". *)
+(** Counter key, one per variant: "task_packet", "orphan_alive",
+    "reparent", "ack", "result", "gradient", "abort", "failure_notice". *)
 
 val describe : t -> string

@@ -257,7 +257,20 @@ let choose_dest t ctx ~key =
   if dest >= 0 && not (Hashtbl.mem t.known_dead dest) then dest
   else begin
     Counter.incr ctx.counters "static.reassigned";
-    match ctx.first_alive ~key with
+    (* The cluster fallback only knows router liveness; a *suspected*
+       processor is still routable, but anything placed there is written
+       off by this node (§1), so probe past locally-known-dead picks.
+       Under fail-stop alone known_dead ⊆ router-dead and the first probe
+       already lands. *)
+    let rec probe k tries =
+      if tries <= 0 then None
+      else
+        match ctx.first_alive ~key:k with
+        | Some d when not (Hashtbl.mem t.known_dead d) -> Some d
+        | Some _ -> probe (k + 1) (tries - 1)
+        | None -> None
+    in
+    match probe key 64 with
     | Some d -> d
     | None -> dest (* no live node: send anyway; the bounce path cleans up *)
   end
@@ -896,6 +909,26 @@ let deliver t ctx msg =
   if t.alive then begin
     Counter.incr ctx.counters ("msg." ^ Message.label msg);
     match msg with
+    | Message.Task_packet { packet; task_id; replica = _; replicas = _ }
+      when Hashtbl.mem t.tasks task_id ->
+      (* A retransmitted activation raced its transport ack: activation is
+         idempotent by stamp + task id, so keep the existing instance
+         untouched and only repeat the protocol-level Ack — the first one
+         may have been lost, and the parent must still leave state b/d. *)
+      Counter.incr ctx.counters "dup.task_packet";
+      Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
+        (Journal.Duplicate_ignored { task = task_id });
+      let parent = packet.Packet.parent in
+      if parent.Packet.proc <> Ids.super_root then
+        ctx.send ~src:t.nid ~dst:parent.Packet.proc
+          (Message.Ack
+             {
+               child_stamp = packet.Packet.stamp;
+               child_task = task_id;
+               child_proc = t.nid;
+               parent_task = parent.Packet.task;
+               slot = parent.Packet.slot;
+             })
     | Message.Task_packet { packet; task_id; replica = _; replicas = _ } ->
       let task = activate_task t ctx packet ~task_id in
       (* A grace-delayed twin may have been overtaken by adoption reports

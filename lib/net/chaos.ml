@@ -1,0 +1,107 @@
+module Rng = Recflow_sim.Rng
+
+type partition = { p_from : int; p_until : int; groups : int list list }
+
+type spec = {
+  drop_rate : float;
+  dup_rate : float;
+  reorder_rate : float;
+  reorder_spread : int;
+  spike_rate : float;
+  spike_max : int;
+  partitions : partition list;
+}
+
+let none =
+  {
+    drop_rate = 0.0;
+    dup_rate = 0.0;
+    reorder_rate = 0.0;
+    reorder_spread = 0;
+    spike_rate = 0.0;
+    spike_max = 0;
+    partitions = [];
+  }
+
+let quiet s =
+  s.drop_rate = 0.0 && s.dup_rate = 0.0 && s.reorder_rate = 0.0 && s.spike_rate = 0.0
+  && s.partitions = []
+
+let lossy s = s.drop_rate > 0.0 || s.partitions <> []
+
+let validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let in_unit_half_open r = r >= 0.0 && r < 1.0 in
+  let in_unit_closed r = r >= 0.0 && r <= 1.0 in
+  if not (in_unit_half_open s.drop_rate) then err "chaos drop_rate must be in [0,1)"
+  else if not (in_unit_half_open s.dup_rate) then err "chaos dup_rate must be in [0,1)"
+  else if not (in_unit_closed s.reorder_rate) then err "chaos reorder_rate must be in [0,1]"
+  else if not (in_unit_closed s.spike_rate) then err "chaos spike_rate must be in [0,1]"
+  else if s.reorder_rate > 0.0 && s.reorder_spread < 1 then
+    err "chaos reorder_spread must be >= 1 when reorder_rate > 0"
+  else if s.spike_rate > 0.0 && s.spike_max < 1 then
+    err "chaos spike_max must be >= 1 when spike_rate > 0"
+  else
+    let check_partition p =
+      if p.p_from < 0 || p.p_until <= p.p_from then
+        err "chaos partition window must satisfy 0 <= from < until"
+      else if p.groups = [] || List.exists (fun g -> g = []) p.groups then
+        err "chaos partition needs non-empty groups"
+      else if List.exists (fun g -> List.exists (fun x -> x < 0) g) p.groups then
+        err "chaos partition groups must list processor ids (>= 0)"
+      else
+        let all = List.concat p.groups in
+        if List.length (List.sort_uniq compare all) <> List.length all then
+          err "chaos partition groups must be disjoint"
+        else Ok ()
+    in
+    List.fold_left
+      (fun acc p -> match acc with Error _ -> acc | Ok () -> check_partition p)
+      (Ok ()) s.partitions
+
+(* Island index of [x]: position of the group listing it, or -1 for the
+   implicit island of unlisted processors. *)
+let group_of groups x =
+  let rec go i = function [] -> -1 | g :: rest -> if List.mem x g then i else go (i + 1) rest in
+  go 0 groups
+
+let severed s ~now ~src ~dst =
+  src >= 0 && dst >= 0 && src <> dst
+  && List.exists
+       (fun p ->
+         now >= p.p_from && now < p.p_until && group_of p.groups src <> group_of p.groups dst)
+       s.partitions
+
+type t = { spec : spec; rng : Rng.t }
+
+let create ~seed spec = { spec; rng = Rng.create seed }
+
+let spec t = t.spec
+
+type verdict = Pass of { extra_delays : int list } | Drop of [ `Loss | `Partition ]
+
+let decide t ~now ~src ~dst =
+  let s = t.spec in
+  if src = dst then Pass { extra_delays = [ 0 ] }
+  else if severed s ~now ~src ~dst then Drop `Partition
+  else if s.drop_rate > 0.0 && Rng.float t.rng 1.0 < s.drop_rate then Drop `Loss
+  else begin
+    (* Each delivered copy draws its own reorder / spike delay, so a
+       duplicate usually lands at a different instant than the original. *)
+    let extra () =
+      let d =
+        if s.reorder_rate > 0.0 && Rng.float t.rng 1.0 < s.reorder_rate then
+          1 + Rng.int t.rng s.reorder_spread
+        else 0
+      in
+      if s.spike_rate > 0.0 && Rng.float t.rng 1.0 < s.spike_rate then
+        d + 1 + Rng.int t.rng s.spike_max
+      else d
+    in
+    let first = extra () in
+    let delays =
+      if s.dup_rate > 0.0 && Rng.float t.rng 1.0 < s.dup_rate then [ first; extra () ]
+      else [ first ]
+    in
+    Pass { extra_delays = delays }
+  end

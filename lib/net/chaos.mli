@@ -1,0 +1,71 @@
+(** Deterministic network perturbation: message loss, duplication,
+    reordering, delay spikes and scheduled partition windows.
+
+    The cluster consults a chaos instance once per transmitted message (per
+    hop through the send path, not per physical link) and obtains a verdict:
+    drop the message, or deliver one or more copies with extra delay.  All
+    randomness comes from the instance's own splitmix64 stream, seeded from
+    the run seed, so a chaotic run is exactly replayable and independent of
+    the latency-jitter and placement streams.
+
+    A {!spec} with every rate zero and no partitions ({!quiet}) draws
+    nothing and perturbs nothing; the cluster skips the layer entirely so
+    existing runs stay bit-identical.  A {!lossy} spec (positive drop rate
+    or any partition window) destroys messages and therefore requires the
+    reliable transport ([Config.reliable]); validation enforces this. *)
+
+type partition = {
+  p_from : int;  (** window start, inclusive (simulation ticks) *)
+  p_until : int;  (** window end, exclusive *)
+  groups : int list list;
+      (** islands of processor ids.  During the window a message passes
+          only between endpoints of the same island; processors listed in
+          no group form one implicit extra island.  Negative ids (the
+          super-root, i.e. the cluster membership service) are never
+          severed. *)
+}
+
+type spec = {
+  drop_rate : float;  (** P(message destroyed), in [\[0,1)] *)
+  dup_rate : float;  (** P(message delivered twice), in [\[0,1)] *)
+  reorder_rate : float;
+      (** P(copy held back by a uniform extra delay in
+          [\[1, reorder_spread\]]), in [\[0,1\]] *)
+  reorder_spread : int;
+  spike_rate : float;
+      (** P(copy hit by a congestion spike of uniform extra delay in
+          [\[1, spike_max\]]), in [\[0,1\]]; independent of reordering *)
+  spike_max : int;
+  partitions : partition list;
+}
+
+val none : spec
+(** All rates zero, no partitions. *)
+
+val quiet : spec -> bool
+(** The spec can never perturb a message (chaos layer may be skipped). *)
+
+val lossy : spec -> bool
+(** The spec can destroy messages: positive drop rate or a partition. *)
+
+val validate : spec -> (unit, string) result
+
+val severed : spec -> now:int -> src:int -> dst:int -> bool
+(** Pure partition check: is the [src]→[dst] link cut at time [now]?
+    Always false for self-sends and super-root endpoints. *)
+
+type t
+(** A chaos instance: a spec plus its private random stream. *)
+
+val create : seed:int -> spec -> t
+
+val spec : t -> spec
+
+type verdict =
+  | Pass of { extra_delays : int list }
+      (** deliver one copy per element, each with that extra delay *)
+  | Drop of [ `Loss | `Partition ]
+
+val decide : t -> now:int -> src:int -> dst:int -> verdict
+(** Verdict for one message about to be transmitted.  Self-sends
+    ([src = dst]) always pass untouched and draw nothing. *)

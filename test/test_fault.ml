@@ -54,12 +54,62 @@ let generators_validate () =
   check "bad procs" true
     (try ignore (Plan.random_burst ~rng ~procs:0 ~count:1 ~lo:0 ~hi:1); false
      with Invalid_argument _ -> true);
+  check "bad count" true
+    (try ignore (Plan.random_burst ~rng ~procs:2 ~count:(-1) ~lo:0 ~hi:1); false
+     with Invalid_argument _ -> true);
   check "bad range" true
     (try ignore (Plan.random_burst ~rng ~procs:2 ~count:1 ~lo:5 ~hi:1); false
      with Invalid_argument _ -> true);
   check "bad interval" true
     (try ignore (Plan.poisson ~rng ~procs:2 ~mean_interval:0.0 ~until:10); false
+     with Invalid_argument _ -> true);
+  check "bad horizon" true
+    (try ignore (Plan.poisson ~rng ~procs:2 ~mean_interval:5.0 ~until:(-1)); false
+     with Invalid_argument _ -> true);
+  check "bad poisson procs" true
+    (try ignore (Plan.poisson ~rng ~procs:0 ~mean_interval:5.0 ~until:10); false
      with Invalid_argument _ -> true)
+
+(* ---------------- plan properties ---------------- *)
+
+let prop_burst =
+  QCheck.Test.make ~name:"prop: random_burst victims distinct, times within [lo,hi]" ~count:200
+    QCheck.(quad (int_range 0 99_999) (int_range 1 12) (int_range 0 8) (int_range 0 5_000))
+    (fun (seed, procs, count, lo) ->
+      let rng = Rng.create seed in
+      let hi = lo + (seed mod 3_000) in
+      let plan = Plan.random_burst ~rng ~procs ~count ~lo ~hi in
+      let vs = List.map snd plan in
+      List.length plan = min count procs
+      && List.length (List.sort_uniq compare vs) = List.length vs
+      && List.for_all (fun v -> v >= 0 && v < procs) vs
+      && List.for_all (fun (t, _) -> t >= lo && t <= hi) plan)
+
+let prop_poisson =
+  QCheck.Test.make ~name:"prop: poisson respects its horizon, victims fresh" ~count:200
+    QCheck.(triple (int_range 0 99_999) (int_range 1 12) (int_range 0 5_000))
+    (fun (seed, procs, until) ->
+      let rng = Rng.create seed in
+      let plan = Plan.poisson ~rng ~procs ~mean_interval:250.0 ~until in
+      let vs = List.map snd plan in
+      List.length plan <= procs
+      && List.for_all (fun (t, _) -> t <= until) plan
+      && List.length (List.sort_uniq compare vs) = List.length vs)
+
+let prop_at_fractions =
+  QCheck.Test.make ~name:"prop: at_fractions clamps into [0.01, 0.99] of the makespan"
+    ~count:200
+    QCheck.(pair (int_range 1 100_000) (small_list (float_range (-2.0) 3.0)))
+    (fun (makespan, fracs) ->
+      let specs = List.mapi (fun i f -> (f, i)) fracs in
+      let plan = Plan.at_fractions ~makespan specs in
+      let m = float_of_int makespan in
+      List.length plan = List.length specs
+      && List.for_all
+           (fun (t, _) ->
+             let ft = float_of_int t in
+             ft >= (0.01 *. m) -. 1.0 && ft <= (0.99 *. m) +. 1.0)
+           plan)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -73,6 +123,24 @@ let run_with cfg w plan =
   | None -> false
 
 let policies = [| Policy.Gradient { weight = 2 }; Policy.Random; Policy.Round_robin |]
+
+(* ---------------- regressions ---------------- *)
+
+let deep_orphan_salvage () =
+  (* Found by the splice fuzz (seed 2936): with ancestor links deep
+     enough to skip past a dead grandparent, a grandchild's salvaged
+     result reaches the super-root.  Filing it directly into a root call
+     slot substitutes one subtree fragment for the whole slot — the run
+     "completes" with a silently wrong answer.  The super-root must keep
+     the orphan's [To_grandparent] shape and let the root twin drive it
+     down the chain of twins. *)
+  let rng = Rng.create (2936 * 7 + 1) in
+  let plan = Plan.random_burst ~rng ~procs:8 ~count:2 ~lo:50 ~hi:2500 in
+  let cfg =
+    { (Config.default ~nodes:8) with Config.recovery = Config.Splice; seed = 2936;
+      ancestor_depth = 2; policy = Policy.Random }
+  in
+  check "grandchild salvage keeps the full subtree" true (run_with cfg Workload.tree_sum plan)
 
 let fuzz_recovery recovery name =
   QCheck.Test.make ~name ~count:40
@@ -140,9 +208,13 @@ let suites =
         Alcotest.test_case "burst caps" `Quick burst_caps_at_procs;
         Alcotest.test_case "poisson shape" `Quick poisson_shape;
         Alcotest.test_case "validation" `Quick generators_validate;
+        qtest prop_burst;
+        qtest prop_poisson;
+        qtest prop_at_fractions;
       ] );
     ( "fault.fuzz",
       [
+        Alcotest.test_case "deep orphan salvage regression" `Quick deep_orphan_salvage;
         qtest fuzz_splice;
         qtest fuzz_rollback;
         qtest fuzz_literal_splice;

@@ -9,6 +9,7 @@ module Plan = Recflow_fault.Plan
 module Stamp = Recflow_recovery.Stamp
 module Value = Recflow_lang.Value
 module Counter = Recflow_stats.Counter
+module Chaos = Recflow_net.Chaos
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -314,6 +315,35 @@ let config_validation () =
   check "bad work_tick" true (bad (fun c -> { c with Config.work_tick = 0 }));
   check "bad inline_depth" true (bad (fun c -> { c with Config.inline_depth = 0 }));
   check "negative ancestor depth" true (bad (fun c -> { c with Config.ancestor_depth = -1 }));
+  (* transport / chaos knobs: each bad value must name its own rule *)
+  let bad_msg msg f =
+    let cfg = f (Config.default ~nodes:4) in
+    match Config.validate cfg with
+    | Error m -> String.equal m msg
+    | Ok () -> false
+  in
+  check "bad rto" true
+    (bad_msg "retry rto must be >= 1" (fun c ->
+         { c with Config.retry = { c.Config.retry with Config.rto = 0 } }));
+  check "bad backoff" true
+    (bad_msg "retry backoff base must be >= 1" (fun c ->
+         { c with Config.retry = { c.Config.retry with Config.backoff = 0.5 } }));
+  check "suspicion under detect_delay" true
+    (bad_msg
+       "suspicion_after must exceed detect_delay (timeout suspicion is the slow local \
+        fallback to the failure-notice broadcast)"
+       (fun c ->
+         { c with
+           Config.reliable = true;
+           retry = { c.Config.retry with Config.suspicion_after = c.Config.detect_delay } }));
+  check "bad drop rate" true
+    (bad_msg "chaos drop_rate must be in [0,1)" (fun c ->
+         { c with
+           Config.reliable = true;
+           chaos = { Chaos.none with Chaos.drop_rate = 1.0 } }));
+  check "lossy chaos needs reliable transport" true
+    (bad_msg "a lossy chaos spec (drop_rate > 0 or partitions) requires reliable transport"
+       (fun c -> { c with Config.chaos = { Chaos.none with Chaos.drop_rate = 0.1 } }));
   check "default valid" true (Config.validate (Config.default ~nodes:4) = Ok ())
 
 let horizon_stops () =

@@ -105,6 +105,31 @@ let router_reroute () =
   Router.kill r 1;
   Alcotest.(check (option int)) "long way" (Some 4) (Router.distance r 0 2)
 
+let router_revive_distances () =
+  (* regression: revive must invalidate whatever route state kill built,
+     not merely flip the liveness bit *)
+  let r = Router.create (Topology.Ring 6) in
+  Router.kill r 1;
+  Alcotest.(check (option int)) "long way while dead" (Some 4) (Router.distance r 0 2);
+  Router.revive r 1;
+  Alcotest.(check (option int)) "short way restored" (Some 2) (Router.distance r 0 2);
+  Alcotest.(check (list int)) "all alive again" [ 0; 1; 2; 3; 4; 5 ] (Router.alive_nodes r)
+
+let router_alive_but_unreachable () =
+  (* a live node whose every route is severed answers exactly like a dead
+     one — unreachability *is* failure to the bounce-based detector (§1) *)
+  let r = Router.create (Topology.Ring 6) in
+  Router.kill r 1;
+  Router.kill r 3;
+  check "node 2 still alive" true (Router.alive r 2);
+  check "but unreachable" false (Router.reachable r 0 2);
+  Alcotest.(check (option int)) "distance reports none, like a dead node" None
+    (Router.distance r 0 2);
+  check "dead node agrees" false (Router.reachable r 0 1);
+  Router.revive r 3;
+  Alcotest.(check (option int)) "reviving the cut vertex restores a route" (Some 4)
+    (Router.distance r 0 2)
+
 let latency_fixed () =
   let m = Latency.no_jitter ~base:10 ~per_hop:5 in
   check_int "0 hops" 10 (Latency.delay m ~hops:0);
@@ -139,6 +164,8 @@ let suites =
         Alcotest.test_case "kill/revive" `Quick router_kill;
         Alcotest.test_case "partition" `Quick router_partition;
         Alcotest.test_case "reroute" `Quick router_reroute;
+        Alcotest.test_case "revive recomputes distances" `Quick router_revive_distances;
+        Alcotest.test_case "alive but unreachable = dead" `Quick router_alive_but_unreachable;
       ] );
     ( "net.latency",
       [
