@@ -6,7 +6,13 @@
      recflow --program my.rf --entry main --arg 10 --arg 20 --topology mesh:4x4 \
              --policy random --recovery splice --fail 500@1 --fail 900@5 --trace
      recflow --workload fib --size small --fail 500@1 \
-             --emit-trace t.json --metrics-json m.json --trace-jsonl t.jsonl *)
+             --emit-trace t.json --metrics-json m.json --trace-jsonl t.jsonl
+     recflow --program my.rf --check            # static analysis only
+     recflow --workload tak --check-json        # machine-readable report
+
+   Every run is gated by the static checker: analysis errors (RF0xx/RF1xx)
+   refuse to start the cluster (escape hatch: --no-check), warnings go to
+   stderr. *)
 
 module Config = Recflow_machine.Config
 module Cluster = Recflow_machine.Cluster
@@ -19,6 +25,9 @@ module Sink = Recflow_obs_core.Sink
 module Perfetto = Recflow_obs.Perfetto
 module Episode = Recflow_obs.Episode
 module Metrics = Recflow_obs.Metrics
+module Check = Recflow_analysis.Check
+module Diagnostic = Recflow_analysis.Diagnostic
+module Shape = Recflow_analysis.Shape
 
 let parse_failure s =
   match String.split_on_char '@' s with
@@ -48,40 +57,89 @@ let recovery_of_string s =
 
 let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
     detect_delay workload_name size_name program_file entry args failures show_journal
-    show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl =
+    show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl
+    check_only check_json werror no_check =
   let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
   let* topology =
     match topology with
     | Some t -> Recflow_net.Topology.of_string t
     | None -> Ok (Recflow_net.Topology.Full nodes)
   in
-  let* policy = Recflow_balance.Policy.spec_of_string policy in
   let* recovery = recovery_of_string recovery in
   let* size = size_of_string size_name in
-  let* program, entry, argv, expected =
+  let* source, entry, argv, expected =
     match (workload_name, program_file) with
     | Some name, None -> (
       match Workload.by_name name with
       | Some w ->
         Ok
-          ( Workload.program w,
+          ( w.Workload.source,
             w.Workload.entry,
             w.Workload.args size,
-            Some (Workload.expected w size) )
+            Some (fun () -> Workload.expected w size) )
       | None ->
         Error
           (Printf.sprintf "unknown workload %S (have: %s)" name
              (String.concat ", " (List.map (fun w -> w.Workload.name) Workload.all))))
     | None, Some path -> (
       match In_channel.with_open_text path In_channel.input_all with
-      | source -> (
-        match Recflow_lang.Parser.parse_program source with
-        | Ok p -> Ok (p, entry, List.map (fun n -> Value.Int n) args, None)
-        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+      | source -> Ok (source, entry, List.map (fun n -> Value.Int n) args, None)
       | exception Sys_error msg -> Error msg)
     | Some _, Some _ -> Error "give either --workload or --program, not both"
     | None, None -> Error "give --workload NAME or --program FILE (see --help)"
   in
+  (* Static analysis happens before anything touches the machine: --check
+     stops here, a normal run refuses on errors unless --no-check. *)
+  let report = Check.check_source ~entries:[ entry ] source in
+  if check_only || check_json then begin
+    if check_json then print_endline (Check.render_json report)
+    else print_endline (Check.render_human report);
+    if Check.ok ~werror report then 0 else 1
+  end
+  else
+    let* () =
+      match Check.errors report with
+      | [] -> Ok ()
+      | errs when not no_check ->
+        List.iter (fun d -> Format.eprintf "%s@." (Diagnostic.to_string d)) errs;
+        Error
+          (Printf.sprintf "%s — refusing to run (use --no-check to override)"
+             (Check.summary_line report))
+      | _ -> Ok ()
+    in
+    List.iter
+      (fun d -> Format.eprintf "%s@." (Diagnostic.to_string d))
+      (Check.warnings report);
+    let* () =
+      match (werror, Check.warnings report) with
+      | true, _ :: _ -> Error "warnings treated as errors (--werror)"
+      | _ -> Ok ()
+    in
+    let* program =
+      match report.Check.program with
+      | Some p -> Ok p
+      | None -> (
+        (* only reachable with --no-check; structural validity is still
+           required to run at all *)
+        match Recflow_lang.Parser.parse_program source with
+        | Ok p -> Ok p
+        | Error msg -> Error msg)
+    in
+    let* policy =
+      if policy = "gradient:auto" then (
+        match report.Check.shape with
+        | Some shape ->
+          let fanout =
+            Shape.program_fanout_bound ~entries:report.Check.entries shape program
+          in
+          let weight = Recflow_balance.Policy.suggest_gradient_weight ~fanout in
+          Format.eprintf "gradient:auto: static fan-out bound %d, using gradient:%d@." fanout
+            weight;
+          Ok (Recflow_balance.Policy.Gradient { weight })
+        | None -> Error "gradient:auto: program did not analyse cleanly")
+      else Recflow_balance.Policy.spec_of_string policy
+    in
+    let expected = Option.map (fun f -> f ()) expected in
   let cfg =
     {
       (Config.default ~nodes) with
@@ -189,7 +247,10 @@ let topology =
 let policy =
   Arg.(
     value & opt string "gradient"
-    & info [ "policy" ] ~docv:"P" ~doc:"gradient[:W], random, round-robin, static, neighborhood[:R].")
+    & info [ "policy" ] ~docv:"P"
+        ~doc:
+          "gradient[:W], gradient:auto (weight from the static fan-out bound), random, \
+           round-robin, static, neighborhood[:R].")
 
 let recovery =
   Arg.(
@@ -278,6 +339,26 @@ let trace_jsonl =
           "Stream every protocol trace record to $(docv) as JSON lines while the run executes \
            (unbounded, unlike the in-memory ring).")
 
+let check_only =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Run the static analyser and exit (0 clean, 1 findings); don't simulate.")
+
+let check_json =
+  Arg.(
+    value & flag
+    & info [ "check-json" ] ~doc:"Like $(b,--check) but print the report as one JSON object.")
+
+let werror =
+  Arg.(value & flag & info [ "werror" ] ~doc:"Treat analysis warnings as errors.")
+
+let no_check =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:"Skip the pre-run analysis gate (structural validity is still required).")
+
 let cmd =
   let doc = "run applicative programs on a simulated fault-tolerant multiprocessor" in
   Cmd.v (Cmd.info "recflow" ~doc)
@@ -285,6 +366,6 @@ let cmd =
       const main $ nodes $ topology $ policy $ recovery $ ckpt_keep_all $ ancestor_depth
       $ inline_depth $ seed $ detect_delay $ workload $ size $ program_file $ entry $ args
       $ failures $ show_journal $ show_trace $ trace_limit $ show_stats $ show_timeline $ drain
-      $ emit_trace $ metrics_json $ trace_jsonl)
+      $ emit_trace $ metrics_json $ trace_jsonl $ check_only $ check_json $ werror $ no_check)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,21 @@ def tree_sum(depth, label) =
 |}
 
 let () =
+  (* Static analysis first: types, lints and the spawn-shape bound.  A
+     real run would refuse on errors (recflow --program does); here we
+     just show the clean bill of health. *)
+  let report = Recflow_analysis.Check.check_source ~entries:[ "tree_sum" ] source in
+  (match Recflow_analysis.Check.(errors report, warnings report) with
+  | [], [] ->
+    let fanout =
+      match (report.Recflow_analysis.Check.program, report.Recflow_analysis.Check.shape) with
+      | Some p, Some shape -> Recflow_analysis.Shape.program_fanout_bound shape p
+      | _ -> 0
+    in
+    Format.printf "static analysis: clean; fan-out bound %d@." fanout
+  | _ ->
+    print_endline (Recflow_analysis.Check.render_human report);
+    exit 1);
   let program = Parser.parse_program_exn source in
   (* Ground truth from the sequential reference evaluator. *)
   let expected, reductions = Eval_serial.eval program "tree_sum" [ Value.Int 8; Value.Int 1 ] in

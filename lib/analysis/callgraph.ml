@@ -1,0 +1,110 @@
+open Recflow_lang
+
+type t = {
+  functions : string list;  (** sorted *)
+  edges : (string * string list) list;  (** caller -> sorted distinct callees *)
+}
+
+let callees g fn = match List.assoc_opt fn g.edges with Some cs -> cs | None -> []
+
+let of_program program =
+  let defs = Program.defs program in
+  let functions = List.map (fun (d : Ast.def) -> d.name) defs in
+  let edges = List.map (fun (d : Ast.def) -> (d.name, Ast.calls d.body)) defs in
+  { functions; edges }
+
+let reachable g ~entries =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> ()
+    | fn :: rest ->
+      if Hashtbl.mem seen fn then go rest
+      else begin
+        Hashtbl.add seen fn ();
+        go (callees g fn @ rest)
+      end
+  in
+  go (List.filter (fun fn -> List.mem fn g.functions) entries);
+  List.filter (Hashtbl.mem seen) g.functions
+
+(* Roots: functions never called by another function (self-calls don't
+   count).  In a program whose call graph has no root — e.g. a single
+   mutually recursive cycle — every function is a candidate entry. *)
+let roots g =
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun (caller, callees) ->
+      List.iter (fun callee -> if callee <> caller then Hashtbl.replace called callee ()) callees)
+    g.edges;
+  match List.filter (fun fn -> not (Hashtbl.mem called fn)) g.functions with
+  | [] -> g.functions
+  | rs -> rs
+
+(* Tarjan's strongly connected components, with an explicit stack of work
+   items so deep graphs cannot overflow the OCaml stack. *)
+type frame = { fn : string; mutable todo : string list }
+
+let sccs g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      let call_stack = ref [] in
+      let push fn =
+        Hashtbl.add index fn !counter;
+        Hashtbl.add lowlink fn !counter;
+        incr counter;
+        stack := fn :: !stack;
+        Hashtbl.add on_stack fn ();
+        call_stack := { fn; todo = callees g fn } :: !call_stack
+      in
+      push root;
+      while !call_stack <> [] do
+        let frame = List.hd !call_stack in
+        match frame.todo with
+        | callee :: rest ->
+          frame.todo <- rest;
+          if not (List.mem callee g.functions) then ()
+          else if not (Hashtbl.mem index callee) then push callee
+          else if Hashtbl.mem on_stack callee then
+            Hashtbl.replace lowlink frame.fn
+              (min (Hashtbl.find lowlink frame.fn) (Hashtbl.find index callee))
+        | [] ->
+          call_stack := List.tl !call_stack;
+          (if Hashtbl.find lowlink frame.fn = Hashtbl.find index frame.fn then begin
+             (* frame.fn is an SCC root: pop the component off the stack. *)
+             let rec pop acc =
+               match !stack with
+               | [] -> acc
+               | fn :: rest ->
+                 stack := rest;
+                 Hashtbl.remove on_stack fn;
+                 if fn = frame.fn then fn :: acc else pop (fn :: acc)
+             in
+             components := List.sort String.compare (pop []) :: !components
+           end);
+          (match !call_stack with
+          | parent :: _ ->
+            Hashtbl.replace lowlink parent.fn
+              (min (Hashtbl.find lowlink parent.fn) (Hashtbl.find lowlink frame.fn))
+          | [] -> ())
+      done
+    end
+  in
+  List.iter visit g.functions;
+  List.rev !components
+
+let recursive_functions g =
+  let in_cycle = Hashtbl.create 16 in
+  List.iter
+    (fun component ->
+      match component with
+      | [ fn ] -> if List.mem fn (callees g fn) then Hashtbl.add in_cycle fn ()
+      | _ :: _ :: _ -> List.iter (fun fn -> Hashtbl.add in_cycle fn ()) component
+      | [] -> ())
+    (sccs g);
+  List.filter (Hashtbl.mem in_cycle) g.functions

@@ -1,0 +1,32 @@
+(** Static call graph over user-defined functions.
+
+    Nodes are function names; there is an edge [f -> g] when [f]'s body
+    contains a call to [g].  All outputs are deterministically ordered
+    (functions sorted by name, SCCs in a stable order) so downstream
+    reports are byte-stable. *)
+
+open Recflow_lang
+
+type t = {
+  functions : string list;  (** sorted *)
+  edges : (string * string list) list;  (** caller -> sorted distinct callees *)
+}
+
+val of_program : Program.t -> t
+
+val callees : t -> string -> string list
+
+val reachable : t -> entries:string list -> string list
+(** Functions reachable from [entries] (entries not naming a function are
+    ignored).  Sorted. *)
+
+val roots : t -> string list
+(** Functions never called by another function (self-calls excluded) —
+    the natural entry candidates.  Falls back to every function when the
+    whole graph is cyclic, so nothing is spuriously reported dead. *)
+
+val sccs : t -> string list list
+(** Strongly connected components, each sorted; iterative Tarjan. *)
+
+val recursive_functions : t -> string list
+(** Functions on some call-graph cycle (including self-loops).  Sorted. *)

@@ -1,0 +1,140 @@
+type severity = Error | Warning
+
+type code =
+  | Parse_error
+  | Duplicate_definition
+  | Duplicate_parameter
+  | Unbound_variable
+  | Unknown_function
+  | Arity_mismatch
+  | Prim_arity
+  | Type_mismatch
+  | Infinite_type
+  | Dead_function
+  | Unused_parameter
+  | Non_productive_recursion
+  | Shadowed_binding
+  | Unused_let
+
+let all_codes =
+  [
+    Parse_error;
+    Duplicate_definition;
+    Duplicate_parameter;
+    Unbound_variable;
+    Unknown_function;
+    Arity_mismatch;
+    Prim_arity;
+    Type_mismatch;
+    Infinite_type;
+    Dead_function;
+    Unused_parameter;
+    Non_productive_recursion;
+    Shadowed_binding;
+    Unused_let;
+  ]
+
+(* Stable rule codes: RF0xx structural validity, RF1xx types, RF2xx lints.
+   Codes are part of the JSON output contract — never renumber. *)
+let code_string = function
+  | Parse_error -> "RF001"
+  | Duplicate_definition -> "RF002"
+  | Duplicate_parameter -> "RF003"
+  | Unbound_variable -> "RF004"
+  | Unknown_function -> "RF005"
+  | Arity_mismatch -> "RF006"
+  | Prim_arity -> "RF007"
+  | Type_mismatch -> "RF101"
+  | Infinite_type -> "RF102"
+  | Dead_function -> "RF201"
+  | Unused_parameter -> "RF202"
+  | Non_productive_recursion -> "RF203"
+  | Shadowed_binding -> "RF204"
+  | Unused_let -> "RF205"
+
+let severity_of_code = function
+  | Parse_error | Duplicate_definition | Duplicate_parameter | Unbound_variable
+  | Unknown_function | Arity_mismatch | Prim_arity | Type_mismatch | Infinite_type ->
+    Error
+  | Dead_function | Unused_parameter | Non_productive_recursion | Shadowed_binding | Unused_let
+    ->
+    Warning
+
+type t = { code : code; fn : string option; loc : Loc.t option; message : string }
+
+let make ?fn ?loc code message = { code; fn; loc; message }
+
+let severity d = severity_of_code d.code
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  let where =
+    match (d.fn, d.loc) with
+    | Some fn, Some loc -> Printf.sprintf " %s:%s" fn (Loc.to_string loc)
+    | Some fn, None -> " " ^ fn
+    | None, Some loc -> " " ^ Loc.to_string loc
+    | None, None -> ""
+  in
+  Printf.sprintf "%s[%s]%s: %s" (severity_string (severity d)) (code_string d.code) where
+    d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+(* Errors before warnings, then by function, location, code, message — a
+   total deterministic order so reports are byte-stable. *)
+let compare a b =
+  let sev = function Error -> 0 | Warning -> 1 in
+  let cmp_opt cmp a b =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> cmp x y
+  in
+  let c = Int.compare (sev (severity a)) (sev (severity b)) in
+  if c <> 0 then c
+  else
+    let c = cmp_opt String.compare a.fn b.fn in
+    if c <> 0 then c
+    else
+      let c = cmp_opt Loc.compare a.loc b.loc in
+      if c <> 0 then c
+      else
+        let c = String.compare (code_string a.code) (code_string b.code) in
+        if c <> 0 then c else String.compare a.message b.message
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [
+      Some ("code", json_string (code_string d.code));
+      Some ("severity", json_string (severity_string (severity d)));
+      Option.map (fun fn -> ("function", json_string fn)) d.fn;
+      Option.map (fun (l : Loc.t) -> ("line", string_of_int l.line)) d.loc;
+      Option.map (fun (l : Loc.t) -> ("column", string_of_int l.column)) d.loc;
+      Some ("message", json_string d.message);
+    ]
+    |> List.filter_map Fun.id
+  in
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"

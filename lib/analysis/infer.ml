@@ -1,0 +1,155 @@
+open Recflow_lang
+
+(* Primitive signatures.  Equality is polymorphic in the source language
+   (Eq/Ne compare ints, bools and lists), so each Eq/Ne site gets a fresh
+   variable; likewise Cons/Head/Tail/Is_nil work over ['a list]. *)
+let prim_sig gen (p : Ast.prim) : Ty.t list * Ty.t =
+  match p with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Min | Ast.Max ->
+    ([ Ty.Int; Ty.Int ], Ty.Int)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> ([ Ty.Int; Ty.Int ], Ty.Bool)
+  | Ast.Eq | Ast.Ne ->
+    let a = Ty.fresh gen in
+    ([ a; a ], Ty.Bool)
+  | Ast.Not -> ([ Ty.Bool ], Ty.Bool)
+  | Ast.Neg -> ([ Ty.Int ], Ty.Int)
+  | Ast.Cons ->
+    let a = Ty.fresh gen in
+    ([ a; Ty.List a ], Ty.List a)
+  | Ast.Head ->
+    let a = Ty.fresh gen in
+    ([ Ty.List a ], a)
+  | Ast.Tail ->
+    let a = Ty.fresh gen in
+    ([ Ty.List a ], Ty.List a)
+  | Ast.Is_nil ->
+    let a = Ty.fresh gen in
+    ([ Ty.List a ], Ty.Bool)
+
+type fn_scheme = { param_tys : Ty.t list; ret_ty : Ty.t }
+
+type result = {
+  schemes : (string * fn_scheme) list;  (** per function, in def order *)
+  diagnostics : Diagnostic.t list;
+}
+
+(* Where a unification failure is reported.  [ctx] names the construct,
+   [fn] the enclosing definition, [loc] the best span we have (user-call
+   sites only; other constructs carry no span — see Parser.def_spans). *)
+type site = { fn : string; ctx : string; loc : Loc.t option }
+
+let mismatch site ~expected ~got =
+  match Ty.to_string_many [ expected; got ] with
+  | [ e; g ] ->
+    let msg = Printf.sprintf "%s: expected %s, got %s" site.ctx e g in
+    Diagnostic.make ~fn:site.fn ?loc:site.loc Diagnostic.Type_mismatch msg
+  | _ -> assert false
+
+let infinite site ~var ~ty =
+  match Ty.to_string_many [ var; ty ] with
+  | [ v; t ] ->
+    let msg = Printf.sprintf "%s: %s occurs in %s (infinite type)" site.ctx v t in
+    Diagnostic.make ~fn:site.fn ?loc:site.loc Diagnostic.Infinite_type msg
+  | _ -> assert false
+
+let infer_program ?(spans : Parser.def_spans list = []) (program : Program.t) : result =
+  let gen = Ty.new_gen () in
+  let defs = Program.defs program in
+  let diags = ref [] in
+  let unify_at site a b =
+    match Ty.unify a b with
+    | Ok () -> ()
+    | Error (Ty.Mismatch (x, y)) -> diags := mismatch site ~expected:x ~got:y :: !diags
+    | Error (Ty.Occurs (v, t)) -> diags := infinite site ~var:v ~ty:t :: !diags
+  in
+  (* One monomorphic scheme per function, created up front so recursive and
+     mutually recursive calls constrain the same variables. *)
+  let schemes =
+    List.map
+      (fun (d : Ast.def) ->
+        (d.name, { param_tys = List.map (fun _ -> Ty.fresh gen) d.params; ret_ty = Ty.fresh gen }))
+      defs
+  in
+  let scheme_of name = List.assoc_opt name schemes in
+  let spans_of fn =
+    match List.find_opt (fun (s : Parser.def_spans) -> s.def_name = fn) spans with
+    | Some s -> Array.of_list s.call_spans
+    | None -> [||]
+  in
+  List.iter
+    (fun (d : Ast.def) ->
+      let call_spans = spans_of d.name in
+      let call_idx = ref 0 in
+      (* Spans are recorded in textual order, which for this grammar equals
+         a left-to-right pre-order walk of the Call nodes — so a simple
+         counter re-attaches them. *)
+      let next_call_loc () =
+        let i = !call_idx in
+        incr call_idx;
+        if i < Array.length call_spans then Some (Loc.of_span (snd call_spans.(i))) else None
+      in
+      let scheme =
+        match scheme_of d.name with Some s -> s | None -> assert false
+      in
+      let env = List.combine d.params scheme.param_tys in
+      let rec infer env (e : Ast.expr) : Ty.t =
+        match e with
+        | Ast.Int _ -> Ty.Int
+        | Ast.Bool _ -> Ty.Bool
+        | Ast.Nil -> Ty.List (Ty.fresh gen)
+        | Ast.Var x -> (
+          match List.assoc_opt x env with Some t -> t | None -> Ty.fresh gen)
+        | Ast.Prim (p, args) ->
+          let param_tys, ret = prim_sig gen p in
+          let ctx = Printf.sprintf "argument of %s" (Ast.prim_name p) in
+          let site = { fn = d.name; ctx; loc = None } in
+          (if List.length args = List.length param_tys then
+             List.iter2 (fun a pt -> unify_at site (infer env a) pt) args param_tys);
+          ret
+        | Ast.If (c, t, e) ->
+          unify_at { fn = d.name; ctx = "if condition"; loc = None } (infer env c) Ty.Bool;
+          let tt = infer env t in
+          let te = infer env e in
+          unify_at { fn = d.name; ctx = "if branches"; loc = None } tt te;
+          tt
+        | Ast.And (a, b) | Ast.Or (a, b) ->
+          let op = match e with Ast.And _ -> "&&" | _ -> "||" in
+          unify_at
+            { fn = d.name; ctx = Printf.sprintf "left operand of %s" op; loc = None }
+            (infer env a) Ty.Bool;
+          unify_at
+            { fn = d.name; ctx = Printf.sprintf "right operand of %s" op; loc = None }
+            (infer env b) Ty.Bool;
+          Ty.Bool
+        | Ast.Let (x, bound, body) ->
+          let tb = infer env bound in
+          infer ((x, tb) :: env) body
+        | Ast.Call (f, args) -> (
+          let loc = next_call_loc () in
+          match scheme_of f with
+          | None -> Ty.fresh gen
+          | Some s ->
+            (if List.length args = List.length s.param_tys then
+               List.iteri
+                 (fun i (a, pt) ->
+                   let ctx = Printf.sprintf "argument %d of %s" (i + 1) f in
+                   unify_at { fn = d.name; ctx; loc } (infer env a) pt)
+                 (List.combine args s.param_tys));
+            s.ret_ty)
+      in
+      let body_ty = infer env d.body in
+      unify_at { fn = d.name; ctx = "function result"; loc = None } body_ty scheme.ret_ty)
+    defs;
+  { schemes; diagnostics = List.rev !diags }
+
+let scheme_to_string { param_tys; ret_ty } =
+  match Ty.to_string_many (param_tys @ [ ret_ty ]) with
+  | [] -> assert false
+  | rendered ->
+    let rec split acc = function
+      | [ ret ] -> (List.rev acc, ret)
+      | x :: rest -> split (x :: acc) rest
+      | [] -> assert false
+    in
+    let params, ret = split [] rendered in
+    if params = [] then ret else Printf.sprintf "%s -> %s" (String.concat " * " params) ret

@@ -1,0 +1,24 @@
+(** Monomorphic whole-program type inference.
+
+    Every function receives a single type shared by all call sites; bodies
+    are walked once, unifying as we go.  Failures become [RF101]
+    (mismatch) or [RF102] (occurs check) diagnostics rather than
+    exceptions, so one bad definition does not hide problems in others.
+
+    User-call sites are located via the parser's recorded spans when
+    available ([?spans]); other constructs are attributed to their
+    enclosing function only. *)
+
+open Recflow_lang
+
+type fn_scheme = { param_tys : Ty.t list; ret_ty : Ty.t }
+
+type result = {
+  schemes : (string * fn_scheme) list;  (** per function, in def order *)
+  diagnostics : Diagnostic.t list;
+}
+
+val infer_program : ?spans:Parser.def_spans list -> Program.t -> result
+
+val scheme_to_string : fn_scheme -> string
+(** ["int * int list -> bool"] — shared naming scope across the arrow. *)

@@ -1,0 +1,96 @@
+open Recflow_lang
+
+(* RF201: functions unreachable from the entry points. *)
+let dead_functions graph ~entries =
+  let live = Callgraph.reachable graph ~entries in
+  List.filter_map
+    (fun fn ->
+      if List.mem fn live then None
+      else
+        Some
+          (Diagnostic.make ~fn Diagnostic.Dead_function
+             (Printf.sprintf "function %s is never called from the entry points" fn)))
+    graph.Callgraph.functions
+
+(* RF202: parameters the body never references. *)
+let unused_parameters (d : Ast.def) =
+  let free = Ast.free_vars d.body in
+  List.filter_map
+    (fun p ->
+      if List.mem p free then None
+      else
+        Some
+          (Diagnostic.make ~fn:d.name Diagnostic.Unused_parameter
+             (Printf.sprintf "parameter %s is never used" p)))
+    d.params
+
+(* Walk a body in left-to-right pre-order over [Call] nodes (matching the
+   parser's recorded span order) carrying the set of let-bound names, and
+   report RF203/RF204/RF205 as we go. *)
+let walk_lints (d : Ast.def) (call_spans : (string * Parser.span) list) =
+  let spans = Array.of_list call_spans in
+  let call_idx = ref 0 in
+  let next_call_loc () =
+    let i = !call_idx in
+    incr call_idx;
+    if i < Array.length spans then Some (Loc.of_span (snd spans.(i))) else None
+  in
+  let diags = ref [] in
+  let warn ?loc code msg = diags := Diagnostic.make ~fn:d.name ?loc code msg :: !diags in
+  (* [scope] is every visible binding, [rebound] the subset introduced by
+     enclosing lets (a param referenced after rebinding is no longer the
+     caller's argument, so RF203 must not fire on it). *)
+  let rec go scope rebound (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Bool _ | Ast.Nil | Ast.Var _ -> ()
+    | Ast.Prim (_, args) -> List.iter (go scope rebound) args
+    | Ast.If (c, t, e) ->
+      go scope rebound c;
+      go scope rebound t;
+      go scope rebound e
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      go scope rebound a;
+      go scope rebound b
+    | Ast.Let (x, bound, body) ->
+      if List.mem x scope then
+        warn Diagnostic.Shadowed_binding (Printf.sprintf "let %s shadows an earlier binding" x);
+      if not (List.mem x (Ast.free_vars body)) then
+        warn Diagnostic.Unused_let (Printf.sprintf "let-bound %s is never used" x);
+      go scope rebound bound;
+      go (x :: scope) (x :: rebound) body
+    | Ast.Call (f, args) ->
+      let loc = next_call_loc () in
+      (* RF203: a self-call where every argument is the caller's own
+         parameter, unchanged.  Pure + strict means such a call can only
+         re-pose the identical question: if it is ever demanded, it
+         diverges. *)
+      (if f = d.name && List.length args = List.length d.params then
+         let identical =
+           List.for_all2
+             (fun arg param ->
+               match arg with
+               | Ast.Var v -> v = param && not (List.mem v rebound)
+               | _ -> false)
+             args d.params
+         in
+         if identical then
+           warn ?loc Diagnostic.Non_productive_recursion
+             (Printf.sprintf "%s calls itself with every argument unchanged" f));
+      List.iter (go scope rebound) args
+  in
+  go d.params [] d.body;
+  List.rev !diags
+
+let lint_program ?(spans : Parser.def_spans list = []) ~entries (program : Program.t) =
+  let graph = Callgraph.of_program program in
+  let spans_of fn =
+    match List.find_opt (fun (s : Parser.def_spans) -> s.def_name = fn) spans with
+    | Some s -> s.call_spans
+    | None -> []
+  in
+  let per_def =
+    List.concat_map
+      (fun (d : Ast.def) -> unused_parameters d @ walk_lints d (spans_of d.name))
+      (Program.defs program)
+  in
+  dead_functions graph ~entries @ per_def

@@ -1,0 +1,17 @@
+(** Call-graph and binding lints (the RF2xx warning band).
+
+    - RF201 dead function: unreachable from the entry points.
+    - RF202 unused parameter.
+    - RF203 non-productive recursion: a self-call passing every argument
+      unchanged, which in a pure strict language can only diverge.
+    - RF204 shadowed binding: [let] rebinds a visible name.
+    - RF205 unused let: the bound value is never referenced.
+
+    All lints are warnings; none change program meaning. *)
+
+open Recflow_lang
+
+val lint_program :
+  ?spans:Parser.def_spans list -> entries:string list -> Program.t -> Diagnostic.t list
+(** Diagnostics in definition order (callers sort with
+    [Diagnostic.compare] for reports). *)

@@ -1,0 +1,13 @@
+type t = { line : int; column : int }
+
+let make ~line ~column = { line; column }
+
+let of_span (s : Recflow_lang.Parser.span) =
+  { line = s.Recflow_lang.Parser.sline; column = s.Recflow_lang.Parser.scol }
+
+let compare a b =
+  match Int.compare a.line b.line with 0 -> Int.compare a.column b.column | c -> c
+
+let to_string l = Printf.sprintf "%d:%d" l.line l.column
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

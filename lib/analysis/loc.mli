@@ -1,0 +1,14 @@
+(** Source locations for diagnostics: 1-based line and column. *)
+
+type t = { line : int; column : int }
+
+val make : line:int -> column:int -> t
+
+val of_span : Recflow_lang.Parser.span -> t
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** ["LINE:COL"], the conventional compiler rendering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type t = Int | Bool | List of t | Var of var
+
+and var = { id : int; mutable inst : t option }
+
+type gen = { mutable next : int }
+
+let new_gen () = { next = 0 }
+
+let fresh gen =
+  let v = { id = gen.next; inst = None } in
+  gen.next <- gen.next + 1;
+  Var v
+
+(* Union-find representative with path compression along the chain. *)
+let rec repr t =
+  match t with
+  | Var ({ inst = Some u; _ } as v) ->
+    let r = repr u in
+    v.inst <- Some r;
+    r
+  | Int | Bool | List _ | Var { inst = None; _ } -> t
+
+let rec occurs v t =
+  match repr t with
+  | Var w -> w == v
+  | List u -> occurs v u
+  | Int | Bool -> false
+
+type error = Mismatch of t * t | Occurs of t * t
+
+let rec unify a b =
+  let a = repr a and b = repr b in
+  match (a, b) with
+  | Int, Int | Bool, Bool -> Ok ()
+  | List x, List y -> unify x y
+  | Var v, Var w when v == w -> Ok ()
+  | Var v, t | t, Var v ->
+    if occurs v t then Error (Occurs (Var v, t))
+    else begin
+      v.inst <- Some t;
+      Ok ()
+    end
+  | (Int | Bool | List _), _ -> Error (Mismatch (a, b))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type namer = { names : (int, string) Hashtbl.t; mutable used : int }
+
+let new_namer () = { names = Hashtbl.create 8; used = 0 }
+
+let var_name nm (v : var) =
+  match Hashtbl.find_opt nm.names v.id with
+  | Some s -> s
+  | None ->
+    let i = nm.used in
+    nm.used <- i + 1;
+    let s =
+      if i < 26 then Printf.sprintf "'%c" (Char.chr (Char.code 'a' + i))
+      else Printf.sprintf "'a%d" (i - 26)
+    in
+    Hashtbl.add nm.names v.id s;
+    s
+
+let rec render nm t =
+  match repr t with
+  | Int -> "int"
+  | Bool -> "bool"
+  | List u -> render nm u ^ " list"
+  | Var v -> var_name nm v
+
+let to_string t = render (new_namer ()) t
+
+let to_string_many tys =
+  let nm = new_namer () in
+  List.map (render nm) tys

@@ -1,0 +1,39 @@
+(** Monomorphic types for the source language and their unifier.
+
+    The type language is [int], [bool] and homogeneous lists; unification
+    variables stand for as-yet-unknown types.  Each function gets exactly
+    one (monomorphic) type shared by every call site — deliberately
+    simple, and enough to catch every runtime type error the evaluators
+    can raise. *)
+
+type t = Int | Bool | List of t | Var of var
+
+and var = { id : int; mutable inst : t option }
+
+type gen
+(** Fresh-variable supply.  Scoped per inference run (not global) so
+    concurrent analyses never share mutable state. *)
+
+val new_gen : unit -> gen
+
+val fresh : gen -> t
+
+val repr : t -> t
+(** Follow instantiations to the representative, with path compression. *)
+
+type error = Mismatch of t * t | Occurs of t * t
+
+val unify : t -> t -> (unit, error) result
+
+type namer
+(** Shared pretty-naming scope: the same variable renders as the same
+    ['a] across several types. *)
+
+val new_namer : unit -> namer
+
+val render : namer -> t -> string
+
+val to_string : t -> string
+
+val to_string_many : t list -> string list
+(** Render several types in one naming scope (for "expected X, got Y"). *)

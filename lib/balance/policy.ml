@@ -38,6 +38,12 @@ let spec_of_string s =
     | _ -> Error (Printf.sprintf "bad gradient-distributed threshold in %S" s))
   | _ -> Error (Printf.sprintf "unknown policy %S" s)
 
+(* A wide spawner floods its neighbourhood quickly, so distance should
+   cost more (spawns stay local and spread in waves); narrow programs
+   need distance to be cheap or nothing ever leaves the origin.  Clamped
+   to the weights that behave sensibly on the experiment topologies. *)
+let suggest_gradient_weight ~fanout = max 1 (min 4 fanout)
+
 type view = { router : Router.t; pressure : int -> int }
 
 type t = { spec : spec; rng : Recflow_sim.Rng.t; mutable rr_next : int }

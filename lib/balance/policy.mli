@@ -50,6 +50,12 @@ val spec_of_string : string -> (spec, string) result
     "neighborhood", "neighborhood:R", "gradient-distributed",
     "gradient-distributed:T". *)
 
+val suggest_gradient_weight : fanout:int -> int
+(** A [Gradient] weight seeded from a program's static fan-out bound (see
+    {!Recflow_analysis.Shape}): wide spawners pay more per hop so demand
+    spreads in waves, narrow ones pay less so work still leaves the
+    origin.  Pure arithmetic — no dependency on the analyser. *)
+
 type view = { router : Recflow_net.Router.t; pressure : int -> int }
 
 type t

@@ -45,6 +45,8 @@ let common_ancestor a b =
   in
   of_digits (go (digits a) (digits b) [])
 
+let max_digit s = match s with [] -> None | _ -> Some (List.fold_left max 0 s)
+
 let to_string s =
   match digits s with
   | [] -> "\xce\xb5" (* ε *)

@@ -46,6 +46,12 @@ val related : t -> t -> bool
 val common_ancestor : t -> t -> t
 (** Longest common prefix. *)
 
+val max_digit : t -> int option
+(** Largest digit anywhere in the stamp; [None] for the root.  Used by the
+    static analyser's gauntlet: every observed digit must lie strictly
+    below the spawning function's static fan-out bound (the digit is the
+    per-activation spawn counter, so bound soundness shows here). *)
+
 val to_string : t -> string
 (** Root prints as "ε", others as dotted digits, e.g. "0.2.1". *)
 

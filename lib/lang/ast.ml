@@ -58,50 +58,73 @@ let prim_arity = function
   | Not | Neg | Head | Tail | Is_nil -> 1
   | Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | Cons | Min | Max -> 2
 
-let rec equal_expr a b =
-  match (a, b) with
-  | Int x, Int y -> x = y
-  | Bool x, Bool y -> x = y
-  | Nil, Nil -> true
-  | Var x, Var y -> String.equal x y
-  | Prim (p, xs), Prim (q, ys) ->
-    p = q && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
-  | If (c1, t1, e1), If (c2, t2, e2) -> equal_expr c1 c2 && equal_expr t1 t2 && equal_expr e1 e2
-  | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
-    equal_expr x1 x2 && equal_expr y1 y2
-  | Let (n1, b1, k1), Let (n2, b2, k2) -> String.equal n1 n2 && equal_expr b1 b2 && equal_expr k1 k2
-  | Call (f, xs), Call (g, ys) ->
-    String.equal f g && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
-  | (Int _ | Bool _ | Nil | Var _ | Prim _ | If _ | And _ | Or _ | Let _ | Call _), _ -> false
+(* The structural walks below use explicit work lists instead of direct
+   recursion: deep right-nested expressions (a 100k-element list literal
+   desugars to a cons chain that deep) must not overflow the stack. *)
 
-let rec size = function
-  | Int _ | Bool _ | Nil | Var _ -> 1
-  | Prim (_, args) -> List.fold_left (fun acc e -> acc + size e) 1 args
-  | If (c, t, e) -> 1 + size c + size t + size e
-  | And (a, b) | Or (a, b) -> 1 + size a + size b
-  | Let (_, b, k) -> 1 + size b + size k
-  | Call (_, args) -> List.fold_left (fun acc e -> acc + size e) 1 args
+let equal_expr a b =
+  let rec go = function
+    | [] -> true
+    | (a, b) :: rest -> (
+      match (a, b) with
+      | Int x, Int y -> x = y && go rest
+      | Bool x, Bool y -> x = y && go rest
+      | Nil, Nil -> go rest
+      | Var x, Var y -> String.equal x y && go rest
+      | Prim (p, xs), Prim (q, ys) ->
+        p = q && List.length xs = List.length ys && go (List.combine xs ys @ rest)
+      | If (c1, t1, e1), If (c2, t2, e2) -> go ((c1, c2) :: (t1, t2) :: (e1, e2) :: rest)
+      | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
+        go ((x1, x2) :: (y1, y2) :: rest)
+      | Let (n1, b1, k1), Let (n2, b2, k2) ->
+        String.equal n1 n2 && go ((b1, b2) :: (k1, k2) :: rest)
+      | Call (f, xs), Call (g, ys) ->
+        String.equal f g && List.length xs = List.length ys && go (List.combine xs ys @ rest)
+      | (Int _ | Bool _ | Nil | Var _ | Prim _ | If _ | And _ | Or _ | Let _ | Call _), _ ->
+        false)
+  in
+  go [ (a, b) ]
+
+let size expr =
+  let rec go acc = function
+    | [] -> acc
+    | e :: rest -> (
+      match e with
+      | Int _ | Bool _ | Nil | Var _ -> go (acc + 1) rest
+      | Prim (_, args) | Call (_, args) -> go (acc + 1) (args @ rest)
+      | If (c, t, e) -> go (acc + 1) (c :: t :: e :: rest)
+      | And (a, b) | Or (a, b) -> go (acc + 1) (a :: b :: rest)
+      | Let (_, b, k) -> go (acc + 1) (b :: k :: rest))
+  in
+  go 0 [ expr ]
 
 let sorted_unique xs = List.sort_uniq String.compare xs
 
 let free_vars expr =
-  let rec go bound acc = function
-    | Int _ | Bool _ | Nil -> acc
-    | Var x -> if List.mem x bound then acc else x :: acc
-    | Prim (_, args) | Call (_, args) -> List.fold_left (go bound) acc args
-    | If (c, t, e) -> go bound (go bound (go bound acc c) t) e
-    | And (a, b) | Or (a, b) -> go bound (go bound acc a) b
-    | Let (x, b, k) -> go (x :: bound) (go bound acc b) k
+  let rec go acc = function
+    | [] -> sorted_unique acc
+    | (e, bound) :: rest -> (
+      match e with
+      | Int _ | Bool _ | Nil -> go acc rest
+      | Var x -> go (if List.mem x bound then acc else x :: acc) rest
+      | Prim (_, args) | Call (_, args) ->
+        go acc (List.map (fun a -> (a, bound)) args @ rest)
+      | If (c, t, e) -> go acc ((c, bound) :: (t, bound) :: (e, bound) :: rest)
+      | And (a, b) | Or (a, b) -> go acc ((a, bound) :: (b, bound) :: rest)
+      | Let (x, b, k) -> go acc ((b, bound) :: (k, x :: bound) :: rest))
   in
-  sorted_unique (go [] [] expr)
+  go [] [ (expr, []) ]
 
 let calls expr =
   let rec go acc = function
-    | Int _ | Bool _ | Nil | Var _ -> acc
-    | Prim (_, args) -> List.fold_left go acc args
-    | If (c, t, e) -> go (go (go acc c) t) e
-    | And (a, b) | Or (a, b) -> go (go acc a) b
-    | Let (_, b, k) -> go (go acc b) k
-    | Call (f, args) -> List.fold_left go (f :: acc) args
+    | [] -> sorted_unique acc
+    | e :: rest -> (
+      match e with
+      | Int _ | Bool _ | Nil | Var _ -> go acc rest
+      | Prim (_, args) -> go acc (args @ rest)
+      | If (c, t, e) -> go acc (c :: t :: e :: rest)
+      | And (a, b) | Or (a, b) -> go acc (a :: b :: rest)
+      | Let (_, b, k) -> go acc (b :: k :: rest)
+      | Call (f, args) -> go (f :: acc) (args @ rest))
   in
-  sorted_unique (go [] expr)
+  go [] [ expr ]

@@ -32,7 +32,7 @@ let rec eval_in st env expr =
     match eval_in st env c with
     | Value.Bool true -> eval_in st env th
     | Value.Bool false -> eval_in st env el
-    | v -> raise (Runtime_error ("if: condition is not a boolean: " ^ Value.type_name v)))
+    | v -> raise (Runtime_error (Type_error.if_condition (Value.type_name v))))
   | Ast.And (a, b) -> (
     tick st;
     match eval_in st env a with
@@ -40,8 +40,10 @@ let rec eval_in st env expr =
     | Value.Bool true -> (
       match eval_in st env b with
       | Value.Bool _ as v -> v
-      | v -> raise (Runtime_error ("&&: right operand is not a boolean: " ^ Value.type_name v)))
-    | v -> raise (Runtime_error ("&&: left operand is not a boolean: " ^ Value.type_name v)))
+      | v ->
+        raise (Runtime_error (Type_error.bool_operand ~op:"&&" ~side:"right" (Value.type_name v))))
+    | v ->
+      raise (Runtime_error (Type_error.bool_operand ~op:"&&" ~side:"left" (Value.type_name v))))
   | Ast.Or (a, b) -> (
     tick st;
     match eval_in st env a with
@@ -49,8 +51,10 @@ let rec eval_in st env expr =
     | Value.Bool false -> (
       match eval_in st env b with
       | Value.Bool _ as v -> v
-      | v -> raise (Runtime_error ("||: right operand is not a boolean: " ^ Value.type_name v)))
-    | v -> raise (Runtime_error ("||: left operand is not a boolean: " ^ Value.type_name v)))
+      | v ->
+        raise (Runtime_error (Type_error.bool_operand ~op:"||" ~side:"right" (Value.type_name v))))
+    | v ->
+      raise (Runtime_error (Type_error.bool_operand ~op:"||" ~side:"left" (Value.type_name v))))
   | Ast.Let (x, bound, body) ->
     tick st;
     let v = eval_in st env bound in

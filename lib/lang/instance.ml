@@ -71,7 +71,7 @@ and branch_decide t w cond then_ else_ =
     | Idle | Pending _ | Branch_wait _ | Queued | Called ->
       t.states.(w) <- Branch_wait branch;
       t.waiters.(branch) <- w :: t.waiters.(branch))
-  | v -> raise (Program_error ("if: condition is not a boolean: " ^ Value.type_name v))
+  | v -> raise (Program_error (Type_error.if_condition (Value.type_name v)))
 
 (* Demand-driven activation: idempotent. *)
 and demand t id =

@@ -193,7 +193,19 @@ let tokenize src =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type state = { toks : located array; mutable pos : int }
+type span = { sline : int; scol : int }
+
+type def_spans = { def_name : string; def_span : span; call_spans : (string * span) list }
+
+type state = {
+  toks : located array;
+  mutable pos : int;
+  (* User-call identifier positions in textual order.  Because the grammar
+     is parsed left-to-right, this order equals a left-to-right pre-order
+     walk of the resulting AST's [Call] nodes — the static analyser relies
+     on that to re-attach spans without storing them in the AST. *)
+  mutable user_calls : (string * span) list;  (* reversed *)
+}
 
 let peek st = st.toks.(st.pos)
 
@@ -281,13 +293,18 @@ and parse_cmp st =
     Ast.Prim (op, [ lhs; rhs ])
 
 and parse_cons st =
-  let lhs = parse_add st in
-  if (peek st).tok = Tconscons then begin
-    ignore (next st);
-    let rhs = parse_cons st in
-    Ast.Prim (Ast.Cons, [ lhs; rhs ])
-  end
-  else lhs
+  (* Collect the ::-separated operands iteratively (a deep cons chain must
+     not recurse), then fold them into the right-nested AST. *)
+  let rec collect acc =
+    let e = parse_add st in
+    if (peek st).tok = Tconscons then begin
+      ignore (next st);
+      collect (e :: acc)
+    end
+    else (e, acc)
+  in
+  let last, rev_init = collect [] in
+  List.fold_left (fun acc e -> Ast.Prim (Ast.Cons, [ e; acc ])) last rev_init
 
 and parse_add st =
   let rec loop lhs =
@@ -345,21 +362,25 @@ and parse_atom st =
       Ast.Nil
     end
     else begin
-      let rec elements () =
+      (* Iterative for the same reason as [parse_cons]: a 100k-element
+         literal desugars to a cons chain that deep. *)
+      let rec elements acc =
         let e = parse_expr_st st in
         match (peek st).tok with
         | Tsemi | Tcomma ->
           ignore (next st);
-          e :: elements ()
-        | _ -> [ e ]
+          elements (e :: acc)
+        | _ -> e :: acc
       in
-      let elts = elements () in
+      let rev_elts = elements [] in
       expect st Trbracket;
-      List.fold_right (fun e acc -> Ast.Prim (Ast.Cons, [ e; acc ])) elts Ast.Nil
+      List.fold_left (fun acc e -> Ast.Prim (Ast.Cons, [ e; acc ])) Ast.Nil rev_elts
     end
   | Tident name ->
     if (peek st).tok = Tlparen then begin
       ignore (next st);
+      if prim_by_name name = None then
+        st.user_calls <- (name, { sline = t.tline; scol = t.tcol }) :: st.user_calls;
       let args =
         if (peek st).tok = Trparen then []
         else begin
@@ -388,7 +409,14 @@ and parse_atom st =
 
 let parse_def st =
   expect st Tdef;
-  let name = expect_ident st in
+  let name_tok = next st in
+  let name =
+    match name_tok.tok with
+    | Tident name -> name
+    | other ->
+      fail name_tok.tline name_tok.tcol "expected an identifier but found %s" (token_label other)
+  in
+  st.user_calls <- [];
   expect st Tlparen;
   let params =
     if (peek st).tok = Trparen then []
@@ -407,11 +435,18 @@ let parse_def st =
   expect st Trparen;
   expect st Tassign;
   let body = parse_expr_st st in
-  { Ast.name; params; body }
+  let spans =
+    {
+      def_name = name;
+      def_span = { sline = name_tok.tline; scol = name_tok.tcol };
+      call_spans = List.rev st.user_calls;
+    }
+  in
+  ({ Ast.name; params; body }, spans)
 
 let with_state src k =
   try
-    let st = { toks = tokenize src; pos = 0 } in
+    let st = { toks = tokenize src; pos = 0; user_calls = [] } in
     let result = k st in
     let t = peek st in
     if t.tok <> Teof then fail t.tline t.tcol "trailing input: %s" (token_label t.tok);
@@ -420,20 +455,24 @@ let with_state src k =
 
 let parse_expr src = with_state src parse_expr_st
 
-let parse_defs src =
+let parse_defs_spanned src =
   with_state src (fun st ->
       let rec loop acc =
         if (peek st).tok = Teof then List.rev acc else loop (parse_def st :: acc)
       in
-      loop [])
+      List.split (loop []))
 
-let parse_program src =
-  match parse_defs src with
+let parse_defs src = Result.map fst (parse_defs_spanned src)
+
+let parse_program_spanned src =
+  match parse_defs_spanned src with
   | Error e -> Error (error_to_string e)
-  | Ok defs -> (
+  | Ok (defs, spans) -> (
     match Program.of_defs defs with
-    | Ok p -> Ok p
+    | Ok p -> Ok (p, spans)
     | Error e -> Error (Program.error_to_string e))
+
+let parse_program src = Result.map fst (parse_program_spanned src)
 
 let parse_program_exn src =
   match parse_program src with

@@ -24,15 +24,35 @@ type error = { line : int; column : int; message : string }
 
 val error_to_string : error -> string
 
+type span = { sline : int; scol : int }
+(** 1-based line/column of a token of interest. *)
+
+type def_spans = {
+  def_name : string;
+  def_span : span;  (** position of the function name in its [def] *)
+  call_spans : (string * span) list;
+      (** user-call identifiers in textual order.  Textual order equals a
+          left-to-right pre-order walk of the body's [Ast.Call] nodes, so
+          the analyser can re-attach spans with a counter instead of
+          storing positions in the AST. *)
+}
+
 val parse_expr : string -> (Ast.expr, error) result
 (** Parse a single expression (for tests and the REPL-ish examples). *)
 
 val parse_defs : string -> (Ast.def list, error) result
 (** Parse a whole program: a sequence of [def] items. *)
 
+val parse_defs_spanned : string -> (Ast.def list * def_spans list, error) result
+(** Like [parse_defs] but also returns per-def source locations for the
+    static analyser's diagnostics. *)
+
 val parse_program : string -> (Program.t, string) result
 (** Parse then validate; the error string covers both syntax and static
     checking failures. *)
+
+val parse_program_spanned : string -> (Program.t * def_spans list, string) result
+(** [parse_program] plus the per-def spans of [parse_defs_spanned]. *)
 
 val parse_program_exn : string -> Program.t
 (** @raise Invalid_argument on any parse or validation error. *)

@@ -58,8 +58,18 @@ and pp_prim ppf p args =
   | Ast.Not, [ a ] -> Format.fprintf ppf "not %a" (pp_level 7) a
   | Ast.Neg, [ a ] -> Format.fprintf ppf "- %a" (pp_level 7) a
   | Ast.Cons, [ a; b ] ->
-    (* Right-associative: parenthesize a left operand that is itself a cons. *)
-    Format.fprintf ppf "%a :: %a" (pp_level 5) a (pp_level 4) b
+    (* Right-associative: parenthesize a left operand that is itself a cons.
+       The right spine is flattened iteratively so printing a deep list
+       literal stays stack-safe; each element prints exactly as it would
+       have as the left operand of a nested cons. *)
+    let rec spine acc e =
+      match e with
+      | Ast.Prim (Ast.Cons, [ h; t ]) -> spine (h :: acc) t
+      | last -> (List.rev acc, last)
+    in
+    let elts, last = spine [ a ] b in
+    List.iter (fun e -> Format.fprintf ppf "%a :: " (pp_level 5) e) elts;
+    pp_level 4 ppf last
   | (Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), [ a; b ] ->
     Format.fprintf ppf "%a %s %a" (pp_level 4) a (Ast.prim_name p) (pp_level 4) b
   | (Ast.Add | Ast.Sub), [ a; b ] ->

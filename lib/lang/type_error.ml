@@ -1,0 +1,11 @@
+(* Shared wording for runtime/static type errors.
+
+   Both evaluators (eval_serial, instance) and the static checker
+   (recflow_analysis) render boolean-context violations through these
+   helpers so a message seen at runtime is literally the message the
+   checker would have printed for the same defect. *)
+
+let if_condition ty = "if: condition is not a boolean: " ^ ty
+
+let bool_operand ~op ~side ty =
+  Printf.sprintf "%s: %s operand is not a boolean: %s" op side ty

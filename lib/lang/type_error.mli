@@ -1,0 +1,13 @@
+(** Shared wording for boolean-context type errors.
+
+    One source of truth for the strings raised by [Eval_serial],
+    [Instance] and reported by the static checker, so runtime diagnostics
+    and [recflow --check] diagnostics never drift apart. *)
+
+val if_condition : string -> string
+(** [if_condition ty] is the message for a non-boolean [if] condition of
+    type (or runtime type name) [ty]. *)
+
+val bool_operand : op:string -> side:string -> string -> string
+(** [bool_operand ~op:"&&" ~side:"left" ty] is the message for a
+    non-boolean operand of a short-circuit operator. *)

@@ -50,10 +50,14 @@ let rec pp ppf = function
         elts
     | None -> Format.fprintf ppf "(%a :: %a)" pp h pp t)
 
-and to_elements = function
-  | Nil -> Some []
-  | Cons (h, t) -> ( match to_elements t with Some rest -> Some (h :: rest) | None -> None)
-  | Int _ | Bool _ -> None
+and to_elements v =
+  (* Iterative: rendering a deep list value must not overflow the stack. *)
+  let rec go acc = function
+    | Nil -> Some (List.rev acc)
+    | Cons (h, t) -> go (h :: acc) t
+    | Int _ | Bool _ -> None
+  in
+  go [] v
 
 let to_string v = Format.asprintf "%a" pp v
 

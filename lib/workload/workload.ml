@@ -19,10 +19,16 @@ let program w =
   match Hashtbl.find_opt program_cache w.name with
   | Some p -> p
   | None ->
+    (* Full static check, not just parse + validate: a workload with a
+       type error would otherwise only fail deep inside a cluster run. *)
+    let report = Recflow_analysis.Check.check_source ~entries:[ w.entry ] w.source in
+    (match Recflow_analysis.Check.errors report with
+    | [] -> ()
+    | d :: _ ->
+      invalid_arg
+        (Printf.sprintf "workload %s: %s" w.name (Recflow_analysis.Diagnostic.to_string d)));
     let p =
-      match Parser.parse_program w.source with
-      | Ok p -> p
-      | Error msg -> invalid_arg (Printf.sprintf "workload %s: %s" w.name msg)
+      match report.Recflow_analysis.Check.program with Some p -> p | None -> assert false
     in
     Hashtbl.add program_cache w.name p;
     p

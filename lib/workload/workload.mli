@@ -16,7 +16,10 @@ type t = {
 }
 
 val program : t -> Recflow_lang.Program.t
-(** Parsed and validated program (memoised per workload). *)
+(** Parsed, validated and statically checked program (memoised per
+    workload).
+    @raise Invalid_argument on any analysis {e error} (RF0xx/RF1xx);
+    warnings are enforced separately by the lint suite. *)
 
 val expected : t -> size -> Recflow_lang.Value.t
 (** Reference answer from the serial evaluator (memoised). *)

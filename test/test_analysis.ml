@@ -1,0 +1,347 @@
+(* Tests for the static-analysis subsystem: rule-code fixtures, type
+   inference, call graph, spawn shapes, and the fan-out gauntlet that
+   cross-checks static bounds against journal-observed spawns. *)
+
+open Recflow_analysis
+module Ast = Recflow_lang.Ast
+module Parser = Recflow_lang.Parser
+module Program = Recflow_lang.Program
+module Value = Recflow_lang.Value
+module Workload = Recflow_workload.Workload
+module Cluster = Recflow_machine.Cluster
+module Config = Recflow_machine.Config
+module Journal = Recflow_machine.Journal
+module Stamp = Recflow_recovery.Stamp
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_strs = Alcotest.(check (list string))
+
+let codes_of (r : Check.report) =
+  List.map (fun (d : Diagnostic.t) -> Diagnostic.code_string d.code) r.Check.diagnostics
+
+let program_exn src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+(* ---------------- Negative fixtures: one per rule code ---------------- *)
+
+(* Each program triggers its code and nothing else; the RF007 fixture is
+   below (bad primitive arity cannot be written in surface syntax — the
+   parser itself rejects it — so it needs a hand-built AST). *)
+let source_fixtures =
+  [
+    ("RF001", "def main(x = x");
+    ("RF002", "def main(x) = x\ndef main(y) = y");
+    ("RF003", "def main(x, x) = x");
+    ("RF004", "def main(x) = y");
+    ("RF005", "def main(x) = missing(x)");
+    ("RF006", "def main(x) = helper(x, x)\ndef helper(y) = y");
+    ("RF101", "def main(x) = if x then 1 else nil");
+    ("RF102", "def main(x) = x :: x");
+    ("RF201", "def main(x) = x + 1\ndef orphan(y) = y");
+    ("RF202", "def main(x, y) = x");
+    ("RF203", "def main(x) = main(x)");
+    ("RF204", "def main(x) = let y = x in let y = y + 1 in y");
+    ("RF205", "def main(x) = let unused = x + 1 in x");
+  ]
+
+let fixtures_trigger_exactly () =
+  List.iter
+    (fun (code, src) ->
+      let r = Check.check_source ~entries:[ "main" ] src in
+      check_strs code [ code ] (codes_of r))
+    source_fixtures
+
+let rf007_fixture () =
+  let d = { Ast.name = "main"; params = [ "x" ]; body = Ast.Prim (Ast.Not, [ Ast.Int 1; Ast.Int 2 ]) } in
+  let r = Check.check_defs ~entries:[ "main" ] [ d ] in
+  check_strs "RF007" [ "RF007" ] (codes_of r)
+
+let all_codes_have_fixtures () =
+  let covered = "RF007" :: List.map fst source_fixtures in
+  List.iter
+    (fun c ->
+      let cs = Diagnostic.code_string c in
+      check cs true (List.mem cs covered))
+    Diagnostic.all_codes
+
+let severities_by_band () =
+  List.iter
+    (fun c ->
+      let cs = Diagnostic.code_string c in
+      let expected = if String.length cs = 5 && cs.[2] = '2' then Diagnostic.Warning else Diagnostic.Error in
+      check cs true (Diagnostic.severity_of_code c = expected))
+    Diagnostic.all_codes
+
+let diagnostics_carry_locations () =
+  (* function-level findings get the def's position, call-site findings
+     the call's *)
+  let r = Check.check_source ~entries:[ "main" ] "def main(x) = if x then 1 else nil" in
+  (match r.Check.diagnostics with
+  | [ d ] ->
+    check "fn" true (d.Diagnostic.fn = Some "main");
+    check "def loc" true (d.Diagnostic.loc = Some (Loc.make ~line:1 ~column:5))
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds));
+  let r = Check.check_source ~entries:[ "main" ] "def main(x) = main(x)" in
+  match r.Check.diagnostics with
+  | [ d ] ->
+    check "code" true (d.Diagnostic.code = Diagnostic.Non_productive_recursion);
+    check "call loc" true (d.Diagnostic.loc = Some (Loc.make ~line:1 ~column:15))
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let json_report_shape () =
+  let r = Check.check_source ~entries:[ "main" ] "def main(x) = if x then 1 else nil" in
+  let js = Check.render_json r in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length js
+      && (String.sub js i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "errors field" true (has {|"errors":1|});
+  check "code field" true (has {|"code":"RF101"|});
+  check "severity field" true (has {|"severity":"error"|});
+  check "escaping" true (Diagnostic.json_string "a\"b\nc" = {|"a\"b\nc"|})
+
+(* ---------------- Type inference ---------------- *)
+
+let scheme_str (r : Check.report) name =
+  match List.assoc_opt name r.Check.schemes with
+  | Some s -> Infer.scheme_to_string s
+  | None -> "?"
+
+let infer_workload_schemes () =
+  let r = Check.check_source ~entries:[ "fib" ] Workload.fib.Workload.source in
+  check_str "fib" "int -> int" (scheme_str r "fib");
+  let r = Check.check_source ~entries:[ "tak" ] Workload.tak.Workload.source in
+  check_str "tak" "int * int * int -> int" (scheme_str r "tak");
+  let r = Check.check_source ~entries:[ "qsort_check" ] Workload.quicksort.Workload.source in
+  check_str "qsort" "int list -> int list" (scheme_str r "qsort");
+  check_str "safe" "int list * int * int -> bool"
+    (scheme_str (Check.check_source ~entries:[ "nqueens" ] Workload.nqueens.Workload.source) "safe")
+
+let infer_catches_head_of_int () =
+  let r = Check.check_source ~entries:[ "main" ] "def main(x) = x + head(3)" in
+  check_strs "head(3)" [ "RF101" ] (codes_of r)
+
+let infer_catches_bool_arith_confusion () =
+  let r = Check.check_source ~entries:[ "main" ] "def main(x) = 1 + (x && true)" in
+  check_strs "1 + bool" [ "RF101" ] (codes_of r)
+
+let infer_propagates_across_calls () =
+  (* the type error is only visible once g's scheme flows into f *)
+  let r =
+    Check.check_source ~entries:[ "f" ]
+      "def f(x) = g(x) + 1\ndef g(y) = y :: nil"
+  in
+  check_strs "cross-call" [ "RF101" ] (codes_of r)
+
+(* ---------------- Call graph ---------------- *)
+
+let mutual_src =
+  "def even(n) = if n == 0 then true else odd(n - 1)\n\
+   def odd(n) = if n == 0 then false else even(n - 1)\n\
+   def main(n) = even(n)"
+
+let callgraph_basics () =
+  let g = Callgraph.of_program (program_exn mutual_src) in
+  check_strs "functions" [ "even"; "main"; "odd" ] g.Callgraph.functions;
+  check_strs "roots" [ "main" ] (Callgraph.roots g);
+  check_strs "reachable" [ "even"; "main"; "odd" ] (Callgraph.reachable g ~entries:[ "main" ]);
+  check_strs "reachable from even" [ "even"; "odd" ] (Callgraph.reachable g ~entries:[ "even" ]);
+  check_strs "recursive" [ "even"; "odd" ] (Callgraph.recursive_functions g);
+  check "even+odd share an scc" true (List.mem [ "even"; "odd" ] (Callgraph.sccs g))
+
+let callgraph_cyclic_roots () =
+  (* a fully cyclic program has no root; everything is an entry candidate,
+     so nothing is reported dead *)
+  let src = "def a(n) = b(n)\ndef b(n) = a(n - 1)" in
+  let g = Callgraph.of_program (program_exn src) in
+  check_strs "roots fall back to all" [ "a"; "b" ] (Callgraph.roots g);
+  let r = Check.check_source src in
+  check "no dead functions" true
+    (not (List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.code = Diagnostic.Dead_function)
+            r.Check.diagnostics))
+
+(* ---------------- Spawn shapes ---------------- *)
+
+let shape_of src fn =
+  let shape = Shape.of_program (program_exn src) in
+  match Shape.find shape fn with Some s -> s | None -> Alcotest.failf "no shape for %s" fn
+
+let shape_workload_bounds () =
+  let bound w fn =
+    let shape = Shape.of_program (Workload.program w) in
+    Option.get (Shape.fanout_bound shape fn)
+  in
+  check_int "fib" 2 (bound Workload.fib "fib");
+  check_int "tak" 4 (bound Workload.tak "tak");
+  check_int "nqueens.try_cols" 3 (bound Workload.nqueens "try_cols");
+  check_int "tree_sum" 2 (bound Workload.tree_sum "tsum")
+
+let shape_if_takes_max () =
+  (* condition's call plus the wider arm: 1 + max(1, 2) = 3 *)
+  let s = shape_of "def f(x) = if f(x) == 0 then f(x - 1) else f(x) + f(x + 1)" "f" in
+  check_int "if max" 3 s.Shape.fanout
+
+let shape_recursion_classes () =
+  let p = program_exn mutual_src in
+  let shape = Shape.of_program p in
+  let cls fn = (Option.get (Shape.find shape fn)).Shape.recursion in
+  check "main" true (cls "main" = Shape.Non_recursive);
+  check "even" true (cls "even" = Shape.Mutually_recursive);
+  let s = shape_of "def f(n) = if n == 0 then 0 else f(n - 1)" "f" in
+  check "self" true (s.Shape.recursion = Shape.Self_recursive)
+
+let shape_program_bound_respects_entries () =
+  let src = "def main(x) = leaf(x)\ndef leaf(x) = x + 1\ndef wide(x) = w(x) + w(x) + w(x)\ndef w(x) = x" in
+  let p = program_exn src in
+  let shape = Shape.of_program p in
+  check_int "reachable only" 1 (Shape.program_fanout_bound ~entries:[ "main" ] shape p);
+  check_int "whole program" 3 (Shape.program_fanout_bound shape p)
+
+let gradient_auto_weight () =
+  check_int "narrow" 1 (Recflow_balance.Policy.suggest_gradient_weight ~fanout:0);
+  check_int "fib-like" 2 (Recflow_balance.Policy.suggest_gradient_weight ~fanout:2);
+  check_int "clamped" 4 (Recflow_balance.Policy.suggest_gradient_weight ~fanout:9)
+
+(* ---------------- Corpus: everything we ship is clean ---------------- *)
+
+let corpus_is_clean () =
+  let check_clean name entry source =
+    let r = Check.check_source ~entries:[ entry ] source in
+    if not (Check.ok ~werror:true r) then
+      Alcotest.failf "%s not clean:\n%s" name (Check.render_human r)
+  in
+  List.iter
+    (fun (w : Workload.t) -> check_clean w.Workload.name w.Workload.entry w.Workload.source)
+    Workload.all;
+  List.iter
+    (fun b ->
+      let w = Workload.synthetic ~branching:b ~depth:3 ~grain:5 in
+      check_clean w.Workload.name w.Workload.entry w.Workload.source)
+    [ 1; 2; 3; 4 ]
+
+let workload_program_gate () =
+  (* Workload.program refuses a workload whose source has analysis errors *)
+  let bad =
+    {
+      Workload.fib with
+      Workload.name = "bad_gate_fixture";
+      source = "def fib(n) = if n > 0 then 1 else nil";
+    }
+  in
+  check "raises" true
+    (try
+       ignore (Workload.program bad);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Gauntlet: bounds vs the journal ---------------- *)
+
+(* For every workload at every size, run a real 8-node cluster (inlining
+   below stamp depth 6 keeps even tak/large fast) and require:
+   - the distributed answer equals the serial reference;
+   - every digit of every spawned stamp is < the program's static fan-out
+     bound (digits are per-activation spawn-counter values);
+   - no parent stamp has more distinct spawned children than the bound. *)
+let gauntlet () =
+  let sizes = [ Workload.Tiny; Workload.Small; Workload.Medium; Workload.Large ] in
+  let size_tag = function
+    | Workload.Tiny -> "tiny"
+    | Workload.Small -> "small"
+    | Workload.Medium -> "medium"
+    | Workload.Large -> "large"
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let program = Workload.program w in
+      let shape = Shape.of_program program in
+      let bound = Shape.program_fanout_bound ~entries:[ w.Workload.entry ] shape program in
+      List.iter
+        (fun size ->
+          let tag = Printf.sprintf "%s/%s" w.Workload.name (size_tag size) in
+          let cfg = { (Config.default ~nodes:8) with Config.inline_depth = 6 } in
+          let cluster = Cluster.create cfg program in
+          Cluster.start cluster ~fname:w.Workload.entry ~args:(w.Workload.args size);
+          let outcome = Cluster.run cluster in
+          (match outcome.Cluster.answer with
+          | Some v ->
+            if not (Value.equal v (Workload.expected w size)) then
+              Alcotest.failf "%s: wrong answer %s" tag (Value.to_string v)
+          | None -> Alcotest.failf "%s: no answer" tag);
+          let spawned =
+            List.filter_map
+              (fun (e : Journal.entry) ->
+                match e.Journal.event with Journal.Spawned _ -> Some e.Journal.stamp | _ -> None)
+              (Journal.entries (Cluster.journal cluster))
+          in
+          check (tag ^ " spawns observed") true (spawned <> []);
+          List.iter
+            (fun s ->
+              match Stamp.max_digit s with
+              | Some d when d >= bound ->
+                Alcotest.failf "%s: stamp %s has digit %d >= bound %d" tag (Stamp.to_string s) d
+                  bound
+              | _ -> ())
+            spawned;
+          let children = Hashtbl.create 256 in
+          List.iter
+            (fun s ->
+              match Stamp.parent s with
+              | Some p ->
+                let set = Option.value ~default:[] (Hashtbl.find_opt children p) in
+                if not (List.mem s set) then Hashtbl.replace children p (s :: set)
+              | None -> ())
+            spawned;
+          Hashtbl.iter
+            (fun p cs ->
+              if List.length cs > bound then
+                Alcotest.failf "%s: activation %s spawned %d children > bound %d" tag
+                  (Stamp.to_string p) (List.length cs) bound)
+            children)
+        sizes)
+    Workload.all
+
+let suites =
+  [
+    ( "analysis.diagnostics",
+      [
+        Alcotest.test_case "fixtures trigger exactly one code" `Quick fixtures_trigger_exactly;
+        Alcotest.test_case "RF007 via raw AST" `Quick rf007_fixture;
+        Alcotest.test_case "every code has a fixture" `Quick all_codes_have_fixtures;
+        Alcotest.test_case "severity follows the band" `Quick severities_by_band;
+        Alcotest.test_case "locations" `Quick diagnostics_carry_locations;
+        Alcotest.test_case "json shape" `Quick json_report_shape;
+      ] );
+    ( "analysis.infer",
+      [
+        Alcotest.test_case "workload schemes" `Quick infer_workload_schemes;
+        Alcotest.test_case "head of int" `Quick infer_catches_head_of_int;
+        Alcotest.test_case "bool/arith confusion" `Quick infer_catches_bool_arith_confusion;
+        Alcotest.test_case "cross-call propagation" `Quick infer_propagates_across_calls;
+      ] );
+    ( "analysis.callgraph",
+      [
+        Alcotest.test_case "sccs/roots/reachable" `Quick callgraph_basics;
+        Alcotest.test_case "cyclic fallback" `Quick callgraph_cyclic_roots;
+      ] );
+    ( "analysis.shape",
+      [
+        Alcotest.test_case "workload bounds" `Quick shape_workload_bounds;
+        Alcotest.test_case "if takes max" `Quick shape_if_takes_max;
+        Alcotest.test_case "recursion classes" `Quick shape_recursion_classes;
+        Alcotest.test_case "entries restrict the bound" `Quick shape_program_bound_respects_entries;
+        Alcotest.test_case "gradient:auto weight" `Quick gradient_auto_weight;
+      ] );
+    ( "analysis.corpus",
+      [
+        Alcotest.test_case "workloads are clean" `Quick corpus_is_clean;
+        Alcotest.test_case "workload gate" `Quick workload_program_gate;
+      ] );
+    ("analysis.gauntlet", [ Alcotest.test_case "bounds vs journal" `Slow gauntlet ]);
+  ]

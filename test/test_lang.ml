@@ -209,6 +209,46 @@ let pretty_def () =
   | Ok [ d' ] -> check "def round trip" true (Ast.equal_expr d.Ast.body d'.Ast.body)
   | _ -> Alcotest.fail "def round trip failed"
 
+let workload_pretty_round_trip () =
+  (* every shipped program survives pretty -> parse unchanged *)
+  List.iter
+    (fun (w : Recflow_workload.Workload.t) ->
+      List.iter
+        (fun (d : Ast.def) ->
+          match Parser.parse_defs (Pretty.def_to_string d) with
+          | Ok [ d' ] ->
+            check
+              (Printf.sprintf "%s.%s" w.Recflow_workload.Workload.name d.Ast.name)
+              true
+              (Ast.equal_expr d.Ast.body d'.Ast.body && d.Ast.params = d'.Ast.params)
+          | _ -> Alcotest.failf "%s.%s did not round-trip" w.Recflow_workload.Workload.name d.Ast.name)
+        (Program.defs (Recflow_workload.Workload.program w)))
+    Recflow_workload.Workload.all
+
+(* ---------------- Deep expressions ---------------- *)
+
+(* The AST walks, the cons chain in the parser and the pretty-printer's
+   spine flattening are all iterative; a 200k-deep right-nested chain
+   must survive every one of them without touching the OCaml stack. *)
+let deep_expression_regression () =
+  let n = 200_000 in
+  let buf = Buffer.create (n * 8) in
+  for i = 1 to n do
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_string buf " :: "
+  done;
+  Buffer.add_string buf "nil";
+  let e = parse_expr_exn (Buffer.contents buf) in
+  check_int "size" ((2 * n) + 1) (Ast.size e);
+  check "no free vars" true (Ast.free_vars e = []);
+  check "no calls" true (Ast.calls e = []);
+  let e' = parse_expr_exn (Pretty.expr_to_string e) in
+  check "pretty/parse round trip" true (Ast.equal_expr e e');
+  (* list-literal sugar desugars to the same deep chain *)
+  let lit = "[" ^ String.concat "; " (List.init n (fun i -> string_of_int (i + 1))) ^ "]" in
+  let el = parse_expr_exn lit in
+  check "literal equals cons chain" true (Ast.equal_expr el e)
+
 (* ---------------- Value ---------------- *)
 
 let value_roundtrip () =
@@ -455,7 +495,12 @@ let suites =
         Alcotest.test_case "ast helpers" `Quick ast_helpers;
       ] );
     ( "lang.pretty",
-      [ qtest pretty_round_trip; Alcotest.test_case "def round trip" `Quick pretty_def ] );
+      [
+        qtest pretty_round_trip;
+        Alcotest.test_case "def round trip" `Quick pretty_def;
+        Alcotest.test_case "workload round trip" `Quick workload_pretty_round_trip;
+        Alcotest.test_case "deep expressions" `Quick deep_expression_regression;
+      ] );
     ( "lang.value",
       [
         Alcotest.test_case "roundtrip" `Quick value_roundtrip;

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Static-analysis gate: run the recflow checker over every built-in
+# workload (and the quickstart example's embedded program) with warnings
+# promoted to errors.  Backed by the dune @lint alias so results are
+# cached and the same gate runs inside `dune runtest`.
+set -e
+cd "$(dirname "$0")/.."
+exec dune build @lint
