@@ -284,48 +284,161 @@ let report_sweep_scaling () =
   let par_outcomes, par_t = time_sweep ~jobs in
   Format.printf "  jobs=%-3d %6.2f s   speedup %.2fx   results %s@." jobs par_t (seq_t /. par_t)
     (if seq_outcomes = par_outcomes then "identical" else "DIFFER");
-  if seq_outcomes <> par_outcomes then failwith "parallel sweep diverged from sequential"
+  if seq_outcomes <> par_outcomes then failwith "parallel sweep diverged from sequential";
+  Recflow_obs_core.Json.Obj
+    [
+      ("simulations", Recflow_obs_core.Json.Int (List.length sweep_points));
+      ("jobs_1_wall_s", Recflow_obs_core.Json.Float seq_t);
+      ("jobs_n", Recflow_obs_core.Json.Int jobs);
+      ("jobs_n_wall_s", Recflow_obs_core.Json.Float par_t);
+      ("speedup", Recflow_obs_core.Json.Float (seq_t /. par_t));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_group name tests =
+module Json = Recflow_obs_core.Json
+
+let bench_schema = "recflow.bench/1"
+
+let run_group ~quota name tests =
   let grouped = Test.make_grouped ~name (List.map (fun t -> t) tests) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg [ instance ] grouped in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
-  |> List.iter (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some [ est ] -> Format.printf "  %-45s %14.1f ns/run@." name est
-         | _ -> Format.printf "  %-45s (no estimate)@." name)
+  |> List.map (fun (name, ols) ->
+         let est =
+           match Analyze.OLS.estimates ols with Some [ est ] -> Some est | _ -> None
+         in
+         (match est with
+         | Some est -> Format.printf "  %-45s %14.1f ns/run@." name est
+         | None -> Format.printf "  %-45s (no estimate)@." name);
+         (name, est))
+
+let json_of_rows rows =
+  Json.List
+    (List.map
+       (fun (name, est) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("ns_per_run", match est with Some e -> Json.Float e | None -> Json.Null);
+           ])
+       rows)
+
+(* Validate an emitted BENCH_<n>.json with the in-tree strict parser: the
+   file must parse, carry the schema marker and at least one group with at
+   least one named row.  [tools/bench_smoke.sh] drives this via the
+   [@bench-smoke] alias. *)
+let check_json path =
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Json.parse contents with
+  | Error e ->
+    Format.eprintf "%s: JSON parse error: %s@." path e;
+    exit 1
+  | Ok doc ->
+    let fail msg =
+      Format.eprintf "%s: %s@." path msg;
+      exit 1
+    in
+    (match Json.member "schema" doc with
+    | Some (Json.Str s) when s = bench_schema -> ()
+    | _ -> fail (Printf.sprintf "missing schema marker %S" bench_schema));
+    (match Json.member "groups" doc with
+    | Some (Json.List (_ :: _ as groups)) ->
+      List.iter
+        (fun g ->
+          match Json.member "rows" g with
+          | Some (Json.List (_ :: _ as rows)) ->
+            List.iter
+              (fun r ->
+                match Json.member "name" r with
+                | Some (Json.Str _) -> ()
+                | _ -> fail "row without a name")
+              rows
+          | _ -> fail "group without rows")
+        groups
+    | _ -> fail "missing groups");
+    Format.printf "%s: valid %s document@." path bench_schema
 
 let () =
-  Format.printf "=== recflow benchmarks (Bechamel, monotonic clock) ===@.@.";
-  Format.printf "--- data-structure micro-benchmarks ---@.";
-  run_group "micro"
-    [ bench_stamp_ancestor; bench_stamp_hash; bench_ckpt_record; bench_engine; bench_rng;
-      bench_serial_eval; bench_graph_eval; bench_vote ];
-  Format.printf "@.--- experiment kernels (one per reproduced figure/table) ---@.";
-  run_group "experiments"
-    [ bench_fig1; bench_fig3; bench_fig5; bench_fig6; bench_q1; bench_q2_rollback;
-      bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8 ];
-  report_sweep_scaling ();
-  (* Regenerate the actual tables so the benchmark log carries the rows
-     the paper reports. *)
-  Format.printf "@.=== reproduced tables (quick mode) ===@.";
-  let failed = ref 0 in
-  List.iter
-    (fun (e : Recflow_experiments.Registry.entry) ->
-      let r = e.Recflow_experiments.Registry.run ~quick:true () in
-      Format.printf "%a" Recflow_experiments.Report.pp r;
-      if not (Recflow_experiments.Report.all_checks_pass r) then incr failed)
-    Recflow_experiments.Registry.all;
-  Format.printf "@.experiments with failing checks: %d@." !failed;
-  exit (if !failed = 0 then 0 else 1)
+  let json_path = ref "BENCH_5.json" in
+  let quota = ref 0.25 in
+  let micro_only = ref false in
+  let check = ref None in
+  let speclist =
+    [
+      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_5.json)");
+      ("--quota", Arg.Set_float quota, "SEC  per-benchmark sampling quota in seconds (default 0.25)");
+      ("--micro-only", Arg.Set micro_only, "  run only the data-structure micro group (smoke mode)");
+      ("--check-json", Arg.String (fun f -> check := Some f), "FILE  validate an emitted results file and exit");
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "recflow benchmark harness";
+  match !check with
+  | Some path -> check_json path
+  | None ->
+    Format.printf "=== recflow benchmarks (Bechamel, monotonic clock) ===@.@.";
+    Format.printf "--- data-structure micro-benchmarks ---@.";
+    let micro_rows =
+      run_group ~quota:!quota "micro"
+        [ bench_stamp_ancestor; bench_stamp_hash; bench_ckpt_record; bench_engine; bench_rng;
+          bench_serial_eval; bench_graph_eval; bench_vote ]
+    in
+    let groups = ref [ ("micro", micro_rows) ] in
+    let sweep = ref Json.Null in
+    if not !micro_only then begin
+      Format.printf "@.--- experiment kernels (one per reproduced figure/table) ---@.";
+      let kernel_rows =
+        run_group ~quota:!quota "experiments"
+          [ bench_fig1; bench_fig3; bench_fig5; bench_fig6; bench_q1; bench_q2_rollback;
+            bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8 ]
+      in
+      groups := !groups @ [ ("experiments", kernel_rows) ];
+      sweep := report_sweep_scaling ()
+    end;
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.Str bench_schema);
+          ("pr", Json.Int 5);
+          ("quota_s", Json.Float !quota);
+          ( "groups",
+            Json.List
+              (List.map
+                 (fun (name, rows) ->
+                   Json.Obj [ ("name", Json.Str name); ("rows", json_of_rows rows) ])
+                 !groups) );
+          ("sweep", !sweep);
+        ]
+    in
+    Json.write_file ~path:!json_path doc;
+    Format.printf "@.wrote %s@." !json_path;
+    if !micro_only then exit 0;
+    (* Regenerate the actual tables so the benchmark log carries the rows
+       the paper reports. *)
+    Format.printf "@.=== reproduced tables (quick mode) ===@.";
+    let failed = ref 0 in
+    List.iter
+      (fun (e : Recflow_experiments.Registry.entry) ->
+        let r = e.Recflow_experiments.Registry.run ~quick:true () in
+        Format.printf "%a" Recflow_experiments.Report.pp r;
+        if not (Recflow_experiments.Report.all_checks_pass r) then incr failed)
+      Recflow_experiments.Registry.all;
+    Format.printf "@.experiments with failing checks: %d@." !failed;
+    exit (if !failed = 0 then 0 else 1)

@@ -12,7 +12,13 @@
     this processor must re-issue to fulfil its share of the collective
     recovery.  When a child's result returns, {!discharge} drops its
     checkpoint (strict evaluation means a completed child's whole subtree
-    is complete, so coverage is not lost). *)
+    is complete, so coverage is not lost).
+
+    Each entry is indexed as a digit trie over stamps (a node per stamp
+    prefix), so {!record}'s covered/dominates checks and {!discharge} cost
+    O(stamp depth) rather than a scan of the entry — entry size does not
+    matter, which keeps [Keep_all] (the Q8 space/time ablation) usable at
+    scale.  {!on_failure} and {!entry} still return stamp-sorted lists. *)
 
 type mode = Topmost | Keep_all
 

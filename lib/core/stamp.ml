@@ -1,56 +1,247 @@
-(* Digits are stored reversed (deepest first) so [child] is O(1). *)
-type t = int list
+(* Packed representation.  The original implementation was a reversed
+   [int list]; every comparison-shaped operation (is_ancestor, compare,
+   common_ancestor, hash) had to allocate a full reversed copy of both
+   stamps before looking at a single digit.  A stamp is now a single int
+   array:
 
-let root = []
+     s.(0)          cached structural hash, -1 until first demanded
+     s.(1) = d >= 0 packed layout: depth is [d] and slots 2.. hold
+                    ceil(d/7) words of seven digit-bytes each, big-endian
+                    within the word (digit [i] sits at bit 8*(6 - i mod 7)
+                    of word [2 + i/7]); unused trailing bytes are zero
+     s.(1) < 0      spill layout for digits > 255 (permitted by the API,
+                    never produced by fan-out-bounded programs): depth is
+                    [-s.(1) - 1] and slots 2.. hold the digits verbatim
+
+   Digits are per-activation spawn counters bounded by the static fan-out,
+   so seven bytes per word captures every stamp a real program makes: the
+   comparison loops touch ceil(depth/7) words instead of [depth] list
+   cells, and construction is one small allocation.  Big-endian byte order
+   makes word comparison agree with lexicographic digit comparison, and
+   zero padding is harmless because depth disambiguates (words equal, then
+   the shorter stamp is the prefix).  Operations between two packed stamps
+   take the word-wise fast paths below; anything touching a spill stamp
+   falls back to generic per-digit loops, so the two layouts never need to
+   be canonical with respect to each other.
+
+   Invariant: slots 1.. are never mutated after construction.  Slot 0 is
+   lazily filled (see [hash]); nothing outside this module may observe it,
+   so [t] must never meet polymorphic equality/hash — [equal]/[compare]/
+   [hash] below are the only lawful comparisons. *)
+
+type t = int array
+
+let root = [| -1; 0 |]
+
+let depth s =
+  let d = Array.unsafe_get s 1 in
+  if d >= 0 then d else -d - 1
+
+let digit s i =
+  if i < 0 || i >= depth s then invalid_arg "index out of bounds";
+  let d = Array.unsafe_get s 1 in
+  if d >= 0 then (Array.unsafe_get s (2 + (i / 7)) lsr (8 * (6 - (i mod 7)))) land 0xff
+  else Array.unsafe_get s (2 + i)
+
+let digits s =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (digit s i :: acc) in
+  go (depth s - 1) []
+
+(* Spill stamp holding the digits of [s] (any layout) plus appended [k]. *)
+let spill_child s k =
+  let d = depth s in
+  let a = Array.make (d + 3) k in
+  a.(0) <- -1;
+  a.(1) <- -(d + 1) - 1;
+  for i = 0 to d - 1 do
+    a.(2 + i) <- digit s i
+  done;
+  a
 
 let child s k =
   if k < 0 then invalid_arg "Stamp.child: negative digit";
-  k :: s
-
-let parent = function [] -> None | _ :: rest -> Some rest
-
-let depth = List.length
-
-let digits s = List.rev s
+  let d = Array.unsafe_get s 1 in
+  if d >= 0 && k <= 0xff then
+    if d mod 7 = 0 then
+      (* The new digit opens a fresh word.  Common cases build as array
+         literals, which ocamlopt allocates inline; [Array.make] is a C
+         call per stamp. *)
+      match s with
+      | [| _; _ |] -> [| -1; 1; k lsl 48 |]
+      | [| _; _; w0 |] -> [| -1; d + 1; w0; k lsl 48 |]
+      | [| _; _; w0; w1 |] -> [| -1; d + 1; w0; w1; k lsl 48 |]
+      | [| _; _; w0; w1; w2 |] -> [| -1; d + 1; w0; w1; w2; k lsl 48 |]
+      | s ->
+        let n = Array.length s in
+        let a = Array.make (n + 1) (k lsl 48) in
+        Array.blit s 2 a 2 (n - 2);
+        a.(0) <- -1;
+        a.(1) <- d + 1;
+        a
+    else begin
+      let j = Array.length s - 1 in
+      let nw = Array.unsafe_get s j lor (k lsl (8 * (6 - (d mod 7)))) in
+      match s with
+      | [| _; _; _ |] -> [| -1; d + 1; nw |]
+      | [| _; _; w0; _ |] -> [| -1; d + 1; w0; nw |]
+      | [| _; _; w0; w1; _ |] -> [| -1; d + 1; w0; w1; nw |]
+      | [| _; _; w0; w1; w2; _ |] -> [| -1; d + 1; w0; w1; w2; nw |]
+      | s ->
+        let a = Array.copy s in
+        a.(0) <- -1;
+        a.(1) <- d + 1;
+        a.(j) <- nw;
+        a
+    end
+  else spill_child s k
 
 let of_digits ds =
   List.iter (fun d -> if d < 0 then invalid_arg "Stamp.of_digits: negative digit") ds;
-  List.rev ds
+  match List.length ds with
+  | 0 -> root
+  | d when List.for_all (fun k -> k <= 0xff) ds ->
+    let a = Array.make (((d + 6) / 7) + 2) 0 in
+    a.(0) <- -1;
+    a.(1) <- d;
+    List.iteri
+      (fun i k ->
+        let j = 2 + (i / 7) in
+        a.(j) <- a.(j) lor (k lsl (8 * (6 - (i mod 7)))))
+      ds;
+    a
+  | d ->
+    let a = Array.make (d + 2) 0 in
+    a.(0) <- -1;
+    a.(1) <- -d - 1;
+    List.iteri (fun i k -> a.(2 + i) <- k) ds;
+    a
 
-let equal a b = a = b
+(* First [l] digits of [s]; [0 <= l <= depth s]. *)
+let prefix s l =
+  if l = 0 then root
+  else if l = depth s then s
+  else if Array.unsafe_get s 1 >= 0 then begin
+    let nw = (l + 6) / 7 in
+    let a = Array.make (nw + 2) 0 in
+    a.(0) <- -1;
+    a.(1) <- l;
+    Array.blit s 2 a 2 nw;
+    let r = l mod 7 in
+    if r > 0 then a.(nw + 1) <- a.(nw + 1) land (((1 lsl (8 * r)) - 1) lsl (8 * (7 - r)));
+    a
+  end
+  else begin
+    let a = Array.make (l + 2) 0 in
+    a.(0) <- -1;
+    a.(1) <- -l - 1;
+    Array.blit s 2 a 2 l;
+    a
+  end
 
-let compare a b = Stdlib.compare (digits a) (digits b)
+let parent s = match depth s with 0 -> None | d -> Some (prefix s (d - 1))
 
-(* [a] proper prefix of [b]. *)
-let is_ancestor a b =
-  let da = digits a and db = digits b in
-  let rec prefix xs ys =
-    match (xs, ys) with
-    | [], [] -> false  (* equal, not proper *)
-    | [], _ :: _ -> true
-    | _ :: _, [] -> false
-    | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+(* Generic per-digit fallbacks, lawful for any layout mix. *)
+
+let slow_equal a b =
+  let d = depth a in
+  depth b = d
+  && (let rec eq i = i = d || (digit a i = digit b i && eq (i + 1)) in
+      eq 0)
+
+let slow_compare a b =
+  let da = depth a and db = depth b in
+  let n = if da < db then da else db in
+  let rec go i =
+    if i = n then Stdlib.compare da db
+    else
+      let c = Stdlib.compare (digit a i) (digit b i) in
+      if c <> 0 then c else go (i + 1)
   in
-  prefix da db
+  go 0
+
+let slow_is_ancestor a b =
+  let da = depth a in
+  da < depth b
+  && (let rec pre i = i = da || (digit a i = digit b i && pre (i + 1)) in
+      pre 0)
+
+let equal a b =
+  a == b
+  ||
+  let da = Array.unsafe_get a 1 and db = Array.unsafe_get b 1 in
+  if da >= 0 && db >= 0 then
+    da = db
+    && (let rec eq j =
+          j = 1 || (Array.unsafe_get a j = Array.unsafe_get b j && eq (j - 1))
+        in
+        eq (Array.length a - 1))
+  else slow_equal a b
+
+(* Lexicographic on forward digits; a proper prefix sorts first — the same
+   order [Stdlib.compare] gave on forward digit lists.  Packed words are
+   positive ints, so [Stdlib.compare] on them is an unsigned byte-string
+   comparison, i.e. exactly digit-lexicographic; zero padding ties are
+   broken by depth. *)
+let compare a b =
+  let da = Array.unsafe_get a 1 and db = Array.unsafe_get b 1 in
+  if da >= 0 && db >= 0 then begin
+    let wa = Array.length a and wb = Array.length b in
+    let n = if wa < wb then wa else wb in
+    let rec go j =
+      if j = n then Stdlib.compare da db
+      else
+        let x = Array.unsafe_get a j and y = Array.unsafe_get b j in
+        if x = y then go (j + 1) else Stdlib.compare x y
+    in
+    go 2
+  end
+  else slow_compare a b
+
+(* [a] proper prefix of [b]: the full words of [a] match and the leading
+   [depth a mod 7] bytes of its final partial word match. *)
+let is_ancestor a b =
+  let da = Array.unsafe_get a 1 and db = Array.unsafe_get b 1 in
+  if da >= 0 && db >= 0 then
+    da < db
+    && (let q = da / 7 and r = da mod 7 in
+        let rec words j =
+          j = q + 2 || (Array.unsafe_get a j = Array.unsafe_get b j && words (j + 1))
+        in
+        words 2
+        && (r = 0
+            || (Array.unsafe_get a (q + 2) lxor Array.unsafe_get b (q + 2))
+                 land (((1 lsl (8 * r)) - 1) lsl (8 * (7 - r)))
+               = 0))
+  else slow_is_ancestor a b
 
 let is_descendant a b = is_ancestor b a
 
 let related a b = equal a b || is_ancestor a b || is_ancestor b a
 
 let common_ancestor a b =
-  let rec go xs ys acc =
-    match (xs, ys) with
-    | x :: xs', y :: ys' when x = y -> go xs' ys' (x :: acc)
-    | _ -> List.rev acc
-  in
-  of_digits (go (digits a) (digits b) [])
+  let da = depth a and db = depth b in
+  let n = if da < db then da else db in
+  let rec lcp i = if i < n && digit a i = digit b i then lcp (i + 1) else i in
+  let l = lcp 0 in
+  if l = da then a else if l = db then b else prefix a l
 
-let max_digit s = match s with [] -> None | _ -> Some (List.fold_left max 0 s)
+let max_digit s =
+  match depth s with
+  | 0 -> None
+  | d ->
+    let rec go i m = if i = d then m else go (i + 1) (max m (digit s i)) in
+    Some (go 0 0)
 
 let to_string s =
-  match digits s with
-  | [] -> "\xce\xb5" (* ε *)
-  | ds -> String.concat "." (List.map string_of_int ds)
+  match depth s with
+  | 0 -> "\xce\xb5" (* ε *)
+  | d ->
+    let buf = Buffer.create (2 * d) in
+    for i = 0 to d - 1 do
+      if i > 0 then Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int (digit s i))
+    done;
+    Buffer.contents buf
 
 let of_string str =
   if str = "\xce\xb5" || str = "" then Ok root
@@ -67,4 +258,19 @@ let of_string str =
 
 let pp ppf s = Format.pp_print_string ppf (to_string s)
 
-let hash s = Hashtbl.hash (digits s)
+(* Slot 0 < 0 means not yet computed: [child] must not pay for a hash the
+   stamp may never need.  The value, once computed, must stay
+   *value-identical* to the historical [Hashtbl.hash (digits s)]:
+   processor-placement keys are derived from it (node spawn/respawn,
+   super-root dispatch), so changing the hash function would re-route tasks
+   and break journal replay compatibility.  ([Hashtbl.hash] is
+   non-negative, so -1 is a safe sentinel; the fill-in is idempotent,
+   making a racy duplicate computation benign.) *)
+let hash s =
+  let h = Array.unsafe_get s 0 in
+  if h >= 0 then h
+  else begin
+    let h = Hashtbl.hash (digits s) in
+    Array.unsafe_set s 0 h;
+    h
+  end

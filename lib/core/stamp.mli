@@ -22,7 +22,13 @@ val parent : t -> t option
 (** [None] for the root stamp. *)
 
 val depth : t -> int
-(** Root has depth 0. *)
+(** Root has depth 0.  O(1). *)
+
+val digit : t -> int -> int
+(** [digit s i] is the i-th digit from the root, [0 <= i < depth s] — the
+    per-digit accessor the checkpoint-table trie walks with, so indexing a
+    stamp never materialises a digit list.
+    @raise Invalid_argument out of range. *)
 
 val digits : t -> int list
 
@@ -60,3 +66,6 @@ val of_string : string -> (t, string) result
 val pp : Format.formatter -> t -> unit
 
 val hash : t -> int
+(** Structural hash, computed once per stamp and cached (amortised O(1)).
+    The value is identical to [Hashtbl.hash (digits s)] — placement keys
+    are derived from it, so it is part of the determinism contract. *)

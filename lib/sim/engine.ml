@@ -1,22 +1,53 @@
+(* The event queue used to be a generic [Heap.t] of boxed
+   [{ at; seq; payload }] records compared through a closure: three words of
+   allocation per event plus two indirections per comparison, on the hottest
+   loop in the simulator.  The queue is now an inline binary heap over a
+   plain [int array] of *packed priorities* — [(at lsl seq_bits) lor seq] —
+   with payloads in a parallel array: scheduling allocates nothing beyond
+   the payload itself, and a sift step is one unboxed [int] compare.
+
+   Packing preserves the dispatch order exactly: keys compare first by
+   timestamp and then by scheduling sequence (FIFO among same-instant
+   events), because [seq] occupies the low [seq_bits] bits and is strictly
+   monotone.  The packable ranges — times up to 2^36 ticks (about 19 hours
+   of simulated microseconds) and 2^26 events per engine — are orders of
+   magnitude above anything the experiments reach and are enforced with
+   [invalid_arg] rather than silent wraparound.
+
+   The payload store is an [Obj.t array] for the same reason as {!Heap}:
+   vacated slots are overwritten with an immediate junk value so a popped
+   event is not retained by the queue, and the array is created from an
+   immediate so it is never flat-float. *)
+
 type time = int
 
-type 'a entry = { at : time; seq : int; payload : 'a }
+let seq_bits = 26
+
+let seq_limit = 1 lsl seq_bits
+
+let max_time = max_int lsr seq_bits
+
+let dummy = Obj.repr 0
+
+(* Clusters schedule hundreds of events within the first few ticks;
+   starting at a real capacity avoids the doubling ladder on every run. *)
+let initial_capacity = 256
 
 type 'a t = {
-  queue : 'a entry Heap.t;
+  mutable keys : int array;  (* packed [(at lsl seq_bits) lor seq] *)
+  mutable payloads : Obj.t array;  (* parallel to [keys] *)
+  mutable size : int;
   mutable clock : time;
   mutable next_seq : int;
   mutable stopping : bool;
   mutable dispatched : int;
 }
 
-let compare_entry a b =
-  let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
-
 let create () =
   {
-    queue = Heap.create ~cmp:compare_entry;
+    keys = Array.make initial_capacity 0;
+    payloads = Array.make initial_capacity dummy;
+    size = 0;
     clock = 0;
     next_seq = 0;
     stopping = false;
@@ -25,44 +56,128 @@ let create () =
 
 let now t = t.clock
 
-let pending t = Heap.length t.queue
+let pending t = t.size
 
-let schedule_at t ~time payload =
+let grow t =
+  let cap = Array.length t.keys in
+  if t.size = cap then begin
+    let ncap = cap * 2 in
+    let nkeys = Array.make ncap 0 and npayloads = Array.make ncap dummy in
+    Array.blit t.keys 0 nkeys 0 t.size;
+    Array.blit t.payloads 0 npayloads 0 t.size;
+    t.keys <- nkeys;
+    t.payloads <- npayloads
+  end
+
+(* Halve the store once it is three-quarters junk (never below the initial
+   capacity), so a drained queue does not pin its high-water mark. *)
+let shrink t =
+  let cap = Array.length t.keys in
+  if cap > initial_capacity && t.size <= cap / 4 then begin
+    let ncap = cap / 2 in
+    let nkeys = Array.make ncap 0 and npayloads = Array.make ncap dummy in
+    Array.blit t.keys 0 nkeys 0 t.size;
+    Array.blit t.payloads 0 npayloads 0 t.size;
+    t.keys <- nkeys;
+    t.payloads <- npayloads
+  end
+
+let swap t i j =
+  let ki = Array.unsafe_get t.keys i in
+  Array.unsafe_set t.keys i (Array.unsafe_get t.keys j);
+  Array.unsafe_set t.keys j ki;
+  let pi = Array.unsafe_get t.payloads i in
+  Array.unsafe_set t.payloads i (Array.unsafe_get t.payloads j);
+  Array.unsafe_set t.payloads j pi
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Array.unsafe_get t.keys i < Array.unsafe_get t.keys parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && Array.unsafe_get t.keys l < Array.unsafe_get t.keys !smallest then
+    smallest := l;
+  if r < t.size && Array.unsafe_get t.keys r < Array.unsafe_get t.keys !smallest then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule_at : 'a. 'a t -> time:time -> 'a -> unit =
+ fun t ~time payload ->
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" time t.clock);
-  Heap.push t.queue { at = time; seq = t.next_seq; payload };
-  t.next_seq <- t.next_seq + 1
+  if time > max_time then
+    invalid_arg (Printf.sprintf "Engine.schedule_at: time %d exceeds packable range" time);
+  if t.next_seq >= seq_limit then invalid_arg "Engine.schedule_at: event sequence exhausted";
+  grow t;
+  let i = t.size in
+  Array.unsafe_set t.keys i ((time lsl seq_bits) lor t.next_seq);
+  Array.unsafe_set t.payloads i (Obj.repr payload);
+  t.size <- t.size + 1;
+  t.next_seq <- t.next_seq + 1;
+  sift_up t i
 
 let schedule t ~delay payload =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) payload
 
-let next t =
-  match Heap.pop t.queue with
-  | None -> None
-  | Some e ->
-    t.clock <- e.at;
+let next : 'a. 'a t -> (time * 'a) option =
+ fun t ->
+  if t.size = 0 then None
+  else begin
+    let key = Array.unsafe_get t.keys 0 in
+    let payload = Obj.obj (Array.unsafe_get t.payloads 0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.payloads.(0) <- t.payloads.(t.size);
+      t.payloads.(t.size) <- dummy;
+      sift_down t 0
+    end
+    else t.payloads.(0) <- dummy;
+    shrink t;
+    t.clock <- key lsr seq_bits;
     t.dispatched <- t.dispatched + 1;
-    Some (e.at, e.payload)
+    Some (t.clock, payload)
+  end
 
 let stop t = t.stopping <- true
 
+(* The [until]-absent case is the common one (clusters stop themselves via
+   [stop]); it runs a straight drain loop with no per-event horizon peek. *)
 let run t ?until handler =
   t.stopping <- false;
-  let horizon_ok () =
-    match until with
-    | None -> true
-    | Some limit -> ( match Heap.peek t.queue with Some e -> e.at <= limit | None -> true)
-  in
-  let rec loop () =
-    if (not t.stopping) && horizon_ok () then
-      match next t with
-      | None -> ()
-      | Some (at, ev) ->
-        handler at ev;
-        loop ()
-  in
-  loop ()
+  match until with
+  | None ->
+    let rec drain () =
+      if not t.stopping then
+        match next t with
+        | None -> ()
+        | Some (at, ev) ->
+          handler at ev;
+          drain ()
+    in
+    drain ()
+  | Some limit ->
+    let rec loop () =
+      if (not t.stopping) && (t.size = 0 || Array.unsafe_get t.keys 0 lsr seq_bits <= limit)
+      then
+        match next t with
+        | None -> ()
+        | Some (at, ev) ->
+          handler at ev;
+          loop ()
+    in
+    loop ()
 
 let events_dispatched t = t.dispatched

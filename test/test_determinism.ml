@@ -1,0 +1,99 @@
+(* Determinism regression: golden digests of full journal event streams.
+
+   Perf work on the hot structures (stamps, checkpoint tables, the event
+   engine) must never reorder events or change answers: every workload x
+   seed x recovery scheme has to replay byte-identically.  Each case below
+   runs a faulty cluster simulation and hashes the complete journal
+   rendering (every entry via [Journal.pp_entry], in order) together with
+   the answer, final clock and dispatch count; the hex digests are pinned
+   against values recorded from the pre-optimisation implementation.
+
+   To regenerate after an *intentional* semantic change, run
+
+     RECFLOW_GOLDEN=print dune exec test/test_main.exe -- test determinism
+
+   and paste the printed table over [goldens] — but first be sure the
+   change is supposed to alter schedules; this suite exists to make that
+   decision explicit rather than accidental. *)
+
+module Config = Recflow_machine.Config
+module Cluster = Recflow_machine.Cluster
+module Journal = Recflow_machine.Journal
+module Workload = Recflow_workload.Workload
+module Value = Recflow_lang.Value
+
+let recovery_tag = function
+  | Config.Rollback -> "rollback"
+  | Config.Splice -> "splice"
+  | Config.No_recovery -> "none"
+  | Config.Replicate k -> Printf.sprintf "replicate-%d" k
+
+let digest_of_run w ~recovery ~seed =
+  let cfg =
+    { (Config.default ~nodes:6) with Config.recovery; seed; inline_depth = 6;
+      policy = Recflow_balance.Policy.Random }
+  in
+  let c = Cluster.create cfg (Workload.program w) in
+  Cluster.fail_at c ~time:150 1;
+  Cluster.start c ~fname:w.Workload.entry ~args:(w.Workload.args Workload.Small);
+  let o = Cluster.run c in
+  let buf = Buffer.create 16384 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" Journal.pp_entry e))
+    (Journal.entries (Cluster.journal c));
+  Buffer.add_string buf
+    (match o.Cluster.answer with Some v -> Value.to_string v | None -> "<no-answer>");
+  Buffer.add_string buf
+    (Printf.sprintf "|sim_time=%d|events=%d" o.Cluster.sim_time o.Cluster.events);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let workloads = [ Workload.fib; Workload.tree_sum; Workload.nqueens ]
+
+let seeds = [ 1; 42 ]
+
+let recoveries = [ Config.Rollback; Config.Splice ]
+
+let cases =
+  List.concat_map
+    (fun w ->
+      List.concat_map
+        (fun seed -> List.map (fun r -> (w, seed, r)) recoveries)
+        seeds)
+    workloads
+
+(* Hex MD5 of the journal stream for each (workload, seed, recovery),
+   recorded from the list-based stamp / linear-scan table implementation. *)
+let goldens =
+  [
+    ("fib", 1, "rollback", "d41cf452398a917a85d6dc543ae866b0");
+    ("fib", 1, "splice", "889ba631df5bfd90c542780edc325858");
+    ("fib", 42, "rollback", "a2633c93bfeb5c3b928447debb1335ec");
+    ("fib", 42, "splice", "c379e6e3c2f7747677d5683d50c91eda");
+    ("tree_sum", 1, "rollback", "32868f52852aa9278fa75f52fe7107d5");
+    ("tree_sum", 1, "splice", "cc4035d95fa57c67e54ecc05a50a66fa");
+    ("tree_sum", 42, "rollback", "5c5ae9a73077c36425ff0442919d86c2");
+    ("tree_sum", 42, "splice", "61d7e2e3f4295589863739342eaa6208");
+    ("nqueens", 1, "rollback", "98d7f8dfbd2d08c6a8d5f666aa1d0b00");
+    ("nqueens", 1, "splice", "f46d8ca58e757ca5099bfab9fdd00b85");
+    ("nqueens", 42, "rollback", "6da22210846a5c51b9203c26105f00eb");
+    ("nqueens", 42, "splice", "54faf5bba1e05d2c3e1edbf739c0c440");
+  ]
+
+let golden_key w seed r = Printf.sprintf "%s/%d/%s" w.Workload.name seed (recovery_tag r)
+
+let test_case (w, seed, r) =
+  let name = golden_key w seed r in
+  Alcotest.test_case name `Slow (fun () ->
+      let actual = digest_of_run w ~recovery:r ~seed in
+      if Sys.getenv_opt "RECFLOW_GOLDEN" = Some "print" then
+        Printf.printf "    (%S, %d, %S, %S);\n%!" w.Workload.name seed (recovery_tag r) actual;
+      match
+        List.find_opt
+          (fun (n, s, rt, _) -> n = w.Workload.name && s = seed && rt = recovery_tag r)
+          goldens
+      with
+      | None -> Alcotest.failf "no golden digest recorded for %s" name
+      | Some (_, _, _, expected) ->
+        Alcotest.(check string) (name ^ " journal digest") expected actual)
+
+let suites = [ ("determinism", List.map test_case cases) ]

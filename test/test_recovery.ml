@@ -153,6 +153,120 @@ let ckpt_discharge () =
   check "discharge miss" false (Ckpt_table.discharge t ~dest:1 (Stamp.of_digits [ 2 ]));
   check_int "empty" 0 (Ckpt_table.total_size t)
 
+let ckpt_deep_eviction () =
+  (* A re-spawned ancestor must evict its *whole* covered subtree in one
+     record, with [total_size] tracking the bulk removal. *)
+  let t = Ckpt_table.create () in
+  List.iter
+    (fun ds -> ignore (Ckpt_table.record t ~dest:4 (mk_packet ~stamp:(Stamp.of_digits ds) ())))
+    [ [ 0; 1; 0 ]; [ 0; 1; 1 ]; [ 0; 2 ]; [ 1 ] ];
+  check_int "four stored" 4 (Ckpt_table.total_size t);
+  check "ancestor of three recorded" true
+    (Ckpt_table.record t ~dest:4 (mk_packet ~stamp:(Stamp.of_digits [ 0 ]) ()) = `Recorded);
+  Alcotest.(check (list (list int))) "subtree evicted, sibling kept"
+    [ [ 0 ]; [ 1 ] ]
+    (List.map (fun (p : Packet.t) -> Stamp.digits p.Packet.stamp) (Ckpt_table.entry t ~dest:4));
+  check_int "size reflects bulk eviction" 2 (Ckpt_table.total_size t)
+
+let ckpt_keep_all_duplicates () =
+  (* Keep-all mode stores duplicates of one stamp; discharge drops them all
+     at once (the pre-index filter removed every equal stamp too). *)
+  let t = Ckpt_table.create ~mode:Ckpt_table.Keep_all () in
+  let p = mk_packet ~stamp:(Stamp.of_digits [ 2; 2 ]) () in
+  ignore (Ckpt_table.record t ~dest:1 p);
+  ignore (Ckpt_table.record t ~dest:1 p);
+  ignore (Ckpt_table.record t ~dest:1 (mk_packet ~stamp:(Stamp.of_digits [ 2 ]) ()));
+  check_int "three stored" 3 (Ckpt_table.total_size t);
+  check "discharge removes all duplicates" true
+    (Ckpt_table.discharge t ~dest:1 (Stamp.of_digits [ 2; 2 ]));
+  check_int "only the ancestor left" 1 (Ckpt_table.total_size t);
+  check "second discharge is a miss" false
+    (Ckpt_table.discharge t ~dest:1 (Stamp.of_digits [ 2; 2 ]))
+
+(* Randomized cross-check of the trie-indexed table against the original
+   flat-list implementation, replayed operation by operation. *)
+module Ckpt_oracle = struct
+  type t = { mode : Ckpt_table.mode; mutable entries : (int * Packet.t list) list }
+
+  let create mode = { mode; entries = [] }
+
+  let entry t dest = match List.assoc_opt dest t.entries with Some l -> l | None -> []
+
+  let set t dest l = t.entries <- (dest, l) :: List.remove_assoc dest t.entries
+
+  let record t ~dest (p : Packet.t) =
+    let l = entry t dest in
+    match t.mode with
+    | Ckpt_table.Keep_all ->
+      set t dest (p :: l);
+      `Recorded
+    | Ckpt_table.Topmost ->
+      if
+        List.exists
+          (fun (q : Packet.t) ->
+            Stamp.equal q.Packet.stamp p.Packet.stamp
+            || Stamp.is_ancestor q.Packet.stamp p.Packet.stamp)
+          l
+      then `Covered
+      else begin
+        set t dest
+          (p
+          :: List.filter
+               (fun (q : Packet.t) -> not (Stamp.is_ancestor p.Packet.stamp q.Packet.stamp))
+               l);
+        `Recorded
+      end
+
+  let discharge t ~dest stamp =
+    let l = entry t dest in
+    let l' = List.filter (fun (q : Packet.t) -> not (Stamp.equal q.Packet.stamp stamp)) l in
+    set t dest l';
+    List.length l' < List.length l
+
+  let sorted t dest =
+    List.stable_sort
+      (fun (a : Packet.t) (b : Packet.t) -> Stamp.compare a.Packet.stamp b.Packet.stamp)
+      (entry t dest)
+
+  let total t = List.fold_left (fun acc (_, l) -> acc + List.length l) 0 t.entries
+end
+
+let gen_op =
+  QCheck.Gen.(
+    int_bound 20 >>= fun len ->
+    list_size (return len) (int_bound 2) >>= fun digits ->
+    int_bound 2 >>= fun dest ->
+    bool >>= fun is_record -> return (is_record, dest, digits))
+
+let ckpt_matches_oracle mode =
+  QCheck.Test.make ~count:300
+    ~name:
+      (Printf.sprintf "trie table = flat-list oracle (%s)"
+         (match mode with Ckpt_table.Topmost -> "topmost" | Ckpt_table.Keep_all -> "keep-all"))
+    (QCheck.make QCheck.Gen.(list_size (int_bound 60) gen_op))
+    (fun ops ->
+      let t = Ckpt_table.create ~mode () in
+      let o = Ckpt_oracle.create mode in
+      List.for_all
+        (fun (is_record, dest, digits) ->
+          let stamp = Stamp.of_digits digits in
+          let same_step =
+            if is_record then
+              let p = mk_packet ~stamp () in
+              Ckpt_table.record t ~dest p = Ckpt_oracle.record o ~dest p
+            else Ckpt_table.discharge t ~dest stamp = Ckpt_oracle.discharge o ~dest stamp
+          in
+          let same_entry dest =
+            List.map
+              (fun (p : Packet.t) -> Stamp.digits p.Packet.stamp)
+              (Ckpt_table.entry t ~dest)
+            = List.map (fun (p : Packet.t) -> Stamp.digits p.Packet.stamp) (Ckpt_oracle.sorted o dest)
+          in
+          same_step
+          && same_entry 0 && same_entry 1 && same_entry 2
+          && Ckpt_table.total_size t = Ckpt_oracle.total o)
+        ops)
+
 let ckpt_on_failure () =
   let t = Ckpt_table.create () in
   ignore (Ckpt_table.record t ~dest:1 (mk_packet ~stamp:(Stamp.of_digits [ 2; 1 ]) ()));
@@ -325,7 +439,11 @@ let suites =
         Alcotest.test_case "eviction" `Quick ckpt_eviction_by_new_ancestor;
         Alcotest.test_case "keep all" `Quick ckpt_keep_all;
         Alcotest.test_case "discharge" `Quick ckpt_discharge;
+        Alcotest.test_case "deep eviction" `Quick ckpt_deep_eviction;
+        Alcotest.test_case "keep-all duplicates" `Quick ckpt_keep_all_duplicates;
         Alcotest.test_case "on failure" `Quick ckpt_on_failure;
+        qtest (ckpt_matches_oracle Ckpt_table.Topmost);
+        qtest (ckpt_matches_oracle Ckpt_table.Keep_all);
       ] );
     ( "recovery.splice_case",
       [

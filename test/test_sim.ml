@@ -289,6 +289,43 @@ let engine_handler_schedules () =
       if n > 1 then Engine.schedule e ~delay:1 (n - 1));
   check_int "cascade 3+2+1" 6 !total
 
+(* [run] without [until] takes the drain fast path (no per-event horizon
+   peek): exercise it across the initial capacity so grow/shrink, packed
+   ordering and FIFO ties all happen inside one drain. *)
+let engine_drain_fast_loop () =
+  let e = Engine.create () in
+  let n = 3000 in
+  for i = 0 to n - 1 do
+    (* Colliding timestamps: 10 events per instant, FIFO within each. *)
+    Engine.schedule e ~delay:(i mod (n / 10)) (i mod (n / 10), i)
+  done;
+  let last_at = ref (-1) and last_seq = ref (-1) and count = ref 0 in
+  Engine.run e (fun at (ev_at, seq) ->
+      incr count;
+      check_int "handler time matches scheduled time" ev_at at;
+      check "times non-decreasing" true (at >= !last_at);
+      if at = !last_at then check "FIFO among equal times" true (seq > !last_seq);
+      last_at := at;
+      last_seq := seq);
+  check_int "all events drained" n !count;
+  check_int "nothing pending" 0 (Engine.pending e);
+  check_int "dispatch count" n (Engine.events_dispatched e)
+
+(* The packed (time, seq) priority has explicit range guards rather than
+   silent wraparound. *)
+let engine_time_range_guard () =
+  let e = Engine.create () in
+  check "astronomic timestamp rejected" true
+    (try
+       Engine.schedule_at e ~time:max_int "too far";
+       false
+     with Invalid_argument _ -> true);
+  (* A large-but-packable time still works (2^36 is the documented bound). *)
+  Engine.schedule_at e ~time:((1 lsl 36) - 1) "far";
+  match Engine.next e with
+  | Some (at, "far") -> check_int "far event dispatched" ((1 lsl 36) - 1) at
+  | _ -> Alcotest.fail "far event lost"
+
 (* ---------------- Trace ---------------- *)
 
 let trace_basic () =
@@ -373,6 +410,8 @@ let suites =
         Alcotest.test_case "stop" `Quick engine_stop;
         Alcotest.test_case "dispatch count" `Quick engine_dispatch_count;
         Alcotest.test_case "handler schedules" `Quick engine_handler_schedules;
+        Alcotest.test_case "drain fast loop" `Quick engine_drain_fast_loop;
+        Alcotest.test_case "packed time range guard" `Quick engine_time_range_guard;
       ] );
     ( "sim.trace",
       [

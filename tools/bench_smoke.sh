@@ -1,0 +1,14 @@
+#!/bin/sh
+# Benchmark-harness smoke test: run the data-structure micro-benchmark
+# group with a tiny sampling quota and validate that the emitted
+# BENCH_<n>.json parses with the in-tree strict JSON parser (the same
+# codec the observability exports use).  Wraps the dune alias so CI and
+# humans share one entry point:
+#
+#   tools/bench_smoke.sh            # == dune build @bench-smoke
+#
+# A full benchmark run (all groups, real quota, BENCH_5.json in the
+# current directory) is `dune exec bench/main.exe`.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @bench-smoke "$@"
