@@ -25,6 +25,7 @@ module Rng = Recflow_sim.Rng
 module Config = Recflow_machine.Config
 module Cluster = Recflow_machine.Cluster
 module Workload = Recflow_workload.Workload
+module Json = Recflow_obs_core.Json
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
@@ -119,11 +120,14 @@ let bench_vote =
 (* One kernel per reproduced figure/table                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_cluster cfg w size failures =
+let run_cluster_full cfg w size failures =
   let c = Cluster.create cfg (Workload.program w) in
   Recflow_fault.Plan.apply c failures;
   Cluster.start c ~fname:w.Workload.entry ~args:(w.Workload.args size);
-  Cluster.run c
+  let o = Cluster.run c in
+  (c, o)
+
+let run_cluster cfg w size failures = snd (run_cluster_full cfg w size failures)
 
 let bench_fig1 =
   Test.make ~name:"F1+F2 figure-1 structural scenario"
@@ -292,13 +296,99 @@ let report_sweep_scaling () =
       ("jobs_n", Recflow_obs_core.Json.Int jobs);
       ("jobs_n_wall_s", Recflow_obs_core.Json.Float par_t);
       ("speedup", Recflow_obs_core.Json.Float (seq_t /. par_t));
+      (* this sweep calls run_cluster directly and never went through the
+         (now removed) obs-hook mutex, so any speedup change vs BENCH_5
+         reflects the sweep itself, not the hook path *)
+      ("obs_hook_mutex_removed", Recflow_obs_core.Json.Bool true);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead A/B                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = Recflow_obs_core.Profile
+
+(* Wall-clock the Q2-scale splice kernel with the profiling layer off vs
+   on: same simulations, the only difference is whether the scoped timers
+   in the engine/checkpoint/recovery paths are live.  The counters and
+   latency histograms are unconditionally on in both runs — they are part
+   of the product — so this isolates the *optional* obs cost. *)
+let report_obs_overhead () =
+  Format.printf "@.--- observability overhead (Q2-scale splice kernel) ---@.";
+  (* The kernel is only a few milliseconds, so two back-to-back batches
+     would measure scheduler noise as readily as profiling cost.
+     Interleave off/on repetitions so every on rep has the off rep run
+     immediately before it as its control, and take the *median of the
+     paired deltas* (on_i - off_i): pairing cancels slow machine drift
+     (both members see the same conditions) and the median discards the
+     pairs where a preemption spike hit one member.  Per-side minima and
+     medians are recorded alongside for the raw picture. *)
+  let reps = 64 in
+  let kernel () =
+    ignore (run_cluster (quant_cfg Config.Splice) synthetic Workload.Small [ (3000, 2) ]);
+    ignore (run_cluster (quant_cfg Config.Rollback) synthetic Workload.Small [ (3000, 2) ])
+  in
+  let timed () =
+    let t0 = Unix.gettimeofday () in
+    kernel ();
+    Unix.gettimeofday () -. t0
+  in
+  let off = Array.make reps 0.0 and on_ = Array.make reps 0.0 in
+  (* warmup both paths *)
+  Profile.set_enabled false;
+  kernel ();
+  Profile.set_enabled true;
+  Profile.reset ();
+  kernel ();
+  for i = 0 to reps - 1 do
+    Profile.set_enabled false;
+    off.(i) <- timed ();
+    Profile.set_enabled true;
+    on_.(i) <- timed ()
+  done;
+  Profile.set_enabled false;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    if reps mod 2 = 1 then s.(reps / 2) else (s.((reps / 2) - 1) +. s.(reps / 2)) /. 2.0
+  in
+  let sum a = Array.fold_left ( +. ) 0.0 a in
+  let min_of a = Array.fold_left min a.(0) a in
+  let off_med = median off and on_med = median on_ in
+  let off_min = min_of off and on_min = min_of on_ in
+  let delta_med = median (Array.init reps (fun i -> on_.(i) -. off.(i))) in
+  let overhead_pct = delta_med /. off_med *. 100.0 in
+  Format.printf
+    "  obs-off median %6.2f ms   paired-delta median %+.3f ms   overhead %+.1f%%   (mins %6.2f / %6.2f ms)@."
+    (off_med *. 1e3) (delta_med *. 1e3) overhead_pct (off_min *. 1e3) (on_min *. 1e3);
+  Json.Obj
+    [
+      ("kernel", Json.Str "Q2 splice+rollback, synthetic small, 1 failure");
+      ("repetitions", Json.Int (2 * reps));
+      ("interleaved", Json.Bool true);
+      ("paired_delta_median_s", Json.Float delta_med);
+      ("obs_off_min_s", Json.Float off_min);
+      ("obs_on_min_s", Json.Float on_min);
+      ("obs_off_median_s", Json.Float off_med);
+      ("obs_on_median_s", Json.Float on_med);
+      ("obs_off_wall_s", Json.Float (sum off));
+      ("obs_on_wall_s", Json.Float (sum on_));
+      ("overhead_pct", Json.Float overhead_pct);
+    ]
+
+(* Latency percentile block from one representative failure run, so the
+   bench artefact carries the same percentile vocabulary as the metrics
+   documents. *)
+let report_latency_percentiles () =
+  let c, _ = run_cluster_full (quant_cfg Config.Splice) synthetic Workload.Small [ (3000, 2) ] in
+  Json.Obj
+    (List.map
+       (fun (name, h) -> (name, Recflow_obs.Metrics.hdr_json h))
+       (Cluster.latency_hists c))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
-
-module Json = Recflow_obs_core.Json
 
 let bench_schema = "recflow.bench/1"
 
@@ -375,15 +465,17 @@ let check_json path =
     Format.printf "%s: valid %s document@." path bench_schema
 
 let () =
-  let json_path = ref "BENCH_5.json" in
+  let json_path = ref "BENCH_6.json" in
   let quota = ref 0.25 in
   let micro_only = ref false in
+  let obs_only = ref false in
   let check = ref None in
   let speclist =
     [
-      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_5.json)");
+      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_6.json)");
       ("--quota", Arg.Set_float quota, "SEC  per-benchmark sampling quota in seconds (default 0.25)");
       ("--micro-only", Arg.Set micro_only, "  run only the data-structure micro group (smoke mode)");
+      ("--obs-only", Arg.Set obs_only, "  run only the observability-overhead A/B row and exit");
       ("--check-json", Arg.String (fun f -> check := Some f), "FILE  validate an emitted results file and exit");
     ]
   in
@@ -392,6 +484,9 @@ let () =
     "recflow benchmark harness";
   match !check with
   | Some path -> check_json path
+  | None when !obs_only ->
+    ignore (report_obs_overhead ());
+    exit 0
   | None ->
     Format.printf "=== recflow benchmarks (Bechamel, monotonic clock) ===@.@.";
     Format.printf "--- data-structure micro-benchmarks ---@.";
@@ -402,6 +497,8 @@ let () =
     in
     let groups = ref [ ("micro", micro_rows) ] in
     let sweep = ref Json.Null in
+    let obs_overhead = ref Json.Null in
+    let latency = ref Json.Null in
     if not !micro_only then begin
       Format.printf "@.--- experiment kernels (one per reproduced figure/table) ---@.";
       let kernel_rows =
@@ -410,13 +507,15 @@ let () =
             bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8 ]
       in
       groups := !groups @ [ ("experiments", kernel_rows) ];
+      obs_overhead := report_obs_overhead ();
+      latency := report_latency_percentiles ();
       sweep := report_sweep_scaling ()
     end;
     let doc =
       Json.Obj
         [
           ("schema", Json.Str bench_schema);
-          ("pr", Json.Int 5);
+          ("pr", Json.Int 6);
           ("quota_s", Json.Float !quota);
           ( "groups",
             Json.List
@@ -424,6 +523,8 @@ let () =
                  (fun (name, rows) ->
                    Json.Obj [ ("name", Json.Str name); ("rows", json_of_rows rows) ])
                  !groups) );
+          ("obs_overhead", !obs_overhead);
+          ("latency_percentiles", !latency);
           ("sweep", !sweep);
         ]
     in

@@ -13,25 +13,60 @@ module Harness = Recflow_experiments.Harness
 module Cluster = Recflow_machine.Cluster
 module Metrics = Recflow_obs.Metrics
 module Pool = Recflow_parallel.Pool
+module Profile = Recflow_obs_core.Profile
+module Json = Recflow_obs_core.Json
+
+module Collect = Recflow_obs_core.Collect
+module Counter = Recflow_stats.Counter
 
 (* Dump one metrics document per simulated run into [dir]; file names are
-   ordinal so a whole experiment sweep becomes a browsable trajectory. *)
+   ordinal so a whole experiment sweep becomes a browsable trajectory.
+   The hook runs concurrently on pool domains (no obs lock any more): the
+   ordinal is an atomic fetch-and-add, and the sweep-wide aggregation goes
+   through a sharded {!Collect} — each domain writes its own shard
+   lock-free, merged deterministically in slot order at the end. *)
 let install_metrics_hook dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let n = ref 0 in
+  let n = Atomic.make 0 in
+  let coll = Collect.create () in
   Harness.set_obs_hook
     (Some
        (fun info (r : Harness.run) ->
-         incr n;
+         let ordinal = Atomic.fetch_and_add n 1 + 1 in
          let path =
            Filename.concat dir
-             (Printf.sprintf "run-%05d-%s-%s.json" !n info.Harness.workload_name
+             (Printf.sprintf "run-%05d-%s-%s.json" ordinal info.Harness.workload_name
                 info.Harness.size_name)
          in
          Metrics.write ~path
            (Metrics.run_json ~workload:info.Harness.workload_name ~size:info.Harness.size_name
-              ~cluster:r.Harness.cluster ~outcome:r.Harness.outcome ())));
-  n
+              ~cluster:r.Harness.cluster ~outcome:r.Harness.outcome ());
+         List.iter
+           (fun (name, v) -> Collect.add coll name v)
+           (Counter.to_alist (Cluster.counters r.Harness.cluster));
+         Collect.record coll "run.sim_time" r.Harness.outcome.Cluster.sim_time;
+         Collect.record coll "run.events" r.Harness.outcome.Cluster.events));
+  (n, coll)
+
+(* The cross-sweep aggregate: every counter summed over every run, plus
+   per-run distribution percentiles — the document a trajectory-level
+   dashboard reads instead of re-folding thousands of run files. *)
+let write_sweep_aggregate dir n coll =
+  let path = Filename.concat dir "sweep-aggregate.json" in
+  Json.write_file ~path
+    (Json.Obj
+       [
+         ("schema", Json.Str "recflow.sweep/1");
+         ("runs", Json.Int (Atomic.get n));
+         ( "counters",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.Int v)) (Counter.to_alist (Collect.counters coll)))
+         );
+         ( "distributions",
+           Json.Obj
+             (List.map (fun (k, h) -> (k, Metrics.hdr_json h)) (Collect.hdrs coll)) );
+       ]);
+  Format.printf "sweep aggregate written to %s@." path
 
 let run_entries quick markdown entries =
   let reports =
@@ -61,18 +96,38 @@ let run_entries quick markdown entries =
     exit 1
   end
 
-let main quick list_only markdown metrics_dir jobs ids =
+let main quick list_only markdown metrics_dir jobs profile ids =
   (match jobs with
   | Some j when j < 1 ->
     Format.eprintf "--jobs must be >= 1@.";
     exit 2
   | Some j -> Pool.set_default_jobs j
   | None -> ());
+  if profile then begin
+    Profile.set_enabled true;
+    Profile.reset ()
+  end;
+  let wall_t0 = Unix.gettimeofday () in
   let runs_dumped = Option.map install_metrics_hook metrics_dir in
   let finish code =
     (match (metrics_dir, runs_dumped) with
-    | Some dir, Some n -> Format.printf "%d run metrics documents written to %s/@." !n dir
+    | Some dir, Some (n, coll) ->
+      Format.printf "%d run metrics documents written to %s/@." (Atomic.get n) dir;
+      write_sweep_aggregate dir n coll
     | _ -> ());
+    if profile then begin
+      Format.printf "@.%a" Profile.pp_report ();
+      match metrics_dir with
+      | Some dir ->
+        let path = Filename.concat dir "profile.json" in
+        Json.write_file ~path
+          (Profile.to_json
+             ~wall_s:(Unix.gettimeofday () -. wall_t0)
+             ~meta:[ ("tool", Json.Str "experiments") ]
+             ());
+        Format.printf "profile written to %s@." path
+      | None -> ()
+    end;
     code
   in
   if list_only then begin
@@ -131,12 +186,20 @@ let jobs =
            recommended domain count).  Reports are bit-identical at any $(docv); $(docv)=1 \
            runs strictly sequentially.")
 
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time the engine/checkpoint/recovery phases across every run and print an ASCII \
+           self-time report at the end (with $(b,--metrics-dir): also write profile.json).")
+
 let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids to run.")
 
 let cmd =
   let doc = "regenerate the figures and tables of Lin & Keller (ICPP 1986)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ quick $ list_only $ markdown $ metrics_dir $ jobs $ ids)
+    Term.(const main $ quick $ list_only $ markdown $ metrics_dir $ jobs $ profile $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,6 +22,8 @@ module Value = Recflow_lang.Value
 module Counter = Recflow_stats.Counter
 module Trace = Recflow_sim.Trace
 module Sink = Recflow_obs_core.Sink
+module Json = Recflow_obs_core.Json
+module Profile = Recflow_obs_core.Profile
 module Perfetto = Recflow_obs.Perfetto
 module Episode = Recflow_obs.Episode
 module Metrics = Recflow_obs.Metrics
@@ -58,7 +60,7 @@ let recovery_of_string s =
 let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
     detect_delay workload_name size_name program_file entry args failures show_journal
     show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl
-    check_only check_json werror no_check =
+    trace_sample profile profile_json check_only check_json werror no_check =
   let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
   let* topology =
     match topology with
@@ -160,20 +162,60 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
     | Ok () -> Ok ()
     | Error msg -> Error ("invalid configuration: " ^ msg)
   in
+  let nodes_n = Recflow_net.Topology.size cfg.Config.topology in
+  let profiling = profile || profile_json <> None in
+  if profiling then begin
+    Profile.set_enabled true;
+    Profile.reset ()
+  end;
   let cluster = Cluster.create cfg program in
   (* stream the full protocol trace to disk while it happens — the ring
      only retains the newest [trace_capacity] records *)
   let jsonl_sink =
     Option.map
       (fun path ->
-        let s = Sink.file ~render:Trace.to_json_line path in
+        let file_sink = Sink.file ~render:Trace.to_json_line path in
+        let s =
+          match trace_sample with
+          | Some k when k > 1 -> Sink.sample ~every:k file_sink
+          | _ -> file_sink
+        in
         Trace.attach_sink (Cluster.trace cluster) s;
         s)
       trace_jsonl
   in
+  (* the Chrome-trace export streams too: journal entries convert to trace
+     events as they are recorded, so the exporter never holds the event
+     list — only the currently-open slices *)
+  let perfetto_stream =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        output_string oc "[";
+        let first = ref true in
+        let base =
+          Sink.of_fun
+            ~flush:(fun () -> flush oc)
+            (fun ev ->
+              if !first then first := false else output_string oc ",\n";
+              output_string oc (Json.to_string ev))
+        in
+        let stream = Perfetto.Stream.create ~nodes:nodes_n ~sink:base in
+        Journal.attach_sink (Cluster.journal cluster) (Perfetto.Stream.entry_sink stream);
+        (path, oc, base, stream))
+      emit_trace
+  in
   List.iter (fun (t, p) -> Cluster.fail_at cluster ~time:t p) failures;
   Cluster.start cluster ~fname:entry ~args:argv;
+  let wall_t0 = Unix.gettimeofday () in
   let outcome = Cluster.run ~drain cluster in
+  let wall_s = Unix.gettimeofday () -. wall_t0 in
+  (match (jsonl_sink, trace_sample) with
+  | Some s, Some k when k > 1 ->
+    Format.printf "trace-jsonl: kept %d of %d records (1-in-%d sampling)@."
+      (Sink.emitted s - Sink.dropped s)
+      (Sink.emitted s) k
+  | _ -> ());
   Option.iter Sink.close jsonl_sink;
   (match outcome.Cluster.answer with
   | Some v ->
@@ -214,12 +256,17 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
     Format.printf "@.trace:@.";
     Trace.dump ?limit:trace_limit Format.std_formatter (Cluster.trace cluster)
   end;
-  let nodes_n = Recflow_net.Topology.size cfg.Config.topology in
   Option.iter
-    (fun path ->
-      Perfetto.write ~path (Cluster.journal cluster) ~nodes:nodes_n ();
+    (fun (path, oc, base, stream) ->
+      Perfetto.Stream.finish stream;
+      (* the occupancy counter track is reconstructed from the retained
+         journal and appended after the streamed events *)
+      List.iter (Sink.emit base)
+        (Perfetto.occupancy_events (Cluster.journal cluster) ~nodes:nodes_n ~buckets:96);
+      output_string oc "]\n";
+      close_out oc;
       Format.printf "perfetto trace written to %s (open in ui.perfetto.dev)@." path)
-    emit_trace;
+    perfetto_stream;
   Option.iter
     (fun path ->
       let doc =
@@ -230,6 +277,19 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
       Metrics.write ~path doc;
       Format.printf "metrics written to %s@." path)
     metrics_json;
+  if profiling then begin
+    if profile then Format.printf "@.%a" Profile.pp_report ();
+    Option.iter
+      (fun path ->
+        let meta =
+          [ ("tool", Json.Str "recflow"); ("seed", Json.Int cfg.Config.seed) ]
+          @ match workload_name with Some w -> [ ("workload", Json.Str w) ] | None -> []
+        in
+        Json.write_file ~path (Profile.to_json ~wall_s ~meta ());
+        Format.printf "profile written to %s@." path)
+      profile_json
+  end
+  else ignore wall_s;
   match outcome.Cluster.answer with Some _ -> 0 | None -> 1
 
 open Cmdliner
@@ -339,6 +399,30 @@ let trace_jsonl =
           "Stream every protocol trace record to $(docv) as JSON lines while the run executes \
            (unbounded, unlike the in-memory ring).")
 
+let trace_sample =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "With $(b,--trace-jsonl): write only every $(docv)-th record (deterministic 1-in-N \
+           rate sampling); skipped records are counted, never silently lost.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time the engine/checkpoint/recovery phases and print an ASCII self-time report \
+           after the run.")
+
+let profile_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:"Write the phase profile as a recflow.profile/1 JSON document to $(docv).")
+
 let check_only =
   Arg.(
     value & flag
@@ -366,6 +450,7 @@ let cmd =
       const main $ nodes $ topology $ policy $ recovery $ ckpt_keep_all $ ancestor_depth
       $ inline_depth $ seed $ detect_delay $ workload $ size $ program_file $ entry $ args
       $ failures $ show_journal $ show_trace $ trace_limit $ show_stats $ show_timeline $ drain
-      $ emit_trace $ metrics_json $ trace_jsonl $ check_only $ check_json $ werror $ no_check)
+      $ emit_trace $ metrics_json $ trace_jsonl $ trace_sample $ profile $ profile_json
+      $ check_only $ check_json $ werror $ no_check)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,23 +19,18 @@ type run = {
 type obs_info = { workload_name : string; size_name : string }
 
 (* The hook is a process-wide mutable and harness runs execute on pool
-   domains, so both the install and every invocation go through one lock:
-   hook bodies (metrics-document writes, counters) are serialized and
-   need no synchronisation of their own. *)
-let obs_lock = Mutex.create ()
+   domains.  It used to be guarded by a mutex taken on *every* run — a
+   serialization point right on the sweep hot path (ROADMAP item 1).  Now
+   the slot is an [Atomic.t] read lock-free per run; the trade is that
+   hook bodies execute concurrently on pool domains and must be
+   domain-safe themselves.  Shard per-run state by pool slot
+   (Recflow_obs_core.Collect) or use atomics for ordinals — see
+   bin/experiments.ml for the pattern. *)
+let obs_hook : (obs_info -> run -> unit) option Atomic.t = Atomic.make None
 
-let obs_hook : (obs_info -> run -> unit) option ref = ref None
+let set_obs_hook h = Atomic.set obs_hook h
 
-let set_obs_hook h =
-  Mutex.lock obs_lock;
-  obs_hook := h;
-  Mutex.unlock obs_lock
-
-let notify_obs info r =
-  Mutex.lock obs_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock obs_lock)
-    (fun () -> match !obs_hook with Some hook -> hook info r | None -> ())
+let notify_obs info r = match Atomic.get obs_hook with Some hook -> hook info r | None -> ()
 
 let size_name = function
   | Workload.Tiny -> "tiny"

@@ -48,11 +48,13 @@ val set_obs_hook : (obs_info -> run -> unit) option -> unit
     a metrics document per simulated run ([--metrics-dir]) without any
     experiment knowing.  The hook must not mutate the cluster.
 
-    Installation and every invocation are serialized behind one mutex, so
-    the hook may keep plain mutable state even when runs execute on pool
-    domains ({!run_many}); completion order across domains — and hence
-    e.g. ordinal file numbering — is not deterministic under [--jobs] > 1,
-    but the set of invocations is. *)
+    The hook slot is an atomic read on the per-run hot path — no lock is
+    taken, so hook bodies execute concurrently on pool domains
+    ({!run_many}) and must be domain-safe: shard mutable state by pool
+    slot ({!Recflow_obs_core.Collect}) or use [Atomic] for ordinals.
+    Completion order across domains — and hence e.g. ordinal file
+    numbering — is not deterministic under [--jobs] > 1, but the set of
+    invocations is. *)
 
 val synthetic_setup : quick:bool -> Workload.t * Workload.size * int
 (** The standard controlled workload of the quantitative experiments: a

@@ -8,6 +8,7 @@ module Engine = Recflow_sim.Engine
 module Trace = Recflow_sim.Trace
 module Rng = Recflow_sim.Rng
 module Counter = Recflow_stats.Counter
+module Hdr = Recflow_stats.Hdr
 module Router = Recflow_net.Router
 module Topology = Recflow_net.Topology
 module Latency = Recflow_net.Latency
@@ -63,6 +64,9 @@ type t = {
   node_arr : Node.t array;
   journal : Journal.t;
   counters : Counter.set;
+  latency_tbl : (string, Hdr.t) Hashtbl.t;
+      (** named duration histograms (net.rtt, task.sojourn, ...) — cluster
+          local like [counters], so recording never crosses domains *)
   trace : Trace.t;
   rng : Rng.t;
   policy : Policy.t;
@@ -83,6 +87,9 @@ type t = {
   suspected : (Ids.proc_id, unit) Hashtbl.t;
       (** destinations some sender gave up on (timeout suspicion); a member
           may well still be alive — it is *treated* as faulty per §1 *)
+  fail_times : (Ids.proc_id, int) Hashtbl.t;
+      (** injected failure tick per processor, for detection-latency
+          recording when the notices land *)
   last_heard : (Ids.proc_id * Ids.proc_id, int) Hashtbl.t;
       (** (observer, subject) → last tick any delivery or transport ack
           from [subject] reached [observer]; the suspicion detector fires
@@ -98,6 +105,20 @@ let config t = t.cfg
 let journal t = t.journal
 
 let counters t = t.counters
+
+let latency t name =
+  match Hashtbl.find_opt t.latency_tbl name with
+  | Some h -> h
+  | None ->
+    let h = Hdr.create () in
+    Hashtbl.add t.latency_tbl name h;
+    h
+
+let record_latency t name v = Hdr.record (latency t name) v
+
+let latency_hists t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.latency_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let trace t = t.trace
 
@@ -275,6 +296,7 @@ let build_ctx t : Node.ctx =
     journal = t.journal;
     counters = t.counters;
     trace = t.trace;
+    record_latency = (fun name v -> record_latency t name v);
     program_error = program_error t;
   }
 
@@ -300,6 +322,7 @@ let create cfg program =
     node_arr = Array.init n (fun i -> Node.create i cfg);
     journal = Journal.create ();
     counters = Counter.create_set ();
+    latency_tbl = Hashtbl.create 8;
     trace = Trace.create ~capacity:cfg.Config.trace_capacity ();
     rng = Rng.create cfg.Config.seed;
     policy = Policy.create ~seed:cfg.Config.seed cfg.Config.policy;
@@ -319,6 +342,7 @@ let create cfg program =
        else Some (Chaos.create ~seed:(cfg.Config.seed lxor 0x5eedca05) cfg.Config.chaos));
     next_seq = 0;
     pending_sends = Hashtbl.create 64;
+    fail_times = Hashtbl.create 4;
     seen_seqs = Hashtbl.create 256;
     suspected = Hashtbl.create 4;
     last_heard = Hashtbl.create 64;
@@ -498,6 +522,7 @@ let handle_fail t pid =
   if Node.is_alive n then begin
     Node.kill n (ctx t);
     Router.kill t.router pid;
+    Hashtbl.replace t.fail_times pid (now t);
     Counter.incr t.counters "failure.injected";
     Journal.record t.journal ~time:(now t) ~stamp:Stamp.root (Journal.Failure { proc = pid });
     Trace.logf t.trace ~time:(now t) ~level:Trace.Warn ~tag:"cluster" "%s failed"
@@ -610,7 +635,17 @@ let handle_event t _at ev =
     else begin
       let n = t.node_arr.(dst) in
       if Node.is_alive n then begin
-        if transport_accept t ~src ~dst ~seq then Node.deliver n (ctx t) msg
+        if transport_accept t ~src ~dst ~seq then begin
+          (* a notice of an injected failure landing on a live peer is a
+             detection-latency sample: failure tick -> this peer learning *)
+          (match msg with
+          | Message.Failure_notice { failed } -> (
+            match Hashtbl.find_opt t.fail_times failed with
+            | Some ft -> record_latency t "failure.detection" (now t - ft)
+            | None -> ())
+          | _ -> ());
+          Node.deliver n (ctx t) msg
+        end
       end
       else begin
         (* The destination is dead.  For a reliable send, cancel the
@@ -644,6 +679,8 @@ let handle_event t _at ev =
   | Tack { seq } -> (
     match Hashtbl.find_opt t.pending_sends seq with
     | Some p ->
+      (* first ack only: re-acks of suppressed duplicates are not RTTs *)
+      if not p.p_settled then record_latency t "net.rtt" (now t - p.p_born);
       p.p_settled <- true;
       Hashtbl.replace t.last_heard (p.p_src, p.p_dst) (now t)
     | None -> ())
@@ -674,6 +711,8 @@ let handle_event t _at ev =
           (* never give up on the super-root: it is the cluster itself *)
           p.p_attempt <- p.p_attempt + 1;
           Counter.incr t.counters "net.retransmit";
+          (* how stale the payload already is when we try again *)
+          record_latency t "net.retransmit_delay" (now t - p.p_born);
           transmit t ~extra:0 ~src:p.p_src ~dst:p.p_dst ~seq p.p_msg;
           Engine.schedule t.engine ~delay:(retry_delay t p.p_attempt) (Retry { seq })
         end

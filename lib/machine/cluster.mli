@@ -50,6 +50,17 @@ val journal : t -> Journal.t
 
 val counters : t -> Recflow_stats.Counter.set
 
+val latency : t -> string -> Recflow_stats.Hdr.t
+(** The cluster's named duration histogram, created empty on first use.
+    Families recorded by the machine layer: [net.rtt] (reliable send to
+    first transport ack), [net.retransmit_delay] (send birth to each
+    retransmission), [failure.detection] (injected failure to each live
+    peer processing the notice), [task.sojourn] (activation to
+    completion). *)
+
+val latency_hists : t -> (string * Recflow_stats.Hdr.t) list
+(** Every histogram touched so far, sorted by name. *)
+
 val trace : t -> Recflow_sim.Trace.t
 
 val router : t -> Recflow_net.Router.t

@@ -27,13 +27,24 @@ let key_of_stamp s : key = Stamp.digits s
 type t = {
   mutable rev_entries : entry list;
   by_stamp : (key, entry list ref) Hashtbl.t;  (* reverse chronological *)
+  mutable extra : entry Recflow_obs_core.Sink.t option;
+      (* streaming consumers (Perfetto.Stream, JSONL) see every entry as
+         it is recorded, without waiting for — or needing — the full
+         retained list *)
 }
 
-let create () = { rev_entries = []; by_stamp = Hashtbl.create 256 }
+let create () = { rev_entries = []; by_stamp = Hashtbl.create 256; extra = None }
+
+let attach_sink t sink =
+  t.extra <-
+    (match t.extra with
+    | None -> Some sink
+    | Some existing -> Some (Recflow_obs_core.Sink.tee existing sink))
 
 let record t ~time ~stamp event =
   let e = { time; stamp; event } in
   t.rev_entries <- e :: t.rev_entries;
+  (match t.extra with Some s -> Recflow_obs_core.Sink.emit s e | None -> ());
   let k = key_of_stamp stamp in
   match Hashtbl.find_opt t.by_stamp k with
   | Some r -> r := e :: !r

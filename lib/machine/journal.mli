@@ -41,6 +41,12 @@ type t
 
 val create : unit -> t
 
+val attach_sink : t -> entry Recflow_obs_core.Sink.t -> unit
+(** Every subsequent entry is also pushed into the sink as it is recorded
+    — the hook streaming consumers (Perfetto conversion, sampled JSONL)
+    build on so they never need the full retained list.  Repeated calls
+    tee; the caller keeps ownership and closes file-backed sinks. *)
+
 val record : t -> time:int -> stamp:Stamp.t -> event -> unit
 
 val entries : t -> entry list

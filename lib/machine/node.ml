@@ -7,6 +7,13 @@ module Value = Recflow_lang.Value
 module Instance = Recflow_lang.Instance
 module Counter = Recflow_stats.Counter
 module Trace = Recflow_sim.Trace
+module Profile = Recflow_obs_core.Profile
+
+(* Checkpoint record/discharge run once per packet — hot enough that the
+   per-span name lookup of [Profile.time] is worth skipping. *)
+let ckpt_record_probe = Profile.probe "ckpt.record"
+
+let ckpt_discharge_probe = Profile.probe "ckpt.discharge"
 
 type ctx = {
   config : Config.t;
@@ -23,6 +30,8 @@ type ctx = {
   journal : Journal.t;
   counters : Counter.set;
   trace : Trace.t;
+  record_latency : string -> int -> unit;
+      (* named duration histogram on the owning cluster (task.sojourn, ...) *)
   program_error : string -> unit;
 }
 
@@ -46,6 +55,7 @@ type task = {
   tid : Ids.task_id;
   mutable packet : Packet.t;  (* mutable only for reparenting adopted orphans *)
   inst : Instance.t;
+  born : int;  (* activation tick, for the sojourn-time histogram *)
   mutable state : task_state;
   mutable child_seq : int;
   children : (int, child) Hashtbl.t;  (* keyed by call slot *)
@@ -276,7 +286,7 @@ let choose_dest t ctx ~key =
   end
 
 let record_checkpoint t ctx ~dest packet =
-  match Ckpt_table.record t.ckpts ~dest packet with
+  match Profile.time_probe ckpt_record_probe (fun () -> Ckpt_table.record t.ckpts ~dest packet) with
   | `Recorded -> Counter.incr ctx.counters "ckpt.recorded"
   | `Covered -> Counter.incr ctx.counters "ckpt.covered"
 
@@ -404,10 +414,12 @@ let spawn_child t ctx task ~slot ~fname ~args =
    same return linkage — so by determinacy the regenerated activation is a
    functional twin of the lost one. *)
 let respawn_child t ctx _task (child : child) ~reason =
+  Profile.time "recovery.respawn" @@ fun () ->
   let replicas = List.length child.dests in
-  List.iter
-    (fun (_, dest) -> ignore (Ckpt_table.discharge t.ckpts ~dest child.c_stamp))
-    child.dests;
+  Profile.time_probe ckpt_discharge_probe (fun () ->
+      List.iter
+        (fun (_, dest) -> ignore (Ckpt_table.discharge t.ckpts ~dest child.c_stamp))
+        child.dests);
   let base_key = Stamp.hash child.c_stamp in
   let dests = ref [] and ctasks = ref [] in
   for replica = 0 to replicas - 1 do
@@ -439,6 +451,7 @@ let respawn_child t ctx _task (child : child) ~reason =
 (* ------------------------------------------------------------------ *)
 
 let discharge_child t child =
+  Profile.time_probe ckpt_discharge_probe @@ fun () ->
   List.iter
     (fun (_, dest) -> ignore (Ckpt_table.discharge t.ckpts ~dest child.c_stamp))
     child.dests
@@ -496,6 +509,7 @@ let return_result t ctx task value =
 
 let complete_task t ctx task value =
   task.state <- Done;
+  ctx.record_latency "task.sojourn" (ctx.now () - task.born);
   Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
     (Journal.Completed { task = task.tid; proc = t.nid; work = task.work });
   return_result t ctx task value
@@ -544,7 +558,9 @@ and abort_orphans t ctx ~failed =
    Figure-3 path (twin created on orphan evidence) from notice-driven
    recovery. *)
 let handle_failure ?(reason = "notice") t ctx ~failed =
-  if not (Hashtbl.mem t.known_dead failed) then begin
+  if not (Hashtbl.mem t.known_dead failed) then
+    Profile.time "recovery.handle_failure" @@ fun () ->
+    begin
     mark_dead t failed;
     let drained = Ckpt_table.on_failure t.ckpts ~failed in
     (match ctx.config.recovery with
@@ -743,6 +759,7 @@ let deliver_result_into t ctx task ~slot ~stamp value =
    - a twin that has not spawned the next chain link yet stashes the
      orphan result ([gc_pending]) and forwards when the spawn happens. *)
 let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stamp value =
+  Profile.time "recovery.splice.orphan_result" @@ fun () ->
   handle_failure ~reason:"orphan-result" t ctx ~failed:dead_parent.Packet.proc;
   let drop reason =
     Counter.incr ctx.counters "relay.dropped";
@@ -816,6 +833,7 @@ let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stam
    inherited instead of cloned. *)
 let handle_orphan_alive t ctx task ~ostamp ~(orphan : Packet.link)
     ~(dead_parent : Packet.link) =
+  Profile.time "recovery.splice.orphan_alive" @@ fun () ->
   handle_failure ~reason:"orphan-alive" t ctx ~failed:dead_parent.Packet.proc;
   match Stamp.parent ostamp with
   | None -> Counter.incr ctx.counters "adopt.dropped"
@@ -873,6 +891,7 @@ let activate_task t ctx packet ~task_id =
       tid = task_id;
       packet;
       inst;
+      born = ctx.now ();
       state = Queued;
       child_seq = 0;
       children = Hashtbl.create 8;

@@ -48,6 +48,9 @@ type ctx = {
   journal : Journal.t;
   counters : Recflow_stats.Counter.set;
   trace : Recflow_sim.Trace.t;
+  record_latency : string -> int -> unit;
+      (** record a duration into the owning cluster's named
+          {!Recflow_stats.Hdr} histogram (e.g. [task.sojourn]) *)
   program_error : string -> unit;
 }
 

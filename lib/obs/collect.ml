@@ -1,0 +1,85 @@
+(* Sharded observability collector: one counter set + histogram registry
+   per pool execution slot.
+
+   The write path indexes by [Pool.slot ()] — each slot has exactly one
+   writing domain, so recording an event takes no lock and shares no cache
+   line with other workers.  Reads (merge) happen after the pool batch has
+   settled: Pool.map's completion barrier gives the happens-before edge,
+   and merging in slot order over commutative pointwise sums makes the
+   aggregate independent of which run landed on which worker — the
+   property that keeps experiment sweeps byte-identical at any --jobs. *)
+
+module Counter = Recflow_stats.Counter
+module Hdr = Recflow_stats.Hdr
+module Pool = Recflow_parallel.Pool
+
+type shard = { counters : Counter.set; hdrs : (string, Hdr.t) Hashtbl.t }
+
+type t = { shards : shard array; precision : int }
+
+let create ?(precision = 5) ?slots () =
+  let slots = match slots with Some s -> s | None -> Pool.default_jobs () in
+  if slots < 1 then invalid_arg "Collect.create: slots must be >= 1";
+  {
+    shards =
+      Array.init slots (fun _ -> { counters = Counter.create_set (); hdrs = Hashtbl.create 8 });
+    precision;
+  }
+
+let slots t = Array.length t.shards
+
+let shard t =
+  let s = Pool.slot () in
+  if s >= Array.length t.shards then
+    invalid_arg "Collect: pool slot exceeds collector width (created before set_default_jobs?)";
+  t.shards.(s)
+
+let incr t name = Counter.incr (shard t).counters name
+
+let add t name n = Counter.add (shard t).counters name n
+
+let record t name v =
+  let sh = shard t in
+  let h =
+    match Hashtbl.find_opt sh.hdrs name with
+    | Some h -> h
+    | None ->
+      let h = Hdr.create ~precision:t.precision () in
+      Hashtbl.add sh.hdrs name h;
+      h
+  in
+  Hdr.record h v
+
+let counters t =
+  Array.fold_left (fun acc sh -> Counter.merge acc sh.counters) (Counter.create_set ()) t.shards
+
+let hdr_names t =
+  let module S = Set.Make (String) in
+  Array.fold_left
+    (fun acc sh -> Hashtbl.fold (fun name _ acc -> S.add name acc) sh.hdrs acc)
+    S.empty t.shards
+  |> S.elements
+
+let hdrs t =
+  List.map
+    (fun name ->
+      let merged =
+        Array.fold_left
+          (fun acc sh ->
+            match Hashtbl.find_opt sh.hdrs name with
+            | Some h -> Hdr.merge acc h
+            | None -> acc)
+          (Hdr.create ~precision:t.precision ())
+          t.shards
+      in
+      (name, merged))
+    (hdr_names t)
+
+let hdr t name = List.assoc_opt name (hdrs t)
+
+let reset t =
+  Array.iter
+    (fun sh ->
+      Counter.reset sh.counters;
+      Hashtbl.reset sh.hdrs)
+    t.shards

@@ -1,0 +1,45 @@
+(** Sharded observability collector: per-pool-slot counters + histograms.
+
+    Replaces the "one shared [Counter.set] behind a mutex" pattern for
+    code that records events from inside pool fan-outs (obs hooks, sweep
+    aggregation): writes go to the shard owned by the calling domain's
+    {!Recflow_parallel.Pool.slot}, so the per-event path takes no lock,
+    and reads merge the shards deterministically in slot order after the
+    batch barrier.  Because merging is a commutative pointwise sum and
+    [Counter.to_alist]/{!hdrs} sort by name, the aggregate is independent
+    of which domain ran which element — sweeps stay byte-identical at any
+    [--jobs]. *)
+
+type t
+
+val create : ?precision:int -> ?slots:int -> unit -> t
+(** [slots] defaults to {!Recflow_parallel.Pool.default_jobs} — create the
+    collector {e after} the [--jobs] flag has been applied.  [precision]
+    is forwarded to {!Recflow_stats.Hdr.create}.
+    @raise Invalid_argument if [slots < 1]. *)
+
+val slots : t -> int
+
+val incr : t -> string -> unit
+(** Bump a named counter in the calling domain's shard (lock-free).
+    @raise Invalid_argument if the calling domain's pool slot is outside
+    the collector's width (pool widened after {!create}). *)
+
+val add : t -> string -> int -> unit
+
+val record : t -> string -> int -> unit
+(** Record a duration into the named {!Recflow_stats.Hdr} histogram of the
+    calling domain's shard (lock-free, creates the histogram lazily). *)
+
+val counters : t -> Recflow_stats.Counter.set
+(** Fresh pointwise sum of all shards, merged in slot order.  Only sound
+    after the writers' batch has settled (e.g. after [Pool.map] returns). *)
+
+val hdrs : t -> (string * Recflow_stats.Hdr.t) list
+(** All histograms merged across shards, sorted by name; same settling
+    caveat as {!counters}. *)
+
+val hdr : t -> string -> Recflow_stats.Hdr.t option
+(** One merged histogram by name. *)
+
+val reset : t -> unit

@@ -10,6 +10,8 @@
                     total_work, total_waste, correct? },
       "counters": { "msg.sent": 1234, ... },
       "trace":    { "logged": n, "retained": m },
+      "latency":  { "net.rtt": { count, invalid, mean, min,
+                                 p50, p90, p99, p999, max }, ... },
       "episodes": [ per-failure span, see {!Episode.to_json} ],
       "episode_summary": { detection/recovery latency summaries,
                            redone work, §4.1 case histogram } }
@@ -25,6 +27,11 @@ module Config = Recflow_machine.Config
 val meta_json :
   ?workload:string -> ?size:string -> Config.t -> Recflow_obs_core.Json.t
 (** Just the [meta] object. *)
+
+val hdr_json : Recflow_stats.Hdr.t -> Recflow_obs_core.Json.t
+(** Percentile block for one duration histogram: count/invalid always,
+    mean/min/p50/p90/p99/p999/max when non-empty.  Shared by the metrics
+    document and the bench harness. *)
 
 val run_json :
   ?workload:string ->

@@ -2,6 +2,7 @@ module Journal = Recflow_machine.Journal
 module Timeline = Recflow_machine.Timeline
 module Stamp = Recflow_recovery.Stamp
 module Json = Recflow_obs_core.Json
+module Sink = Recflow_obs_core.Sink
 
 (* pid space: one "process" per simulated processor, plus one synthetic
    process for cluster-level events that have no processor (result
@@ -73,139 +74,190 @@ let counter ~pid ~ts ~value =
 
 type open_slice = { proc : int; lane : int; start : int; stamp : Stamp.t }
 
-let events journal ~nodes ?(occupancy_buckets = 96) () =
-  let entries = Journal.entries journal in
-  let last_time = List.fold_left (fun acc (e : Journal.entry) -> max acc e.Journal.time) 0 entries in
-  let out = ref [] in
-  let push ev = out := ev :: !out in
-  (* lane allocation: reuse the lowest freed lane per processor so
-     concurrent tasks stack compactly instead of each claiming a row *)
-  let free_lanes = Array.make (max 1 nodes) [] in
-  let next_lane = Array.make (max 1 nodes) 0 in
-  let claim proc =
-    if proc < 0 || proc >= nodes then 0
+let header_events ~nodes =
+  List.concat
+    (List.init nodes (fun p -> meta ~pid:p ~name:(Printf.sprintf "P%d" p) ~sort_index:p)
+    @ [ meta ~pid:(cluster_pid ~nodes) ~name:"cluster" ~sort_index:nodes ])
+
+module Stream = struct
+  (* Incremental journal→Chrome-trace conversion.  The only retained state
+     is the lane allocator and the table of currently-open slices — both
+     bounded by the peak number of concurrently live tasks, never by the
+     length of the run — so a million-event journal streams through in
+     constant memory.  (The post-hoc [events] below reuses this machinery
+     with a list sink, adding the occupancy track that genuinely needs the
+     whole journal.) *)
+  type t = {
+    nodes : int;
+    sink : Json.t Sink.t;
+    free_lanes : int list array;
+    next_lane : int array;
+    opens : (int, open_slice) Hashtbl.t;
+    mutable last_time : int;
+    mutable finished : bool;
+  }
+
+  let create ~nodes ~sink =
+    let t =
+      {
+        nodes;
+        sink;
+        free_lanes = Array.make (max 1 nodes) [];
+        next_lane = Array.make (max 1 nodes) 0;
+        opens = Hashtbl.create 256;
+        last_time = 0;
+        finished = false;
+      }
+    in
+    List.iter (Sink.emit sink) (header_events ~nodes);
+    t
+
+  let open_slices t = Hashtbl.length t.opens
+
+  let claim t proc =
+    if proc < 0 || proc >= t.nodes then 0
     else
-      match free_lanes.(proc) with
+      match t.free_lanes.(proc) with
       | lane :: rest ->
-        free_lanes.(proc) <- rest;
+        t.free_lanes.(proc) <- rest;
         lane
       | [] ->
-        let lane = next_lane.(proc) in
-        next_lane.(proc) <- lane + 1;
+        let lane = t.next_lane.(proc) in
+        t.next_lane.(proc) <- lane + 1;
         lane
-  in
-  let release proc lane =
-    if proc >= 0 && proc < nodes then
-      free_lanes.(proc) <- List.sort compare (lane :: free_lanes.(proc))
-  in
-  let open_slices : (int, open_slice) Hashtbl.t = Hashtbl.create 256 in
-  let close_slice ~task ~at ~outcome =
-    match Hashtbl.find_opt open_slices task with
+
+  let release t proc lane =
+    if proc >= 0 && proc < t.nodes then
+      t.free_lanes.(proc) <- List.sort compare (lane :: t.free_lanes.(proc))
+
+  let close_slice t ~task ~at ~outcome =
+    match Hashtbl.find_opt t.opens task with
     | None -> ()
     | Some s ->
-      Hashtbl.remove open_slices task;
-      release s.proc s.lane;
-      push
+      Hashtbl.remove t.opens task;
+      release t s.proc s.lane;
+      Sink.emit t.sink
         (slice ~pid:s.proc ~tid:s.lane ~ts:s.start ~dur:(at - s.start)
            ~name:(Printf.sprintf "t%d %s" task (Stamp.to_string s.stamp))
            ~stamp:s.stamp ~task ~outcome)
-  in
-  let stamp_args stamp rest = ("stamp", Json.Str (Stamp.to_string stamp)) :: rest in
-  List.iter
-    (fun (e : Journal.entry) ->
-      let ts = e.Journal.time in
-      let stamp = e.Journal.stamp in
-      match e.Journal.event with
-      | Journal.Activated { task; proc } ->
-        let lane = claim proc in
-        Hashtbl.replace open_slices task { proc; lane; start = ts; stamp }
-      | Journal.Completed { task; _ } -> close_slice ~task ~at:ts ~outcome:"completed"
-      | Journal.Aborted { task; proc; _ } ->
-        (* an abort may target a task that never activated here; record the
-           instant either way *)
-        close_slice ~task ~at:ts ~outcome:"aborted";
-        push
-          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
-             ~ts ~name:"abort" ~cat:"recovery"
-             (stamp_args stamp [ ("task", Json.Int task) ]))
-      | Journal.Lost { task; proc; work } ->
-        close_slice ~task ~at:ts ~outcome:"killed";
-        push
-          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
-             ~ts ~name:"lost" ~cat:"failure"
-             (stamp_args stamp [ ("task", Json.Int task); ("work", Json.Int work) ]))
-      | Journal.Failure { proc } ->
-        (* [Lost] entries have already closed resident slices; sweep any
-           stragglers so nothing survives its processor *)
-        let victims =
-          Hashtbl.fold (fun task s acc -> if s.proc = proc then task :: acc else acc) open_slices []
-        in
-        List.iter (fun task -> close_slice ~task ~at:ts ~outcome:"killed") victims;
-        push (instant ~scope:"p" ~pid:proc ~ts ~name:"failure" ~cat:"failure" [])
-      | Journal.Spawned { task; dest; replica } ->
-        let args = stamp_args stamp [ ("task", Json.Int task) ] in
-        let args = if replica > 0 then ("replica", Json.Int replica) :: args else args in
-        push
-          (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
-             ~ts ~name:"spawn" ~cat:"lifecycle" args)
-      | Journal.Respawned { task; dest; reason } ->
-        push
-          (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
-             ~ts ~name:"reissue" ~cat:"recovery"
-             (stamp_args stamp [ ("task", Json.Int task); ("reason", Json.Str reason) ]))
-      | Journal.Inherited { orphan_task; proc } ->
-        push
-          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
-             ~ts ~name:"inherit" ~cat:"recovery"
-             (stamp_args stamp [ ("orphan_task", Json.Int orphan_task) ]))
-      | Journal.Relayed { via } ->
-        push
-          (instant ~pid:(if via >= 0 && via < nodes then via else cluster_pid ~nodes)
-             ~ts ~name:"relay" ~cat:"recovery" (stamp_args stamp []))
-      | Journal.Relay_dropped { at; reason } ->
-        push
-          (instant ~pid:(if at >= 0 && at < nodes then at else cluster_pid ~nodes)
-             ~ts ~name:"relay-drop" ~cat:"recovery"
-             (stamp_args stamp [ ("reason", Json.Str reason) ]))
-      | Journal.Inlined { parent_task; proc; work } ->
-        push
-          (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
-             ~ts ~name:"inline" ~cat:"lifecycle"
-             (stamp_args stamp [ ("parent_task", Json.Int parent_task); ("work", Json.Int work) ]))
-      | Journal.Result_accepted { task } ->
-        push
-          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"result-accepted" ~cat:"lifecycle"
-             (stamp_args stamp [ ("task", Json.Int task) ]))
-      | Journal.Duplicate_ignored { task } ->
-        push
-          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"duplicate-ignored" ~cat:"recovery"
-             (stamp_args stamp [ ("task", Json.Int task) ]))
-      | Journal.Orphan_dropped { task } ->
-        push
-          (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"orphan-dropped" ~cat:"recovery"
-             (stamp_args stamp [ ("task", Json.Int task) ]))
-      | Journal.Acked _ -> ())
-    entries;
-  (* tasks still running when the journal ends *)
-  let unfinished = Hashtbl.fold (fun task _ acc -> task :: acc) open_slices [] in
-  List.iter (fun task -> close_slice ~task ~at:last_time ~outcome:"unfinished") unfinished;
-  (* occupancy counter track from the reconstructed timeline *)
-  if occupancy_buckets > 0 && entries <> [] && nodes > 0 then begin
+
+  let stamp_args stamp rest = ("stamp", Json.Str (Stamp.to_string stamp)) :: rest
+
+  let feed t (e : Journal.entry) =
+    let nodes = t.nodes in
+    let push ev = Sink.emit t.sink ev in
+    let ts = e.Journal.time in
+    t.last_time <- max t.last_time ts;
+    let stamp = e.Journal.stamp in
+    match e.Journal.event with
+    | Journal.Activated { task; proc } ->
+      let lane = claim t proc in
+      Hashtbl.replace t.opens task { proc; lane; start = ts; stamp }
+    | Journal.Completed { task; _ } -> close_slice t ~task ~at:ts ~outcome:"completed"
+    | Journal.Aborted { task; proc; _ } ->
+      (* an abort may target a task that never activated here; record the
+         instant either way *)
+      close_slice t ~task ~at:ts ~outcome:"aborted";
+      push
+        (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+           ~ts ~name:"abort" ~cat:"recovery"
+           (stamp_args stamp [ ("task", Json.Int task) ]))
+    | Journal.Lost { task; proc; work } ->
+      close_slice t ~task ~at:ts ~outcome:"killed";
+      push
+        (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+           ~ts ~name:"lost" ~cat:"failure"
+           (stamp_args stamp [ ("task", Json.Int task); ("work", Json.Int work) ]))
+    | Journal.Failure { proc } ->
+      (* [Lost] entries have already closed resident slices; sweep any
+         stragglers so nothing survives its processor *)
+      let victims =
+        Hashtbl.fold (fun task s acc -> if s.proc = proc then task :: acc else acc) t.opens []
+      in
+      List.iter (fun task -> close_slice t ~task ~at:ts ~outcome:"killed") victims;
+      push (instant ~scope:"p" ~pid:proc ~ts ~name:"failure" ~cat:"failure" [])
+    | Journal.Spawned { task; dest; replica } ->
+      let args = stamp_args stamp [ ("task", Json.Int task) ] in
+      let args = if replica > 0 then ("replica", Json.Int replica) :: args else args in
+      push
+        (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
+           ~ts ~name:"spawn" ~cat:"lifecycle" args)
+    | Journal.Respawned { task; dest; reason } ->
+      push
+        (instant ~pid:(if dest >= 0 && dest < nodes then dest else cluster_pid ~nodes)
+           ~ts ~name:"reissue" ~cat:"recovery"
+           (stamp_args stamp [ ("task", Json.Int task); ("reason", Json.Str reason) ]))
+    | Journal.Inherited { orphan_task; proc } ->
+      push
+        (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+           ~ts ~name:"inherit" ~cat:"recovery"
+           (stamp_args stamp [ ("orphan_task", Json.Int orphan_task) ]))
+    | Journal.Relayed { via } ->
+      push
+        (instant ~pid:(if via >= 0 && via < nodes then via else cluster_pid ~nodes)
+           ~ts ~name:"relay" ~cat:"recovery" (stamp_args stamp []))
+    | Journal.Relay_dropped { at; reason } ->
+      push
+        (instant ~pid:(if at >= 0 && at < nodes then at else cluster_pid ~nodes)
+           ~ts ~name:"relay-drop" ~cat:"recovery"
+           (stamp_args stamp [ ("reason", Json.Str reason) ]))
+    | Journal.Inlined { parent_task; proc; work } ->
+      push
+        (instant ~pid:(if proc >= 0 && proc < nodes then proc else cluster_pid ~nodes)
+           ~ts ~name:"inline" ~cat:"lifecycle"
+           (stamp_args stamp [ ("parent_task", Json.Int parent_task); ("work", Json.Int work) ]))
+    | Journal.Result_accepted { task } ->
+      push
+        (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"result-accepted" ~cat:"lifecycle"
+           (stamp_args stamp [ ("task", Json.Int task) ]))
+    | Journal.Duplicate_ignored { task } ->
+      push
+        (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"duplicate-ignored" ~cat:"recovery"
+           (stamp_args stamp [ ("task", Json.Int task) ]))
+    | Journal.Orphan_dropped { task } ->
+      push
+        (instant ~pid:(cluster_pid ~nodes) ~ts ~name:"orphan-dropped" ~cat:"recovery"
+           (stamp_args stamp [ ("task", Json.Int task) ]))
+    | Journal.Acked _ -> ()
+
+  let finish ?at t =
+    if not t.finished then begin
+      t.finished <- true;
+      let at = match at with Some a -> max a t.last_time | None -> t.last_time in
+      let unfinished = Hashtbl.fold (fun task _ acc -> task :: acc) t.opens [] in
+      List.iter (fun task -> close_slice t ~task ~at ~outcome:"unfinished") unfinished;
+      Sink.flush t.sink
+    end
+
+  let entry_sink t =
+    Sink.of_fun ~flush:(fun () -> Sink.flush t.sink) ~close:(fun () -> finish t) (feed t)
+end
+
+(* Occupancy counter track from the reconstructed timeline — post-hoc
+   only: it needs the whole journal, which streaming mode never holds. *)
+let occupancy_events journal ~nodes ~buckets =
+  let entries = Journal.entries journal in
+  if buckets <= 0 || entries = [] || nodes <= 0 then []
+  else begin
+    let last_time =
+      List.fold_left (fun acc (e : Journal.entry) -> max acc e.Journal.time) 0 entries
+    in
     let until = max 1 last_time in
-    let grid = Timeline.occupancy journal ~nodes ~buckets:occupancy_buckets ~until in
-    for proc = 0 to nodes - 1 do
-      for b = 0 to occupancy_buckets - 1 do
-        let ts = b * until / occupancy_buckets in
-        push (counter ~pid:proc ~ts ~value:grid.(proc).(b))
-      done
-    done
-  end;
-  let header =
+    let grid = Timeline.occupancy journal ~nodes ~buckets ~until in
     List.concat
-      (List.init nodes (fun p -> meta ~pid:p ~name:(Printf.sprintf "P%d" p) ~sort_index:p)
-      @ [ meta ~pid:(cluster_pid ~nodes) ~name:"cluster" ~sort_index:nodes ])
-  in
-  header @ List.rev !out
+      (List.init nodes (fun proc ->
+           List.init buckets (fun b ->
+               let ts = b * until / buckets in
+               counter ~pid:proc ~ts ~value:grid.(proc).(b))))
+  end
+
+let events journal ~nodes ?(occupancy_buckets = 96) () =
+  let out = ref [] in
+  let collect = Sink.of_fun (fun ev -> out := ev :: !out) in
+  let stream = Stream.create ~nodes ~sink:collect in
+  List.iter (Stream.feed stream) (Journal.entries journal);
+  Stream.finish stream;
+  List.rev_append !out (occupancy_events journal ~nodes ~buckets:occupancy_buckets)
 
 let to_json journal ~nodes ?occupancy_buckets () =
   Json.List (events journal ~nodes ?occupancy_buckets ())

@@ -14,9 +14,43 @@
 
 module Journal = Recflow_machine.Journal
 
+(** Incremental journal→trace conversion.  Feed entries as they are
+    recorded (via {!Journal.attach_sink} and {!Stream.entry_sink}) and the
+    trace events stream straight into any [Json.t] sink — a JSONL file,
+    a sampler, a ring — retaining only the currently-open slices, never
+    the journal.  Streaming mode omits the occupancy counter track, which
+    needs the whole journal to reconstruct. *)
+module Stream : sig
+  type t
+
+  val create : nodes:int -> sink:Recflow_obs_core.Json.t Recflow_obs_core.Sink.t -> t
+  (** Emits the process-metadata header into [sink] immediately. *)
+
+  val feed : t -> Journal.entry -> unit
+
+  val finish : ?at:int -> t -> unit
+  (** Close still-open slices (outcome ["unfinished"]) at [at] (default:
+      the newest fed timestamp) and flush the sink.  Idempotent; the
+      caller still owns and closes the sink itself. *)
+
+  val open_slices : t -> int
+  (** Currently retained open task slices — the stream's entire
+      journal-derived state, bounded by peak task concurrency. *)
+
+  val entry_sink : t -> Journal.entry Recflow_obs_core.Sink.t
+  (** Adapter for {!Journal.attach_sink}: emit = {!feed}, close =
+      {!finish}. *)
+end
+
 val events : Journal.t -> nodes:int -> ?occupancy_buckets:int -> unit -> Recflow_obs_core.Json.t list
 (** All trace events, metadata first.  [occupancy_buckets] (default 96)
     sizes the counter track; [0] disables it. *)
+
+val occupancy_events :
+  Journal.t -> nodes:int -> buckets:int -> Recflow_obs_core.Json.t list
+(** Just the per-processor occupancy counter track — what a streaming
+    export appends after {!Stream.finish} when the journal is retained
+    anyway. *)
 
 val to_json : Journal.t -> nodes:int -> ?occupancy_buckets:int -> unit -> Recflow_obs_core.Json.t
 (** The events wrapped as a JSON array. *)

@@ -13,6 +13,15 @@ type t = {
    on some worker. *)
 type batch = { bm : Mutex.t; finished : Condition.t; mutable remaining : int }
 
+(* Which execution slot the current domain occupies: 0 for the submitter
+   (and any domain that never joined a pool), [1 .. jobs-1] for spawned
+   workers.  Sharded observability state (Recflow_obs_core.Collect) uses
+   this as a write index so the per-event path needs no lock: a slot is
+   only ever written by the one domain that owns it. *)
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+let slot () = Domain.DLS.get slot_key
+
 let worker t =
   let running = ref true in
   while !running do
@@ -47,7 +56,11 @@ let create ?jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set slot_key (i + 1);
+            worker t));
   t
 
 let jobs t = t.jobs

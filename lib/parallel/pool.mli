@@ -21,6 +21,13 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** Number of execution slots (worker domains + the submitting caller). *)
 
+val slot : unit -> int
+(** Index of the execution slot the calling domain occupies: 0 for the
+    submitter (and for any domain outside a pool), [1 .. jobs - 1] for a
+    pool's spawned workers.  Sharded collectors key per-domain state by
+    this index so their hot path takes no lock: each slot has exactly one
+    writer. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element of [xs], possibly on
     different domains, and returns the results in the order of [xs].

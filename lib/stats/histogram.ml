@@ -5,16 +5,23 @@ type t = {
   mutable under : int;
   mutable over : int;
   mutable n : int;
+  mutable invalid : int;
 }
 
 let create ~lo ~hi ~buckets =
   if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
   if buckets <= 0 then invalid_arg "Histogram.create: need buckets > 0";
-  { lo; hi; counts = Array.make buckets 0; under = 0; over = 0; n = 0 }
+  { lo; hi; counts = Array.make buckets 0; under = 0; over = 0; n = 0; invalid = 0 }
 
 let observe t x =
-  let buckets = Array.length t.counts in
-  let idx =
+  if not (Float.is_finite x) then
+    (* NaN would otherwise fall through the comparisons below into bucket 0
+       and infinities would masquerade as clamped extremes; neither is a
+       measurement, so neither may perturb counts or bars. *)
+    t.invalid <- t.invalid + 1
+  else begin
+    let buckets = Array.length t.counts in
+    let idx =
     if x < t.lo then begin
       t.under <- t.under + 1;
       0
@@ -28,11 +35,14 @@ let observe t x =
       let i = int_of_float (frac *. float_of_int buckets) in
       if i >= buckets then buckets - 1 else i
     end
-  in
-  t.counts.(idx) <- t.counts.(idx) + 1;
-  t.n <- t.n + 1
+    in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.n <- t.n + 1
+  end
 
 let count t = t.n
+
+let invalid t = t.invalid
 
 let bucket_counts t = Array.copy t.counts
 

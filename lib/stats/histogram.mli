@@ -9,10 +9,16 @@ val create : lo:float -> hi:float -> buckets:int -> t
 (** @raise Invalid_argument unless [lo < hi] and [buckets > 0]. *)
 
 val observe : t -> float -> unit
-(** Values outside [\[lo, hi)] are clamped into the first/last bucket and
-    counted in the under/overflow tallies. *)
+(** Finite values outside [\[lo, hi)] are clamped into the first/last
+    bucket and counted in the under/overflow tallies.  NaN and infinite
+    values are not measurements: they go to the {!invalid} tally and leave
+    the buckets and {!count} untouched. *)
 
 val count : t -> int
+(** Finite observations only. *)
+
+val invalid : t -> int
+(** NaN / infinite observations rejected so far. *)
 
 val bucket_counts : t -> int array
 

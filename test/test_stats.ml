@@ -3,6 +3,7 @@
 module Counter = Recflow_stats.Counter
 module Summary = Recflow_stats.Summary
 module Histogram = Recflow_stats.Histogram
+module Hdr = Recflow_stats.Hdr
 module Table = Recflow_stats.Table
 
 let check = Alcotest.(check bool)
@@ -43,6 +44,53 @@ let counter_reset () =
   Counter.add s "x" 9;
   Counter.reset s;
   check_int "reset to zero" 0 (Counter.get s "x")
+
+(* Counter.merge is the primitive the sharded collector folds over; the
+   --jobs byte-identical contract rests on it being a pointwise sum that
+   is insensitive to shard order and never forgets a touched name. *)
+
+let set_of_alist xs =
+  let s = Counter.create_set () in
+  List.iter (fun (k, v) -> Counter.add s k v) xs;
+  s
+
+let alist_gen =
+  QCheck.(list_of_size (Gen.int_range 0 12) (pair (oneofl [ "a"; "bb"; "c.d"; "e"; "f" ]) (int_range (-50) 50)))
+
+let counter_merge_commutative =
+  QCheck.Test.make ~name:"Counter.merge commutative up to to_alist" ~count:300
+    QCheck.(pair alist_gen alist_gen)
+    (fun (xs, ys) ->
+      let a = set_of_alist xs and b = set_of_alist ys in
+      Counter.to_alist (Counter.merge a b) = Counter.to_alist (Counter.merge b a))
+
+let counter_merge_associative =
+  QCheck.Test.make ~name:"Counter.merge associative up to to_alist" ~count:300
+    QCheck.(triple alist_gen alist_gen alist_gen)
+    (fun (xs, ys, zs) ->
+      let a = set_of_alist xs and b = set_of_alist ys and c = set_of_alist zs in
+      Counter.to_alist (Counter.merge (Counter.merge a b) c)
+      = Counter.to_alist (Counter.merge a (Counter.merge b c)))
+
+let counter_merge_pointwise =
+  QCheck.Test.make ~name:"Counter.merge is the pointwise sum" ~count:300
+    QCheck.(pair alist_gen alist_gen)
+    (fun (xs, ys) ->
+      let a = set_of_alist xs and b = set_of_alist ys in
+      let m = Counter.merge a b in
+      List.for_all
+        (fun name -> Counter.get m name = Counter.get a name + Counter.get b name)
+        (Counter.names m)
+      && List.sort_uniq String.compare (Counter.names a @ Counter.names b) = Counter.names m)
+
+let counter_merge_keeps_zero_names () =
+  let a = Counter.create_set () and b = Counter.create_set () in
+  Counter.add a "touched.zero" 0;
+  Counter.incr b "other";
+  let m = Counter.merge a b in
+  check "touched-but-zero name survives merge" true
+    (List.mem "touched.zero" (Counter.names m));
+  check_int "its value is zero" 0 (Counter.get m "touched.zero")
 
 (* ---------------- Summary ---------------- *)
 
@@ -163,6 +211,125 @@ let histogram_invalid () =
        false
      with Invalid_argument _ -> true)
 
+let histogram_nan_inf () =
+  (* Regression: NaN used to fall through the bucket arithmetic and land
+     in the underflow tally (comparisons with NaN are all false), inf in
+     overflow — both silently skewing the clamped counts.  They are not
+     observations at all: dedicated invalid tally, count untouched. *)
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:4 in
+  Histogram.observe h Float.nan;
+  Histogram.observe h Float.infinity;
+  Histogram.observe h Float.neg_infinity;
+  check_int "invalid tally" 3 (Histogram.invalid h);
+  check_int "count untouched" 0 (Histogram.count h);
+  check_int "no underflow" 0 (Histogram.underflow h);
+  check_int "no overflow" 0 (Histogram.overflow h);
+  Alcotest.(check (array int)) "no bucket perturbed" [| 0; 0; 0; 0 |] (Histogram.bucket_counts h);
+  Histogram.observe h 5.0;
+  check_int "finite values still counted" 1 (Histogram.count h);
+  check_int "invalid unchanged" 3 (Histogram.invalid h)
+
+(* ---------------- Hdr ---------------- *)
+
+let hdr_exact_small () =
+  (* Below 2^precision every integer has its own bucket: quantiles exact. *)
+  let h = Hdr.create ~precision:5 () in
+  for v = 0 to 31 do
+    Hdr.record h v
+  done;
+  check_int "count" 32 (Hdr.count h);
+  check_int "min" 0 (Hdr.min_value h);
+  check_int "max" 31 (Hdr.max_value h);
+  check_int "total" (31 * 32 / 2) (Hdr.total h);
+  check_float "mean" 15.5 (Hdr.mean h);
+  check_int "p50 exact" 15 (Hdr.quantile h 50.0);
+  check_int "p100 exact" 31 (Hdr.quantile h 100.0);
+  check_int "p0 is min" 0 (Hdr.quantile h 0.0)
+
+let hdr_relative_error =
+  QCheck.Test.make ~name:"Hdr bucket width within 2^-precision of the value" ~count:500
+    QCheck.(int_range 0 (1 lsl 40))
+    (fun v ->
+      let h = Hdr.create ~precision:5 () in
+      Hdr.record h v;
+      match Hdr.to_alist h with
+      | [ (lo, hi, 1) ] -> lo <= v && v < hi && hi - lo <= max 1 (v asr 5)
+      | _ -> false)
+
+let hdr_quantile_clamped_to_extremes =
+  QCheck.Test.make ~name:"Hdr quantile stays within [min,max]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 1_000_000))
+    (fun vs ->
+      let h = Hdr.create () in
+      List.iter (Hdr.record h) vs;
+      let lo = List.fold_left min max_int vs and hi = List.fold_left max 0 vs in
+      List.for_all
+        (fun q ->
+          let x = Hdr.quantile h q in
+          lo <= x && x <= hi)
+        [ 0.0; 10.0; 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
+let hdr_negative_invalid () =
+  let h = Hdr.create () in
+  Hdr.record h (-1);
+  Hdr.record h (-999);
+  check_int "invalid tally" 2 (Hdr.invalid h);
+  check_int "count untouched" 0 (Hdr.count h);
+  Hdr.record h 7;
+  check_int "valid still counted" 1 (Hdr.count h);
+  check_int "p50 of singleton" 7 (Hdr.quantile h 50.0)
+
+let hdr_empty_raises () =
+  let h = Hdr.create () in
+  check "quantile on empty raises" true
+    (try
+       ignore (Hdr.quantile h 50.0);
+       false
+     with Invalid_argument _ -> true);
+  check "min on empty raises" true
+    (try
+       ignore (Hdr.min_value h);
+       false
+     with Invalid_argument _ -> true);
+  check_float "mean of empty" 0.0 (Hdr.mean h);
+  Hdr.record h 1;
+  check "q out of range raises" true
+    (try
+       ignore (Hdr.quantile h 100.5);
+       false
+     with Invalid_argument _ -> true)
+
+let hdr_merge () =
+  let a = Hdr.create () and b = Hdr.create () in
+  List.iter (Hdr.record a) [ 1; 2; 3 ];
+  List.iter (Hdr.record b) [ 1000; 2000 ];
+  Hdr.record b (-5);
+  let m = Hdr.merge a b in
+  check_int "counts sum" 5 (Hdr.count m);
+  check_int "invalid sums" 1 (Hdr.invalid m);
+  check_int "min combined" 1 (Hdr.min_value m);
+  check_int "max combined" 2000 (Hdr.max_value m);
+  check_int "inputs untouched" 3 (Hdr.count a);
+  check "precision mismatch raises" true
+    (try
+       ignore (Hdr.merge (Hdr.create ~precision:5 ()) (Hdr.create ~precision:6 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let hdr_merge_order_independent =
+  QCheck.Test.make ~name:"Hdr.merge commutes (same buckets either way)" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 0 30) (int_range 0 100_000))
+              (list_of_size (Gen.int_range 0 30) (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let build vs =
+        let h = Hdr.create () in
+        List.iter (Hdr.record h) vs;
+        h
+      in
+      let ab = Hdr.merge (build xs) (build ys) and ba = Hdr.merge (build ys) (build xs) in
+      Hdr.to_alist ab = Hdr.to_alist ba
+      && Hdr.count ab = List.length xs + List.length ys)
+
 (* ---------------- Table ---------------- *)
 
 let table_rows_and_render () =
@@ -207,6 +374,10 @@ let suites =
         Alcotest.test_case "names sorted" `Quick counter_names_sorted;
         Alcotest.test_case "merge" `Quick counter_merge;
         Alcotest.test_case "reset" `Quick counter_reset;
+        Alcotest.test_case "merge keeps zero names" `Quick counter_merge_keeps_zero_names;
+        qtest counter_merge_commutative;
+        qtest counter_merge_associative;
+        qtest counter_merge_pointwise;
       ] );
     ( "stats.summary",
       [
@@ -226,6 +397,17 @@ let suites =
         Alcotest.test_case "clamping" `Quick histogram_clamping;
         Alcotest.test_case "bounds" `Quick histogram_bounds;
         Alcotest.test_case "invalid" `Quick histogram_invalid;
+        Alcotest.test_case "nan/inf regression" `Quick histogram_nan_inf;
+      ] );
+    ( "stats.hdr",
+      [
+        Alcotest.test_case "exact below 2^precision" `Quick hdr_exact_small;
+        Alcotest.test_case "negative is invalid" `Quick hdr_negative_invalid;
+        Alcotest.test_case "empty and range errors" `Quick hdr_empty_raises;
+        Alcotest.test_case "merge" `Quick hdr_merge;
+        qtest hdr_relative_error;
+        qtest hdr_quantile_clamped_to_extremes;
+        qtest hdr_merge_order_independent;
       ] );
     ( "stats.table",
       [

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Observability smoke test: one real recflow run producing every export
+# the CLI knows — streaming Chrome trace (--emit-trace), 1-in-2 sampled
+# JSONL protocol trace (--trace-jsonl --trace-sample), metrics document
+# (--metrics-json) and phase profile (--profile-json).  The files are
+# then parsed back by test_obs's obs.smoke cases with the in-tree strict
+# JSON codec, so `dune runtest` covers the same surface.  Wraps the dune
+# alias so CI and humans share one entry point:
+#
+#   tools/obs_smoke.sh            # == dune build @obs-smoke
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @obs-smoke "$@"
