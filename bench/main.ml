@@ -8,6 +8,13 @@
       reduced instance of the corresponding experiment kernel — the
       wall-clock cost of regenerating that row of the paper.
 
+   Plus hand-timed wall-clock sections (pool construction hoisted out of
+   every timed window): the sequential-vs-parallel sweep with warm and
+   cold rows, the observability A/B, and one simulation sharded across
+   domains.  Maintenance modes: --check-json (schema validation),
+   --diff OLD NEW (per-row regression gate), --scaling-check (loose
+   multicore speedup assert, skipped on single-core hosts).
+
    After the Bechamel run the harness regenerates every experiment table in
    quick mode, so the benchmark log doubles as a reproduction record. *)
 
@@ -256,6 +263,7 @@ let bench_q8 =
 (* ------------------------------------------------------------------ *)
 
 module Pool = Recflow_parallel.Pool
+module Shardsim = Recflow_machine.Shardsim
 
 (* A Q2-style sweep over the synthetic workload: one failure injected at a
    range of times under both recovery schemes — 16 independent simulations,
@@ -265,41 +273,150 @@ let sweep_points =
     (fun recovery -> List.init 8 (fun i -> (recovery, 1000 + (500 * i))))
     [ Config.Rollback; Config.Splice ]
 
-let time_sweep ~jobs =
-  let pool = Pool.create ~jobs () in
+let sweep_once pool =
+  Pool.map pool
+    (fun (recovery, t) ->
+      let o = run_cluster (quant_cfg recovery) synthetic Workload.Small [ (t, 2) ] in
+      (o.Cluster.sim_time, o.Cluster.events, o.Cluster.answer))
+    sweep_points
+
+let timed f =
   let t0 = Unix.gettimeofday () in
-  let outcomes =
-    Pool.map pool
-      (fun (recovery, t) ->
-        let o = run_cluster (quant_cfg recovery) synthetic Workload.Small [ (t, 2) ] in
-        (o.Cluster.sim_time, o.Cluster.events, o.Cluster.answer))
-      sweep_points
-  in
-  let dt = Unix.gettimeofday () -. t0 in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Warm measurement: the pool is constructed, its workers spawned and a
+   full warmup sweep run *before* the timed window, which then takes the
+   best of three repetitions.  The previous harness timed [Pool.create]
+   and [shutdown] inside the window, so the "parallel sweep" rows of
+   BENCH_5/BENCH_6 charged domain spawn + teardown (milliseconds) to a
+   sub-second sweep and reported slowdowns that were mostly measurement. *)
+let time_sweep_warm ~jobs =
+  let pool = Pool.create ~jobs () in
+  let outcomes = sweep_once pool in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let _, dt = timed (fun () -> sweep_once pool) in
+    if dt < !best then best := dt
+  done;
   Pool.shutdown pool;
-  (outcomes, dt)
+  (outcomes, !best)
+
+(* Cold measurement: spawn + sweep + join, all inside the window — the
+   quantity the old harness accidentally measured, kept as an honest row
+   of its own so the spawn overhead stays visible. *)
+let time_sweep_cold ~jobs =
+  snd
+    (timed (fun () ->
+         let pool = Pool.create ~jobs () in
+         ignore (sweep_once pool);
+         Pool.shutdown pool))
 
 let report_sweep_scaling () =
   Format.printf "@.--- sequential vs parallel synthetic sweep (%d simulations) ---@."
     (List.length sweep_points);
-  let seq_outcomes, seq_t = time_sweep ~jobs:1 in
-  Format.printf "  jobs=1   %6.2f s@." seq_t;
-  let jobs = max 2 (Domain.recommended_domain_count ()) in
-  let par_outcomes, par_t = time_sweep ~jobs in
-  Format.printf "  jobs=%-3d %6.2f s   speedup %.2fx   results %s@." jobs par_t (seq_t /. par_t)
-    (if seq_outcomes = par_outcomes then "identical" else "DIFFER");
-  if seq_outcomes <> par_outcomes then failwith "parallel sweep diverged from sequential";
-  Recflow_obs_core.Json.Obj
+  let recommended = Domain.recommended_domain_count () in
+  let seq_outcomes, seq_t = time_sweep_warm ~jobs:1 in
+  Format.printf "  jobs=1  warm %6.3f s@." seq_t;
+  let two_outcomes, two_t = time_sweep_warm ~jobs:2 in
+  Format.printf "  jobs=2  warm %6.3f s   speedup %.2fx@." two_t (seq_t /. two_t);
+  let cold2_t = time_sweep_cold ~jobs:2 in
+  Format.printf "  jobs=2  cold %6.3f s   (pool spawn+join inside the window)@." cold2_t;
+  let rec_jobs = max 2 recommended in
+  let rec_outcomes, rec_t =
+    if rec_jobs = 2 then (two_outcomes, two_t) else time_sweep_warm ~jobs:rec_jobs
+  in
+  Format.printf "  jobs=%-2d warm %6.3f s   speedup %.2fx   results %s@." rec_jobs rec_t
+    (seq_t /. rec_t)
+    (if seq_outcomes = two_outcomes && seq_outcomes = rec_outcomes then "identical" else "DIFFER");
+  if seq_outcomes <> two_outcomes || seq_outcomes <> rec_outcomes then
+    failwith "parallel sweep diverged from sequential";
+  let row name jobs ~warm wall =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("jobs", Json.Int jobs);
+        ("warm", Json.Bool warm);
+        ("wall_s", Json.Float wall);
+        ("speedup_vs_jobs1_warm", Json.Float (seq_t /. wall));
+      ]
+  in
+  Json.Obj
     [
-      ("simulations", Recflow_obs_core.Json.Int (List.length sweep_points));
-      ("jobs_1_wall_s", Recflow_obs_core.Json.Float seq_t);
-      ("jobs_n", Recflow_obs_core.Json.Int jobs);
-      ("jobs_n_wall_s", Recflow_obs_core.Json.Float par_t);
-      ("speedup", Recflow_obs_core.Json.Float (seq_t /. par_t));
-      (* this sweep calls run_cluster directly and never went through the
-         (now removed) obs-hook mutex, so any speedup change vs BENCH_5
-         reflects the sweep itself, not the hook path *)
-      ("obs_hook_mutex_removed", Recflow_obs_core.Json.Bool true);
+      ("simulations", Json.Int (List.length sweep_points));
+      ("recommended_domain_count", Json.Int recommended);
+      ( "rows",
+        Json.List
+          ([
+             row "jobs1_warm" 1 ~warm:true seq_t;
+             row "jobs2_warm" 2 ~warm:true two_t;
+             row "jobs2_cold" 2 ~warm:false cold2_t;
+           ]
+          @
+          (* rec_jobs = 2 would duplicate the jobs2_warm row (and its name,
+             which the --diff grouping keys on), so only emit it wider. *)
+          if rec_jobs > 2 then
+            [ row (Printf.sprintf "jobs%d_warm" rec_jobs) rec_jobs ~warm:true rec_t ]
+          else []) );
+      ("results_identical", Json.Bool true);
+    ]
+
+(* The loose scaling gate (tools/bench_diff.sh runs it next to the diff):
+   a warm 2-domain sweep must actually beat the warm sequential one.  On a
+   single-core host there is no parallelism to measure — two domains
+   timeshare one core and the gate would only measure scheduler overhead —
+   so it skips rather than asserts. *)
+let scaling_check () =
+  if Domain.recommended_domain_count () < 2 then begin
+    Format.printf "scaling check: single-core host (recommended_domain_count=1), skipping@.";
+    exit 0
+  end;
+  let _, seq_t = time_sweep_warm ~jobs:1 in
+  let _, par_t = time_sweep_warm ~jobs:2 in
+  let speedup = seq_t /. par_t in
+  Format.printf "scaling check: jobs=1 warm %.3fs  jobs=2 warm %.3fs  speedup %.2fx@." seq_t par_t
+    speedup;
+  if speedup > 1.0 then exit 0
+  else begin
+    Format.eprintf "scaling check FAILED: warm jobs=2 sweep is not faster than jobs=1@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sharded single run                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One simulation sharded across domains (the tentpole of this PR's
+   parallel work): serial vs a pinned 2-domain pool, warm on both sides,
+   with the byte-identity of the journal digest asserted — a speedup that
+   changed the simulation would be worthless. *)
+let report_shard_run () =
+  Format.printf "@.--- sharded single run (16 procs / 4 shards, serial vs 2 domains) ---@.";
+  let p = { Shardsim.default_params with Shardsim.depth = 6; spin = 300 } in
+  let expected = Shardsim.expected_answer p in
+  ignore (Shardsim.run p);
+  let serial, serial_t = timed (fun () -> Shardsim.run p) in
+  let pool = Pool.create ~jobs:2 () in
+  ignore (Shardsim.run ~pool p);
+  let par, par_t = timed (fun () -> Shardsim.run ~pool p) in
+  Pool.shutdown pool;
+  let identical = String.equal serial.Shardsim.journal_digest par.Shardsim.journal_digest in
+  Format.printf "  serial %6.1f ms   pool(2) %6.1f ms   speedup %.2fx   digests %s@."
+    (serial_t *. 1e3) (par_t *. 1e3) (serial_t /. par_t)
+    (if identical then "identical" else "DIFFER");
+  if not identical then failwith "sharded run diverged under a pool";
+  if serial.Shardsim.answer <> expected || par.Shardsim.answer <> expected then
+    failwith "sharded run produced a wrong answer";
+  Json.Obj
+    [
+      ("procs", Json.Int p.Shardsim.procs);
+      ("shards", Json.Int p.Shardsim.shards);
+      ("events", Json.Int serial.Shardsim.events);
+      ("sim_time", Json.Int serial.Shardsim.sim_time);
+      ("serial_wall_s", Json.Float serial_t);
+      ("pool2_wall_s", Json.Float par_t);
+      ("speedup", Json.Float (serial_t /. par_t));
+      ("digest_match", Json.Bool identical);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -464,19 +581,109 @@ let check_json path =
     | _ -> fail "missing groups");
     Format.printf "%s: valid %s document@." path bench_schema
 
+(* ------------------------------------------------------------------ *)
+(* Cross-PR diff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_doc path =
+  if not (Sys.file_exists path) then begin
+    Format.eprintf "%s: no such file@." path;
+    exit 1
+  end;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse s with
+  | Ok doc -> doc
+  | Error e ->
+    Format.eprintf "%s: JSON parse error: %s@." path e;
+    exit 1
+
+let group_rows doc gname =
+  match Json.member "groups" doc with
+  | Some (Json.List groups) ->
+    List.find_map
+      (fun g ->
+        match (Json.member "name" g, Json.member "rows" g) with
+        | Some (Json.Str n), Some (Json.List rows) when String.equal n gname ->
+          Some
+            (List.filter_map
+               (fun r ->
+                 match (Json.member "name" r, Json.member "ns_per_run" r) with
+                 | Some (Json.Str name), Some (Json.Float ns) -> Some (name, ns)
+                 | Some (Json.Str name), Some (Json.Int ns) -> Some (name, float_of_int ns)
+                 | _ -> None)
+               rows)
+        | _ -> None)
+      groups
+  | _ -> None
+
+(* Per-row wall-clock delta between two emitted bench documents.  Only the
+   [micro] group gates (exit 1 past [threshold] percent): the experiment
+   kernels run whole simulations whose event counts legitimately change
+   when an experiment grows, but the micro rows measure fixed data
+   structures — a 20% swing there is a real regression (or a real win). *)
+let diff_json ~threshold old_path new_path =
+  let old_doc = load_doc old_path and new_doc = load_doc new_path in
+  let regressions = ref [] in
+  let diff_group ~gate gname =
+    match (group_rows old_doc gname, group_rows new_doc gname) with
+    | None, _ | _, None -> Format.printf "group %-12s absent on one side, skipped@." gname
+    | Some old_rows, Some new_rows ->
+      Format.printf "--- %s (%s -> %s)%s ---@." gname old_path new_path
+        (if gate then Printf.sprintf "  [gate: +%.0f%%]" threshold else "  [informational]");
+      List.iter
+        (fun (name, nv) ->
+          match List.assoc_opt name old_rows with
+          | None -> Format.printf "  %-45s %14.1f ns/run   (new row)@." name nv
+          | Some ov ->
+            let pct = (nv -. ov) /. ov *. 100.0 in
+            let mark = if gate && pct > threshold then "  REGRESSION" else "" in
+            if gate && pct > threshold then regressions := (gname, name, pct) :: !regressions;
+            Format.printf "  %-45s %14.1f -> %12.1f ns/run  %+7.1f%%%s@." name ov nv pct mark)
+        new_rows;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name new_rows) then
+            Format.printf "  %-45s (row disappeared)@." name)
+        old_rows
+  in
+  diff_group ~gate:true "micro";
+  diff_group ~gate:false "experiments";
+  match !regressions with
+  | [] ->
+    Format.printf "@.no micro row regressed past +%.0f%%@." threshold;
+    exit 0
+  | rs ->
+    Format.eprintf "@.%d micro row(s) regressed past +%.0f%%:@." (List.length rs) threshold;
+    (* row names already carry the group prefix ("micro/...") *)
+    List.iter (fun (_, n, pct) -> Format.eprintf "  %s %+.1f%%@." n pct) rs;
+    exit 1
+
 let () =
-  let json_path = ref "BENCH_6.json" in
+  let json_path = ref "BENCH_7.json" in
   let quota = ref 0.25 in
   let micro_only = ref false in
   let obs_only = ref false in
   let check = ref None in
+  let diff_old = ref "" in
+  let diff_new = ref None in
+  let diff_threshold = ref 20.0 in
+  let scaling = ref false in
   let speclist =
     [
-      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_6.json)");
+      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_7.json)");
       ("--quota", Arg.Set_float quota, "SEC  per-benchmark sampling quota in seconds (default 0.25)");
       ("--micro-only", Arg.Set micro_only, "  run only the data-structure micro group (smoke mode)");
       ("--obs-only", Arg.Set obs_only, "  run only the observability-overhead A/B row and exit");
       ("--check-json", Arg.String (fun f -> check := Some f), "FILE  validate an emitted results file and exit");
+      ( "--diff",
+        Arg.Tuple [ Arg.Set_string diff_old; Arg.String (fun f -> diff_new := Some f) ],
+        "OLD NEW  per-row delta of two results files; exit 1 on a micro regression" );
+      ( "--diff-threshold",
+        Arg.Set_float diff_threshold,
+        "PCT  micro regression gate for --diff in percent (default 20)" );
+      ("--scaling-check", Arg.Set scaling, "  assert warm jobs=2 sweep speedup > 1.0 (skips on single-core hosts)");
     ]
   in
   Arg.parse speclist
@@ -484,6 +691,9 @@ let () =
     "recflow benchmark harness";
   match !check with
   | Some path -> check_json path
+  | None when !diff_new <> None ->
+    diff_json ~threshold:!diff_threshold !diff_old (Option.get !diff_new)
+  | None when !scaling -> scaling_check ()
   | None when !obs_only ->
     ignore (report_obs_overhead ());
     exit 0
@@ -497,6 +707,7 @@ let () =
     in
     let groups = ref [ ("micro", micro_rows) ] in
     let sweep = ref Json.Null in
+    let shard_run = ref Json.Null in
     let obs_overhead = ref Json.Null in
     let latency = ref Json.Null in
     if not !micro_only then begin
@@ -509,13 +720,14 @@ let () =
       groups := !groups @ [ ("experiments", kernel_rows) ];
       obs_overhead := report_obs_overhead ();
       latency := report_latency_percentiles ();
-      sweep := report_sweep_scaling ()
+      sweep := report_sweep_scaling ();
+      shard_run := report_shard_run ()
     end;
     let doc =
       Json.Obj
         [
           ("schema", Json.Str bench_schema);
-          ("pr", Json.Int 6);
+          ("pr", Json.Int 7);
           ("quota_s", Json.Float !quota);
           ( "groups",
             Json.List
@@ -526,6 +738,7 @@ let () =
           ("obs_overhead", !obs_overhead);
           ("latency_percentiles", !latency);
           ("sweep", !sweep);
+          ("shard_run", !shard_run);
         ]
     in
     Json.write_file ~path:!json_path doc;

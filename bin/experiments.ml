@@ -103,6 +103,9 @@ let main quick list_only markdown metrics_dir jobs profile ids =
     exit 2
   | Some j -> Pool.set_default_jobs j
   | None -> ());
+  (* Spawn + first-wakeup of the pool workers happens here, not inside the
+     first experiment's timed section. *)
+  Harness.warm_pool ();
   if profile then begin
     Profile.set_enabled true;
     Profile.reset ()

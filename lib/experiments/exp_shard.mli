@@ -1,0 +1,6 @@
+(** X5: one simulated run sharded across domains
+    ({!Recflow_machine.Shardsim}) — answer, makespan and journal digest
+    must be byte-identical whether the shards execute sequentially or on
+    pools of width 2 and 4, with and without failures. *)
+
+val run : ?quick:bool -> unit -> Report.t

@@ -60,6 +60,12 @@ let probe config workload size = run config workload size ~failures:[]
 
 let run_many f xs = Pool.map (Pool.default ()) f xs
 
+let warm_pool () =
+  let p = Pool.default () in
+  (* One trivial batch wider than the pool forces every worker through its
+     first wakeup (and its GC resize) before anything is timed. *)
+  ignore (Pool.map p Fun.id (List.init (4 * Pool.jobs p) Fun.id))
+
 let run_many_seeded ~seed f xs =
   (* Derive one independent stream per element by splitting a master
      generator *before* the fan-out: stream [i] depends only on [seed]

@@ -40,6 +40,13 @@ val run_many_seeded :
     [seed] before the fan-out, so the draws depend only on [(seed, i)]
     and the sweep stays bit-identical at any [--jobs]. *)
 
+val warm_pool : unit -> unit
+(** Force the shared pool into existence and run one trivial wider-than-
+    the-pool batch through it, so domain spawn and first-wakeup costs land
+    before any timed section instead of inside the first sweep.  The
+    experiments driver calls this once after [--jobs] is applied; the
+    benches hoist pool construction the same way. *)
+
 type obs_info = { workload_name : string; size_name : string }
 
 val set_obs_hook : (obs_info -> run -> unit) option -> unit

@@ -31,6 +31,7 @@ let all =
     { id = "X3"; title = "Ablation: task granularity (inline threshold)"; run = Exp_grain.run };
     { id = "X4"; title = "Chaos: loss, duplication, reordering, partitions, suspicion";
       run = Exp_chaos.run };
+    { id = "X5"; title = "Sharded execution of one run across domains"; run = Exp_shard.run };
   ]
 
 let find id =

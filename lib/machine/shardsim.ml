@@ -1,0 +1,397 @@
+(* Sharded single-run simulation; see shardsim.mli for the model.
+
+   Concurrency discipline (what makes [?pool] byte-identical to
+   sequential): every piece of mutable state is owned by exactly one
+   shard — a processor's record is touched only by handlers running as
+   its shard, a journal only by its own shard, outboxes only by their
+   source shard (via [Shard.send]) — except [answer], which is written
+   only by processor 0's shard and read after the run's final barrier.
+   Cross-shard interaction happens exclusively through outbox entries
+   merged deterministically at window boundaries by {!Recflow_sim.Shard}.
+
+   Recovery correctness rests on two orderings the simulation guarantees:
+   (1) a result sent before its sender's crash always arrives before the
+   crash notice (both travel the same latency, and the send is strictly
+   earlier), so a checkpoint slot that is still empty when the notice
+   arrives belongs to a child that is truly lost; and (2) checkpoint
+   frames are addressed by a per-processor uid that is never reused, so a
+   re-issued subtree can never alias an orphaned one — orphan results
+   target frames on dead processors (dropped on arrival) or uids that no
+   longer resolve. *)
+
+module Engine = Recflow_sim.Engine
+module Shard = Recflow_sim.Shard
+
+type params = {
+  procs : int;
+  shards : int;
+  branching : int;
+  depth : int;
+  grain : int;
+  spin : int;
+  local_latency : int;
+  shard_latency : int;
+  fail : (Engine.time * int) list;
+  seed : int;
+}
+
+type outcome = {
+  answer : int;
+  sim_time : Engine.time;
+  events : int;
+  journal_digest : string;
+}
+
+let default_params =
+  {
+    procs = 16;
+    shards = 4;
+    branching = 3;
+    depth = 5;
+    grain = 40;
+    spin = 0;
+    local_latency = 5;
+    shard_latency = 40;
+    fail = [];
+    seed = 42;
+  }
+
+let validate p =
+  if p.procs < 1 then invalid_arg "Shardsim: procs must be >= 1";
+  if p.shards < 1 || p.shards > p.procs then invalid_arg "Shardsim: shards must be in [1, procs]";
+  if p.branching < 1 then invalid_arg "Shardsim: branching must be >= 1";
+  if p.depth < 0 then invalid_arg "Shardsim: depth must be >= 0";
+  if p.grain < 1 then invalid_arg "Shardsim: grain must be >= 1";
+  if p.spin < 0 then invalid_arg "Shardsim: spin must be >= 0";
+  if p.local_latency < 1 then invalid_arg "Shardsim: local_latency must be >= 1";
+  if p.shard_latency < p.local_latency then
+    invalid_arg "Shardsim: shard_latency must be >= local_latency";
+  List.iter
+    (fun (at, fp) ->
+      if at < 1 then invalid_arg "Shardsim: failure times must be >= 1";
+      if fp <= 0 || fp >= p.procs then
+        invalid_arg "Shardsim: failing proc must be in [1, procs-1] (proc 0 hosts the root frame)")
+    p.fail
+
+(* splitmix64 finalizer, reused as a keyed hash: placement and task values
+   must be pure functions of their arguments so [expected_answer] can
+   recompute them and re-execution after a failure reproduces them. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let feed z x = mix64 (Int64.add (Int64.logxor z (Int64.of_int x)) 0x9E3779B97F4A7C15L)
+
+(* 62 bits so the result is a nonnegative tagged int. *)
+let hash4 a b c d =
+  Int64.to_int (Int64.shift_right_logical (feed (feed (feed (feed 0L a) b) c) d) 2)
+
+let leaf_value seed pos = hash4 seed pos 2 0
+
+let node_init seed pos = hash4 seed pos 1 0
+
+let combine a b = Int64.to_int (Int64.shift_right_logical (feed (feed 0L a) b) 2)
+
+let rec node_value p ~pos ~depth =
+  if depth = p.depth then leaf_value p.seed pos
+  else begin
+    let v = ref (node_init p.seed pos) in
+    for k = 0 to p.branching - 1 do
+      v := combine !v (node_value p ~pos:((pos * p.branching) + k + 1) ~depth:(depth + 1))
+    done;
+    !v
+  end
+
+let expected_answer p =
+  validate p;
+  node_value p ~pos:0 ~depth:0
+
+(* Pure wall-clock load for the leaves; [Sys.opaque_identity] keeps the
+   loop from being recognised as dead. *)
+let spin n =
+  let acc = ref 0L in
+  for i = 1 to n do
+    acc := mix64 (Int64.add !acc (Int64.of_int i))
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+type task = {
+  pos : int;  (* structural id: root 0, children pos*b + k + 1 *)
+  inc : int;  (* re-issue count along the spawn path (journal tag) *)
+  depth : int;
+  parent_proc : int;  (* -1 for the root task *)
+  parent_uid : int;
+  parent_slot : int;
+}
+
+type ev =
+  | Arrive of { dst : int; task : task }
+  | Finish of { dst : int }
+  | Result of { dst : int; uid : int; slot : int; value : int }
+  | Fail of { dst : int }
+  | Notice of { dst : int; failed : int }
+
+(* Checkpoint frame: the paper's parent-side record of pending children,
+   from which lost subtrees are re-issued. *)
+type frame = {
+  uid : int;  (* process-unique, never reused: next_frame * procs + proc *)
+  fpos : int;
+  fdepth : int;
+  slots : int option array;
+  placed : int array;  (* processor each pending child was last sent to *)
+  child_inc : int array;
+  fparent_proc : int;
+  fparent_uid : int;
+  fparent_slot : int;
+  mutable filled : int;
+}
+
+type proc = {
+  id : int;
+  mutable dead : bool;
+  mutable busy : task option;
+  queue : task Queue.t;
+  frames : (int, frame) Hashtbl.t;
+  known_dead : bool array;  (* this processor's view, fed by notices *)
+  mutable next_frame : int;
+}
+
+type jshard = { mutable jrev : (int * int * string) list; mutable jn : int }
+
+type st = {
+  p : params;
+  coord : ev Shard.t;
+  procs_ : proc array;
+  proc_shard : int array;
+  journals : jshard array;
+  mutable answer : int option;
+}
+
+let jot st shard now fmt =
+  Printf.ksprintf
+    (fun line ->
+      let j = st.journals.(shard) in
+      j.jrev <- (now, j.jn, line) :: j.jrev;
+      j.jn <- j.jn + 1)
+    fmt
+
+(* Deterministic placement: walk a hash sequence until it lands on a
+   processor the placing processor does not know to be dead.  Processor 0
+   never fails, so the fallback scan always terminates. *)
+let place st known_dead ~pos ~inc =
+  let n = st.p.procs in
+  let rec go a =
+    if a >= 4 * n then begin
+      let rec first i = if known_dead.(i) then first (i + 1) else i in
+      first 0
+    end
+    else
+      let c = hash4 st.p.seed pos ((inc lsl 8) lor 3) a mod n in
+      if known_dead.(c) then go (a + 1) else c
+  in
+  go 0
+
+let deliver st ~shard ~now dst ev =
+  let ds = st.proc_shard.(dst) in
+  if ds = shard then Engine.schedule (Shard.engine st.coord ds) ~delay:st.p.local_latency ev
+  else Shard.send st.coord ~src:shard ~dst:ds ~time:(now + st.p.shard_latency) ev
+
+let start_task st shard now q task =
+  jot st shard now "start pos=%d inc=%d proc=%d" task.pos task.inc q.id;
+  q.busy <- Some task;
+  Engine.schedule (Shard.engine st.coord shard) ~delay:st.p.grain (Finish { dst = q.id })
+
+let settle st shard now ~parent_proc ~uid ~slot value =
+  if parent_proc = -1 then begin
+    st.answer <- Some value;
+    jot st shard now "done answer=%d" value
+  end
+  else deliver st ~shard ~now parent_proc (Result { dst = parent_proc; uid; slot; value })
+
+let complete st shard now q task =
+  if task.depth = st.p.depth then begin
+    spin st.p.spin;
+    settle st shard now ~parent_proc:task.parent_proc ~uid:task.parent_uid
+      ~slot:task.parent_slot
+      (leaf_value st.p.seed task.pos)
+  end
+  else begin
+    let b = st.p.branching in
+    let uid = (q.next_frame * st.p.procs) + q.id in
+    q.next_frame <- q.next_frame + 1;
+    let fr =
+      {
+        uid;
+        fpos = task.pos;
+        fdepth = task.depth;
+        slots = Array.make b None;
+        placed = Array.make b (-1);
+        child_inc = Array.make b task.inc;
+        fparent_proc = task.parent_proc;
+        fparent_uid = task.parent_uid;
+        fparent_slot = task.parent_slot;
+        filled = 0;
+      }
+    in
+    Hashtbl.add q.frames uid fr;
+    for k = 0 to b - 1 do
+      let cpos = (task.pos * b) + k + 1 in
+      let dst = place st q.known_dead ~pos:cpos ~inc:task.inc in
+      fr.placed.(k) <- dst;
+      deliver st ~shard ~now dst
+        (Arrive
+           {
+             dst;
+             task =
+               {
+                 pos = cpos;
+                 inc = task.inc;
+                 depth = task.depth + 1;
+                 parent_proc = q.id;
+                 parent_uid = uid;
+                 parent_slot = k;
+               };
+           })
+    done
+  end
+
+let handle st shard now ev =
+  match ev with
+  | Arrive { dst; task } ->
+    let q = st.procs_.(dst) in
+    if not q.dead then
+      if q.busy = None then start_task st shard now q task else Queue.push task q.queue
+  | Finish { dst } ->
+    let q = st.procs_.(dst) in
+    if not q.dead then (
+      match q.busy with
+      | None -> ()
+      | Some task ->
+        q.busy <- None;
+        complete st shard now q task;
+        (match Queue.take_opt q.queue with
+        | Some next -> start_task st shard now q next
+        | None -> ()))
+  | Result { dst; uid; slot; value } ->
+    let q = st.procs_.(dst) in
+    if not q.dead then (
+      match Hashtbl.find_opt q.frames uid with
+      | None -> ()  (* late duplicate for a completed frame *)
+      | Some fr ->
+        if fr.slots.(slot) = None then begin
+          fr.slots.(slot) <- Some value;
+          fr.filled <- fr.filled + 1;
+          if fr.filled = st.p.branching then begin
+            Hashtbl.remove q.frames uid;
+            let v = ref (node_init st.p.seed fr.fpos) in
+            Array.iter (fun s -> v := combine !v (Option.get s)) fr.slots;
+            settle st shard now ~parent_proc:fr.fparent_proc ~uid:fr.fparent_uid
+              ~slot:fr.fparent_slot !v
+          end
+        end)
+  | Fail { dst } ->
+    let q = st.procs_.(dst) in
+    if not q.dead then begin
+      q.dead <- true;
+      jot st shard now "fail proc=%d" dst;
+      q.busy <- None;
+      Queue.clear q.queue;
+      Hashtbl.reset q.frames;
+      for r = 0 to st.p.procs - 1 do
+        if r <> dst then deliver st ~shard ~now r (Notice { dst = r; failed = dst })
+      done
+    end
+  | Notice { dst; failed } ->
+    let q = st.procs_.(dst) in
+    if (not q.dead) && not q.known_dead.(failed) then begin
+      q.known_dead.(failed) <- true;
+      (* Re-issue every pending child last placed on a processor now known
+         dead.  An empty slot at this point means the child is truly lost:
+         had it finished before the crash, its result would have arrived
+         ahead of this notice (same route, earlier send).  Frames are
+         rescanned in creation order so the journal is deterministic. *)
+      let frames =
+        Hashtbl.fold (fun _ fr acc -> fr :: acc) q.frames []
+        |> List.sort (fun a b -> compare a.uid b.uid)
+      in
+      List.iter
+        (fun fr ->
+          for k = 0 to st.p.branching - 1 do
+            if fr.slots.(k) = None && q.known_dead.(fr.placed.(k)) then begin
+              let cinc = fr.child_inc.(k) + 1 in
+              fr.child_inc.(k) <- cinc;
+              let cpos = (fr.fpos * st.p.branching) + k + 1 in
+              let dst' = place st q.known_dead ~pos:cpos ~inc:cinc in
+              fr.placed.(k) <- dst';
+              jot st shard now "reissue pos=%d inc=%d proc=%d" cpos cinc dst';
+              deliver st ~shard ~now dst'
+                (Arrive
+                   {
+                     dst = dst';
+                     task =
+                       {
+                         pos = cpos;
+                         inc = cinc;
+                         depth = fr.fdepth + 1;
+                         parent_proc = q.id;
+                         parent_uid = fr.uid;
+                         parent_slot = k;
+                       };
+                   })
+            end
+          done)
+        frames
+    end
+
+let run ?pool p =
+  validate p;
+  let coord = Shard.create ~shards:p.shards ~window:p.shard_latency () in
+  let st =
+    {
+      p;
+      coord;
+      procs_ =
+        Array.init p.procs (fun id ->
+            {
+              id;
+              dead = false;
+              busy = None;
+              queue = Queue.create ();
+              frames = Hashtbl.create 16;
+              known_dead = Array.make p.procs false;
+              next_frame = 0;
+            });
+      proc_shard = Array.init p.procs (fun i -> i * p.shards / p.procs);
+      journals = Array.init p.shards (fun _ -> { jrev = []; jn = 0 });
+      answer = None;
+    }
+  in
+  Engine.schedule_at (Shard.engine coord 0) ~time:0
+    (Arrive
+       {
+         dst = 0;
+         task = { pos = 0; inc = 0; depth = 0; parent_proc = -1; parent_uid = -1; parent_slot = 0 };
+       });
+  List.iter
+    (fun (at, fp) ->
+      Engine.schedule_at (Shard.engine coord st.proc_shard.(fp)) ~time:at (Fail { dst = fp }))
+    p.fail;
+  Shard.run ?pool coord (fun shard now ev -> handle st shard now ev);
+  let answer =
+    match st.answer with
+    | Some a -> a
+    | None -> failwith "Shardsim.run: quiesced without an answer (recovery lost the root result)"
+  in
+  let sim_time = Shard.max_now coord in
+  let events = Shard.total_dispatched coord in
+  let buf = Buffer.create 4096 in
+  let entries = ref [] in
+  Array.iteri
+    (fun s j -> List.iter (fun (at, idx, line) -> entries := (at, s, idx, line) :: !entries) j.jrev)
+    st.journals;
+  List.iter
+    (fun (at, s, _, line) -> Buffer.add_string buf (Printf.sprintf "t=%d s=%d %s\n" at s line))
+    (List.sort compare !entries);
+  Buffer.add_string buf (Printf.sprintf "answer=%d sim_time=%d events=%d\n" answer sim_time events);
+  { answer; sim_time; events; journal_digest = Digest.to_hex (Digest.string (Buffer.contents buf)) }

@@ -1,0 +1,70 @@
+(** One simulated run sharded across domains: a recovering applicative
+    task-tree computation partitioned over per-shard engines.
+
+    This is the "shard one run" counterpart to the sweep-level parallelism
+    of {!Recflow_experiments.Harness}: instead of running many independent
+    simulations on a pool, a single large simulation's processors are
+    block-partitioned into shards, each shard owns a {!Recflow_sim.Engine}
+    for its processors' events, and the shards advance together through
+    {!Recflow_sim.Shard} lookahead windows (the window equals the
+    cross-shard message latency).
+
+    The simulated workload is the paper's applicative model: a divide-and-
+    conquer task tree of branching [branching] and leaf depth [depth].
+    Interior tasks spawn their children onto processors chosen by a
+    deterministic placement hash and keep a checkpoint frame of pending
+    child slots; leaves burn [grain] ticks (plus [spin] iterations of real
+    CPU work, so wall-clock scales with the tree) and return a value that
+    is a pure function of their position.  When a processor fails,
+    everything it held — running task, queue, checkpoint frames — is lost;
+    surviving processors learn of the death after a notification latency
+    and re-issue exactly the child tasks whose results are still missing
+    and whose placement points at the dead processor, onto freshly chosen
+    live processors.  Because tasks are applicative, re-execution yields
+    the same values, so the final answer equals {!expected_answer}
+    regardless of the failure schedule.
+
+    Determinism: a run's journal digest, answer, simulated makespan and
+    event count are byte-identical whether the shards execute sequentially
+    or on a pool of any width — the golden determinism suite pins this. *)
+
+type params = {
+  procs : int;  (** simulated processors, partitioned into blocks *)
+  shards : int;  (** engine shards; clamped nowhere — must be in [1, procs] *)
+  branching : int;  (** children per interior task *)
+  depth : int;  (** leaf depth; [0] makes the root itself a leaf *)
+  grain : int;  (** simulated ticks a task occupies its processor *)
+  spin : int;  (** real work iterations per leaf (wall-clock load; no
+                   effect on any simulated observable) *)
+  local_latency : int;  (** ticks for a same-shard message *)
+  shard_latency : int;  (** ticks for a cross-shard message; also the
+                            conservative lookahead window *)
+  fail : (Recflow_sim.Engine.time * int) list;
+      (** [(time, proc)] crash schedule.  Processor 0 hosts the root
+          checkpoint frame (the paper's reliable recovery host) and must
+          not appear. *)
+  seed : int;
+}
+
+type outcome = {
+  answer : int;
+  sim_time : Recflow_sim.Engine.time;  (** simulated makespan *)
+  events : int;  (** events dispatched across all shards *)
+  journal_digest : string;  (** MD5 over the merged journal + answer +
+                                makespan + event count *)
+}
+
+val default_params : params
+
+val validate : params -> unit
+(** @raise Invalid_argument on out-of-range fields (see [params] docs). *)
+
+val expected_answer : params -> int
+(** The answer of a fault-free run, computed by direct recursion — the
+    oracle every run (failing or not) must reproduce. *)
+
+val run : ?pool:Recflow_parallel.Pool.t -> params -> outcome
+(** Execute the simulation; with [?pool] the shards of each lookahead
+    window run as one pool batch.  @raise Invalid_argument via {!validate};
+    @raise Failure if the run quiesces without an answer (cannot happen
+    for a valid failure schedule — it would indicate lost recovery). *)

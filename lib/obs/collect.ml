@@ -2,11 +2,16 @@
    per pool execution slot.
 
    The write path indexes by [Pool.slot ()] — each slot has exactly one
-   writing domain, so recording an event takes no lock and shares no cache
-   line with other workers.  Reads (merge) happen after the pool batch has
-   settled: Pool.map's completion barrier gives the happens-before edge,
-   and merging in slot order over commutative pointwise sums makes the
-   aggregate independent of which run landed on which worker — the
+   writing domain (pools allocate worker slots from a process-wide
+   counter, so coexisting pools never alias), which means recording an
+   event takes no lock and shares no cache line with other workers.
+   Because slots are allocated for the life of the process, the shard
+   array grows on demand: growth copies the shard *pointers* into a wider
+   array, so a writer holding a stale array still lands its updates in the
+   same shard records the merge will read.  Reads (merge) happen after the
+   pool batch has settled: Pool.map's completion barrier gives the
+   happens-before edge, and merging over commutative pointwise sums makes
+   the aggregate independent of which run landed on which slot — the
    property that keeps experiment sweeps byte-identical at any --jobs. *)
 
 module Counter = Recflow_stats.Counter
@@ -15,24 +20,36 @@ module Pool = Recflow_parallel.Pool
 
 type shard = { counters : Counter.set; hdrs : (string, Hdr.t) Hashtbl.t }
 
-type t = { shards : shard array; precision : int }
+type t = { mutable shards : shard array; precision : int; grow : Mutex.t }
+
+let fresh_shard () = { counters = Counter.create_set (); hdrs = Hashtbl.create 8 }
 
 let create ?(precision = 5) ?slots () =
-  let slots = match slots with Some s -> s | None -> Pool.default_jobs () in
+  let slots = match slots with Some s -> s | None -> max (Pool.slot_limit ()) 1 in
   if slots < 1 then invalid_arg "Collect.create: slots must be >= 1";
-  {
-    shards =
-      Array.init slots (fun _ -> { counters = Counter.create_set (); hdrs = Hashtbl.create 8 });
-    precision;
-  }
+  { shards = Array.init slots (fun _ -> fresh_shard ()); precision; grow = Mutex.create () }
 
 let slots t = Array.length t.shards
 
-let shard t =
+(* Slot [s] was allocated after this collector was sized: widen under the
+   grow lock (rare — once per new slot), republish, and keep every old
+   shard record shared so concurrent writers through a stale array are
+   still counted. *)
+let rec grow_to t s =
+  Mutex.lock t.grow;
+  let a = t.shards in
+  let len = Array.length a in
+  if s >= len then begin
+    let n = max (s + 1) (2 * len) in
+    t.shards <- Array.init n (fun i -> if i < len then a.(i) else fresh_shard ())
+  end;
+  Mutex.unlock t.grow;
+  shard t
+
+and shard t =
   let s = Pool.slot () in
-  if s >= Array.length t.shards then
-    invalid_arg "Collect: pool slot exceeds collector width (created before set_default_jobs?)";
-  t.shards.(s)
+  let a = t.shards in
+  if s < Array.length a then a.(s) else grow_to t s
 
 let incr t name = Counter.incr (shard t).counters name
 

@@ -13,17 +13,20 @@
 type t
 
 val create : ?precision:int -> ?slots:int -> unit -> t
-(** [slots] defaults to {!Recflow_parallel.Pool.default_jobs} — create the
-    collector {e after} the [--jobs] flag has been applied.  [precision]
-    is forwarded to {!Recflow_stats.Hdr.create}.
+(** [slots] is the initial shard width and defaults to
+    {!Recflow_parallel.Pool.slot_limit} (every slot allocated so far); the
+    collector widens itself automatically when later-created pools allocate
+    higher slot ids, so creation order no longer matters.  [precision] is
+    forwarded to {!Recflow_stats.Hdr.create}.
     @raise Invalid_argument if [slots < 1]. *)
 
 val slots : t -> int
+(** Current shard width (grows on demand; only a capacity hint). *)
 
 val incr : t -> string -> unit
-(** Bump a named counter in the calling domain's shard (lock-free).
-    @raise Invalid_argument if the calling domain's pool slot is outside
-    the collector's width (pool widened after {!create}). *)
+(** Bump a named counter in the calling domain's shard (lock-free on the
+    hot path; a slot seen for the first time widens the shard array under
+    a lock, once). *)
 
 val add : t -> string -> int -> unit
 

@@ -1,0 +1,102 @@
+(* Chase–Lev deque over a growable ring buffer.
+
+   Indices [top] and [bottom] increase monotonically; live elements occupy
+   [top, bottom).  Both are seq_cst atomics: the owner's pop publishes its
+   claim on [bottom] before reading [top] (the fence that makes the
+   last-element race safe), and a thief's acquire of [bottom] makes the
+   owner's preceding buffer write visible.
+
+   The buffer itself is a plain [Obj.t array] read racily by thieves.
+   That is safe in the OCaml 5 memory model (loads never tear and always
+   yield *some* value previously stored), and the algorithm never *uses* a
+   racy read: a thief's element read only escapes after its CAS on [top]
+   succeeds, which proves the slot was not recycled — the owner reuses a
+   slot only once [bottom - top] wraps the capacity, and [grow] runs
+   before that.  A stale value read under a lost race is discarded.
+
+   Vacated slots are overwritten with an immediate on the owner-exclusive
+   pop path so the deque does not retain popped closures; stolen slots are
+   cleared lazily on wrap (a thief may still be reading them). *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mutable buf : Obj.t array;  (* capacity always a power of two *)
+}
+
+let dummy = Obj.repr 0
+
+let initial_capacity = 64
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make initial_capacity dummy }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+(* Owner only; [t] is a lower bound for the live region's start, so copying
+   from [t] is enough even if thieves advance top concurrently (they only
+   shrink the region we must preserve). *)
+let grow q ~t ~b =
+  let cap = Array.length q.buf in
+  let nbuf = Array.make (cap * 2) dummy in
+  for i = t to b - 1 do
+    nbuf.(i land ((cap * 2) - 1)) <- q.buf.(i land (cap - 1))
+  done;
+  q.buf <- nbuf
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let cap = Array.length q.buf in
+  if b - t >= cap then grow q ~t ~b;
+  q.buf.(b land (Array.length q.buf - 1)) <- Obj.repr v;
+  Atomic.set q.bottom (b + 1)
+
+let pop (type a) (q : a t) : a option =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: undo the claim *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let mask = Array.length q.buf - 1 in
+    let v : a = Obj.obj q.buf.(b land mask) in
+    if b > t then begin
+      (* more than one element: no thief can reach index [b] *)
+      q.buf.(b land mask) <- dummy;
+      Some v
+    end
+    else if
+      (* last element: race the thieves for it *)
+      Atomic.compare_and_set q.top t (t + 1)
+    then begin
+      Atomic.set q.bottom (t + 1);
+      Some v
+    end
+    else begin
+      (* a thief won the element *)
+      Atomic.set q.bottom (t + 1);
+      None
+    end
+  end
+
+let steal (type a) (q : a t) : a option =
+  let rec go () =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if b <= t then None
+    else begin
+      let v : a = Obj.obj q.buf.(t land (Array.length q.buf - 1)) in
+      if Atomic.compare_and_set q.top t (t + 1) then Some v
+      else begin
+        (* another thief (or the owner's last-element pop) advanced [top];
+           the value read is stale and must not be used *)
+        Domain.cpu_relax ();
+        go ()
+      end
+    end
+  in
+  go ()

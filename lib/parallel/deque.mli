@@ -1,0 +1,32 @@
+(** Chase–Lev work-stealing deque.
+
+    Single-owner double-ended queue: the owning domain pushes and pops
+    lock-free at the bottom (LIFO, so nested fork-join work keeps cache
+    locality), while any other domain steals from the top (FIFO, so
+    thieves take the oldest — usually largest — pending range).  The only
+    synchronisation is one CAS per steal and one CAS per pop of the final
+    element; the common push/pop path is two atomic loads and a store.
+
+    Owner operations ([push], [pop]) must only ever be called from one
+    domain at a time — the pool guarantees this by giving each execution
+    slot its own deque.  [steal] is safe from any domain concurrently. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom.  Grows the ring buffer as needed. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when the
+    deque is empty (racing thieves may win the last element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element, or [None] when empty.  Internally
+    retries a failed CAS (another thief won) until the deque is observed
+    empty, so [None] is a stable emptiness verdict at some linearisation
+    point. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the number of queued elements (>= 0); only a hint. *)

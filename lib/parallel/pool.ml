@@ -1,120 +1,292 @@
+(* Work-stealing domain pool.
+
+   The PR 2 pool was a single [Queue.t] behind one mutex: every push and
+   every pop of every task took the global pool lock, and BENCH_5/6 showed
+   the result — negative scaling on sub-millisecond simulation tasks, the
+   whole sweep serialized on the lock.  The rewrite gives every execution
+   slot its own Chase–Lev deque ({!Deque}): owners push/pop lock-free at
+   the bottom, idle slots steal from the top, and a batch enters the pool
+   as ONE range task that splits itself in half until ranges are below a
+   chunk threshold — submission is O(n/chunk) lock-free pushes instead of
+   n mutex acquisitions, and thieves pick up half the outstanding work per
+   steal.
+
+   Blocking is kept off the hot path: a worker that finds every deque
+   empty parks on a condition variable, and wake-ups go through an atomic
+   epoch counter — a push bumps the epoch and only touches the mutex when
+   the sleeper count (also an atomic) is non-zero, so a busy pool never
+   takes a lock at all. *)
+
+type task = unit -> unit
+
 type t = {
   jobs : int;
-  mutex : Mutex.t;  (* guards [queue] and [closed] *)
-  nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable closed : bool;
+  deques : task Deque.t array;  (* length [jobs]; index 0 = primary submitter *)
+  inject : task Queue.t;  (* overflow for deque-less (secondary) submitters *)
+  inject_size : int Atomic.t;
+  inject_mutex : Mutex.t;
+  lock : Mutex.t;  (* guards [wake] waits only *)
+  wake : Condition.t;
+  epoch : int Atomic.t;  (* bumped on every push; parking rechecks it *)
+  sleepers : int Atomic.t;
+  closed : bool Atomic.t;
+  in_flight : int Atomic.t;  (* [map] calls currently executing *)
+  submitter_free : bool Atomic.t;  (* ownership token for deque 0 *)
+  minor_heap_words : int;
   mutable workers : unit Domain.t list;
 }
 
-(* One batch per [map] call: tasks decrement [remaining] once their result
-   (or exception) is stored; the submitter sleeps on [finished] only when
-   the shared queue is empty, i.e. every leftover task is already running
-   on some worker. *)
-type batch = { bm : Mutex.t; finished : Condition.t; mutable remaining : int }
+(* ------------------------------------------------------------------ *)
+(* Slot identity                                                       *)
+(* ------------------------------------------------------------------ *)
 
-(* Which execution slot the current domain occupies: 0 for the submitter
-   (and any domain that never joined a pool), [1 .. jobs-1] for spawned
-   workers.  Sharded observability state (Recflow_obs_core.Collect) uses
-   this as a write index so the per-event path needs no lock: a slot is
-   only ever written by the one domain that owns it. *)
-let slot_key = Domain.DLS.new_key (fun () -> 0)
+(* Process-wide slot allocator.  Worker domains take a contiguous range at
+   pool creation; any other domain (submitters, raw [Domain.spawn]s) lazily
+   allocates its own slot on first use.  Every slot therefore has exactly
+   one writing domain for its whole lifetime — the invariant the sharded
+   observability state (Recflow_obs_core.Collect) builds on.  The previous
+   scheme numbered every pool's workers 1..jobs-1, so two coexisting pools
+   handed the same slot to two domains and sharded counters lost updates. *)
+let next_slot = Atomic.make 1
+
+let slot_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_slot 1)
 
 let slot () = Domain.DLS.get slot_key
 
-let worker t =
-  let running = ref true in
-  while !running do
-    Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.closed do
-      Condition.wait t.nonempty t.mutex
-    done;
-    if Queue.is_empty t.queue then begin
-      (* closed and drained *)
-      running := false;
-      Mutex.unlock t.mutex
-    end
-    else begin
-      let task = Queue.pop t.queue in
-      Mutex.unlock t.mutex;
-      task ()
-    end
-  done
+let slot_limit () = Atomic.get next_slot
 
-let create ?jobs () =
+(* Which pool the current domain belongs to (and its deque index there):
+   [Some (pool, i)] inside a worker or a token-holding submitter.  Nested
+   submissions reuse the slot; foreign-pool submissions fall back to the
+   injection queue. *)
+let ctx_key : (t * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let my_index t =
+  match Domain.DLS.get ctx_key with Some (p, i) when p == t -> i | _ -> -1
+
+(* ------------------------------------------------------------------ *)
+(* Task discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let take_inject t =
+  if Atomic.get t.inject_size = 0 then None
+  else begin
+    Mutex.lock t.inject_mutex;
+    let r = Queue.take_opt t.inject in
+    if r <> None then Atomic.decr t.inject_size;
+    Mutex.unlock t.inject_mutex;
+    r
+  end
+
+(* Own deque first (LIFO: freshest split, best locality), then the
+   injection queue, then a stealing sweep over the other deques. *)
+let find_task t my =
+  let own = if my >= 0 then Deque.pop t.deques.(my) else None in
+  match own with
+  | Some _ -> own
+  | None -> (
+    match take_inject t with
+    | Some _ as s -> s
+    | None ->
+      let j = t.jobs in
+      let start = if my >= 0 then my + 1 else 0 in
+      let rec scan k =
+        if k = j then None
+        else
+          let v = (start + k) mod j in
+          if v = my then scan (k + 1)
+          else
+            match Deque.steal t.deques.(v) with Some _ as s -> s | None -> scan (k + 1)
+      in
+      scan 0)
+
+(* Push from whatever execution context is running: a worker (or the
+   token-holding submitter) uses its own deque, anyone else the injection
+   queue.  Parked workers are woken through the epoch/sleeper protocol;
+   the mutex is only touched when somebody is actually asleep. *)
+let push_current t task =
+  (match my_index t with
+  | i when i >= 0 -> Deque.push t.deques.(i) task
+  | _ ->
+    Mutex.lock t.inject_mutex;
+    Queue.push task t.inject;
+    Atomic.incr t.inject_size;
+    Mutex.unlock t.inject_mutex);
+  Atomic.incr t.epoch;
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker t local =
+  let rec loop () =
+    if not (Atomic.get t.closed) then begin
+      (* Read the epoch before scanning: a push that lands mid-scan bumps
+         it, and the recheck under the lock then skips the wait — the
+         standard no-lost-wakeup dance without locking the push path. *)
+      let e = Atomic.get t.epoch in
+      match find_task t local with
+      | Some task ->
+        task ();
+        loop ()
+      | None ->
+        Mutex.lock t.lock;
+        Atomic.incr t.sleepers;
+        if Atomic.get t.epoch = e && not (Atomic.get t.closed) then Condition.wait t.wake t.lock;
+        Atomic.decr t.sleepers;
+        Mutex.unlock t.lock;
+        loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs ?(minor_heap_words = 1 lsl 20) () =
   let jobs =
     match jobs with Some j -> j | None -> max 1 (Domain.recommended_domain_count ())
   in
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if minor_heap_words < 1 lsl 12 then
+    invalid_arg "Pool.create: minor_heap_words unreasonably small";
   let t =
     {
       jobs;
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      closed = false;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      inject = Queue.create ();
+      inject_size = Atomic.make 0;
+      inject_mutex = Mutex.create ();
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      epoch = Atomic.make 0;
+      sleepers = Atomic.make 0;
+      closed = Atomic.make false;
+      in_flight = Atomic.make 0;
+      submitter_free = Atomic.make true;
+      minor_heap_words;
       workers = [];
     }
   in
+  let worker_base = if jobs > 1 then Atomic.fetch_and_add next_slot (jobs - 1) else 0 in
   t.workers <-
     List.init (jobs - 1) (fun i ->
         Domain.spawn (fun () ->
-            Domain.DLS.set slot_key (i + 1);
-            worker t));
+            Domain.DLS.set slot_key (worker_base + i);
+            Domain.DLS.set ctx_key (Some (t, i + 1));
+            (* Allocation-heavy sub-millisecond tasks hit the stock 256k-word
+               minor heap every few hundred microseconds, and each minor
+               collection synchronizes every domain; a bigger nursery per
+               worker trades memory for an order of magnitude fewer
+               stop-the-world points.  Scoped to spawned workers so jobs=1
+               runs are untouched. *)
+            (try Gc.set { (Gc.get ()) with Gc.minor_heap_size = t.minor_heap_words }
+             with _ -> ());
+            worker t (i + 1)));
   t
 
 let jobs t = t.jobs
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+  if not (Atomic.exchange t.closed true) then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch submission                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let map (type b) t (f : _ -> b) xs =
+  if Atomic.get t.closed then
+    invalid_arg "Pool.map: pool has been shut down (use-after-shutdown)";
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
+  | xs when t.jobs = 1 ->
+    (* Strictly sequential in submission order on the caller — the --jobs 1
+       determinism oracle. *)
+    List.map f xs
   | xs ->
+    Atomic.incr t.in_flight;
+    Fun.protect ~finally:(fun () -> Atomic.decr t.in_flight) @@ fun () ->
     let arr = Array.of_list xs in
     let n = Array.length arr in
     let results : b option array = Array.make n None in
     let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
-    let batch = { bm = Mutex.create (); finished = Condition.create (); remaining = n } in
-    let task i () =
-      (match f arr.(i) with
+    let remaining = Atomic.make n in
+    let bm = Mutex.create () in
+    let finished = Condition.create () in
+    (* Batches of long simulation tasks want chunk = 1 (perfect balance);
+       huge micro-task batches want larger leaves so the per-range
+       bookkeeping amortizes. *)
+    let chunk = max 1 (n / (t.jobs * 16)) in
+    let exec i =
+      match f arr.(i) with
       | v -> results.(i) <- Some v
-      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-      Mutex.lock batch.bm;
-      batch.remaining <- batch.remaining - 1;
-      if batch.remaining = 0 then Condition.broadcast batch.finished;
-      Mutex.unlock batch.bm
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.push (task i) t.queue
-    done;
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.mutex;
-    (* The submitter helps drain the queue (so [jobs = 1] is plain
-       sequential execution in submission order and nested [map] calls
-       cannot starve), then waits for any task still running elsewhere. *)
+    (* Execute [lo, hi): split off the upper half (stealable) while the
+       range is above the chunk threshold, run the leaf inline, and retire
+       the leaf's element count from the batch in one atomic. *)
+    let rec range lo hi () =
+      if hi - lo > chunk then begin
+        let mid = (lo + hi) / 2 in
+        push_current t (range mid hi);
+        range lo mid ()
+      end
+      else begin
+        for i = lo to hi - 1 do
+          exec i
+        done;
+        let len = hi - lo in
+        if Atomic.fetch_and_add remaining (-len) = len then begin
+          (* this leaf settled the batch: wake the submitter if it sleeps *)
+          Mutex.lock bm;
+          Condition.broadcast finished;
+          Mutex.unlock bm
+        end
+      end
+    in
+    (* Claim a deque for the duration when the calling domain has none:
+       deque 0 belongs to at most one submitter at a time (owner operations
+       are single-domain); a second concurrent submitter falls back to the
+       injection queue. *)
+    let my, release =
+      match my_index t with
+      | i when i >= 0 -> (i, fun () -> ())
+      | _ ->
+        if Atomic.compare_and_set t.submitter_free true false then begin
+          Domain.DLS.set ctx_key (Some (t, 0));
+          ( 0,
+            fun () ->
+              Domain.DLS.set ctx_key None;
+              Atomic.set t.submitter_free true )
+        end
+        else (-1, fun () -> ())
+    in
+    Fun.protect ~finally:release @@ fun () ->
+    (* The submitter executes the root range itself; splits peel off to
+       the deque as it descends, and workers steal them from the top. *)
+    range 0 n ();
     let rec help () =
-      Mutex.lock t.mutex;
-      let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-      Mutex.unlock t.mutex;
-      match job with
-      | Some j ->
-        j ();
-        help ()
-      | None ->
-        Mutex.lock batch.bm;
-        if batch.remaining > 0 then Condition.wait batch.finished batch.bm;
-        let settled = batch.remaining = 0 in
-        Mutex.unlock batch.bm;
-        if not settled then help ()
+      if Atomic.get remaining > 0 then
+        match find_task t my with
+        | Some task ->
+          task ();
+          help ()
+        | None ->
+          (* nothing stealable anywhere: every leftover leaf is running on
+             some worker — sleep until one of them settles the batch *)
+          Mutex.lock bm;
+          if Atomic.get remaining > 0 then Condition.wait finished bm;
+          Mutex.unlock bm;
+          help ()
     in
     help ();
     Array.iter
@@ -137,9 +309,22 @@ let () = at_exit (fun () -> match !default_state with _, Some p -> shutdown p | 
 let set_default_jobs j =
   if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
   Mutex.lock default_mutex;
-  (match !default_state with _, Some p -> shutdown p | _ -> ());
+  let retired =
+    match !default_state with
+    | _, Some p ->
+      if Atomic.get p.in_flight > 0 then begin
+        Mutex.unlock default_mutex;
+        invalid_arg
+          "Pool.set_default_jobs: a map on the default pool is still in flight \
+           (swapping now would tear the pool out from under its submitter)"
+      end;
+      Some p
+    | _ -> None
+  in
   default_state := (Some j, None);
-  Mutex.unlock default_mutex
+  Mutex.unlock default_mutex;
+  (* join outside the registry lock: a long drain must not block [default] *)
+  Option.iter shutdown retired
 
 let default () =
   Mutex.lock default_mutex;

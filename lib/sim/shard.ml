@@ -1,0 +1,101 @@
+(* Windowed multi-engine coordinator; see shard.mli for the model.
+
+   Concurrency discipline: during one window, shard [i]'s engine, outbox
+   list and send counter are touched only by the domain executing shard
+   [i]'s thunk; the coordinator touches them only between windows.  The
+   pool's batch barrier provides the happens-before edge in both
+   directions, so every field here can stay plain (non-atomic).  [bound]
+   is written by the coordinator before submission and only read inside
+   the window. *)
+
+module Pool = Recflow_parallel.Pool
+
+type 'a entry = { at : Engine.time; src : int; seq : int; dst : int; payload : 'a }
+
+type 'a t = {
+  engines : 'a Engine.t array;
+  outboxes : 'a entry list array;  (* per source shard, newest first *)
+  seqs : int array;  (* per source shard, monotone send counter *)
+  win : int;
+  mutable bound : Engine.time;  (* inclusive end of the window in flight *)
+}
+
+let create ~shards ~window () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if window < 1 then invalid_arg "Shard.create: window must be >= 1";
+  {
+    engines = Array.init shards (fun _ -> Engine.create ());
+    outboxes = Array.make shards [];
+    seqs = Array.make shards 0;
+    win = window;
+    bound = -1;
+  }
+
+let shards t = Array.length t.engines
+
+let window t = t.win
+
+let engine t i = t.engines.(i)
+
+let send t ~src ~dst ~time payload =
+  if dst < 0 || dst >= Array.length t.engines then invalid_arg "Shard.send: dst out of range";
+  if time <= t.bound then
+    invalid_arg
+      (Printf.sprintf "Shard.send: time %d within window bound %d (lookahead violation)" time
+         t.bound);
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  t.outboxes.(src) <- { at = time; src; seq; dst; payload } :: t.outboxes.(src)
+
+(* Deliver every queued outbox entry into its destination engine, in
+   (time, source shard, send sequence) order.  Because delivery happens
+   sequentially on the coordinator after the barrier, the destination
+   engines assign their FIFO tie-break sequence numbers in this exact
+   order — the step that makes the whole run independent of how the
+   window's shards were interleaved across domains. *)
+let flush t =
+  let entries =
+    Array.fold_left (fun acc box -> List.rev_append box acc) [] t.outboxes
+    |> List.sort (fun a b ->
+           if a.at <> b.at then compare a.at b.at
+           else if a.src <> b.src then compare a.src b.src
+           else compare a.seq b.seq)
+  in
+  Array.fill t.outboxes 0 (Array.length t.outboxes) [];
+  List.iter (fun e -> Engine.schedule_at t.engines.(e.dst) ~time:e.at e.payload) entries
+
+let earliest t =
+  Array.fold_left
+    (fun acc e ->
+      match Engine.next_time e with
+      | None -> acc
+      | Some at -> ( match acc with None -> Some at | Some a -> Some (min a at)))
+    None t.engines
+
+let run ?pool ?until t handler =
+  let n = Array.length t.engines in
+  let rec windows () =
+    flush t;
+    match earliest t with
+    | None -> ()
+    | Some tmin when (match until with Some u -> tmin > u | None -> false) -> ()
+    | Some tmin ->
+      let bound = tmin + t.win - 1 in
+      let bound = match until with Some u -> min bound u | None -> bound in
+      t.bound <- bound;
+      let step i () = Engine.run t.engines.(i) ~until:bound (handler i) in
+      (match pool with
+      | Some p when n > 1 && Pool.jobs p > 1 -> ignore (Pool.run p (List.init n step))
+      | _ ->
+        for i = 0 to n - 1 do
+          step i ()
+        done);
+      t.bound <- -1;
+      windows ()
+  in
+  windows ()
+
+let total_dispatched t =
+  Array.fold_left (fun acc e -> acc + Engine.events_dispatched e) 0 t.engines
+
+let max_now t = Array.fold_left (fun acc e -> max acc (Engine.now e)) 0 t.engines

@@ -1,0 +1,61 @@
+(** Conservative parallel discrete-event coordinator: one {!Engine} per
+    shard, advanced in lockstep lookahead windows.
+
+    The classic obstacle to running one simulation on several domains is
+    that a message from shard A can invalidate shard B's past.  This
+    coordinator uses the conservative (Chandy–Misra style) answer: if every
+    cross-shard interaction takes at least [window] ticks of simulated
+    latency, then the interval [tmin, tmin + window - 1] (where [tmin] is
+    the earliest pending event anywhere) can be executed by all shards
+    independently — nothing sent during the window can land inside it.
+    Each window runs the per-shard engines (in parallel when a pool is
+    supplied), then merges the cross-shard outboxes at the barrier.
+
+    Determinism is by construction, not by luck: during a window a shard
+    handler may touch only that shard's state, and the merge delivers
+    outbox entries in [(time, source shard, send sequence)] order, so the
+    destination engines' FIFO tie-break sequence numbers — and therefore
+    every subsequent dispatch order — are identical whether the windows ran
+    on one domain or eight.  A run under [?pool] is byte-identical to a
+    sequential run. *)
+
+type 'a t
+
+val create : shards:int -> window:int -> unit -> 'a t
+(** [create ~shards ~window ()] builds [shards] empty engines with a
+    cross-shard lookahead of [window] ticks.
+    @raise Invalid_argument if [shards < 1] or [window < 1]. *)
+
+val shards : 'a t -> int
+
+val window : 'a t -> int
+
+val engine : 'a t -> int -> 'a Engine.t
+(** Direct access to one shard's engine — for seeding initial events
+    before {!run} and for shard-local scheduling from inside a handler.
+    During {!run}, a handler running as shard [i] must only touch
+    [engine t i]. *)
+
+val send : 'a t -> src:int -> dst:int -> time:Engine.time -> 'a -> unit
+(** Queue a cross-shard event from shard [src] (the shard the calling
+    handler is executing) for delivery into shard [dst] at absolute
+    [time].  Entries accumulate in [src]'s outbox — written only by the
+    domain running [src], so no lock — and are merged deterministically at
+    the next window barrier.
+    @raise Invalid_argument if [dst] is out of range or [time] does not
+    lie strictly beyond the current window (a lookahead violation: the
+    destination shard may already have simulated past [time]). *)
+
+val run : ?pool:Recflow_parallel.Pool.t -> ?until:Engine.time -> 'a t ->
+  (int -> Engine.time -> 'a -> unit) -> unit
+(** [run t handler] executes windows until every engine is quiescent (or
+    the next event would pass [until]).  [handler shard at ev] is invoked
+    for each event; with [?pool] the shards of one window execute as one
+    pool batch, without it they run sequentially in shard order — the two
+    produce identical event orders per shard. *)
+
+val total_dispatched : 'a t -> int
+(** Sum of {!Engine.events_dispatched} across shards. *)
+
+val max_now : 'a t -> Engine.time
+(** Latest virtual clock across shards (the run's simulated makespan). *)

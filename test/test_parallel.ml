@@ -7,6 +7,8 @@ module Harness = Recflow_experiments.Harness
 module Report = Recflow_experiments.Report
 module Workload = Recflow_workload.Workload
 module Rng = Recflow_sim.Rng
+module Collect = Recflow_obs_core.Collect
+module Counter = Recflow_stats.Counter
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -97,12 +99,93 @@ let pool_shutdown_idempotent () =
   let p = Pool.create ~jobs:3 () in
   Pool.shutdown p;
   Pool.shutdown p;
-  Alcotest.(check (list int)) "sequential after shutdown" [ 1; 4; 9 ]
-    (Pool.map p (fun x -> x * x) [ 1; 2; 3 ])
+  (* A map on a shut-down pool used to fall back to running submitter-only,
+     silently masquerading as a parallel sweep; it must refuse instead. *)
+  check "map after shutdown refused" true
+    (try
+       ignore (Pool.map p (fun x -> x * x) [ 1; 2; 3 ]);
+       false
+     with Invalid_argument _ -> true)
 
 let pool_run_thunks () =
   with_pool ~jobs:2 (fun p ->
       Alcotest.(check (list int)) "run" [ 10; 20 ] (Pool.run p [ (fun () -> 10); (fun () -> 20) ]))
+
+let set_default_jobs_refused_in_flight () =
+  (* Swapping the default pool while a map is running on it would tear the
+     pool out from under its submitter.  A raw domain drives a map through
+     the default pool and parks inside a task until the main domain has
+     observed the refusal. *)
+  with_default_jobs 2 (fun () ->
+      let started = Atomic.make false in
+      let release = Atomic.make false in
+      let submitter =
+        Domain.spawn (fun () ->
+            Pool.map (Pool.default ())
+              (fun i ->
+                if i = 0 then begin
+                  Atomic.set started true;
+                  while not (Atomic.get release) do
+                    Domain.cpu_relax ()
+                  done
+                end;
+                i)
+              [ 0; 1; 2; 3 ])
+      in
+      while not (Atomic.get started) do
+        Domain.cpu_relax ()
+      done;
+      let refused =
+        try
+          Pool.set_default_jobs 3;
+          false
+        with Invalid_argument _ -> true
+      in
+      Atomic.set release true;
+      Alcotest.(check (list int)) "gated map finished" [ 0; 1; 2; 3 ] (Domain.join submitter);
+      check "swap refused while map in flight" true refused;
+      (* once the batch has settled the swap must go through *)
+      Pool.set_default_jobs 3;
+      check_int "swap succeeds after the batch" 3 (Pool.default_jobs ()))
+
+let dual_pool_slots_disjoint () =
+  (* Two coexisting pools must never alias an execution slot: slot ids are
+     what sharded collectors key their single-writer shards by. *)
+  with_pool ~jobs:3 (fun p1 ->
+      with_pool ~jobs:3 (fun p2 ->
+          let slots_of p =
+            Pool.map p (fun i -> ignore (Sys.opaque_identity i); Pool.slot ()) (List.init 64 Fun.id)
+          in
+          let s1 = slots_of p1 and s2 = slots_of p2 in
+          let module S = Set.Make (Int) in
+          let d1 = S.of_list s1 and d2 = S.of_list s2 in
+          check "pools share no slot" true (S.is_empty (S.inter (S.remove (Pool.slot ()) d1)
+            (S.remove (Pool.slot ()) d2)));
+          check "slots below slot_limit" true
+            (S.for_all (fun s -> s >= 0 && s < Pool.slot_limit ()) (S.union d1 d2))))
+
+let dual_pool_collect_exact () =
+  (* The practical consequence of slot disjointness: a sharded collector
+     written through two pools at once — one driven by a second raw domain,
+     whose lazily allocated slot also exercises the growth path — must
+     merge to exact totals, with no update lost to slot aliasing. *)
+  with_pool ~jobs:3 (fun p1 ->
+      with_pool ~jobs:3 (fun p2 ->
+          let coll = Collect.create () in
+          let n = 400 in
+          let bump p name = ignore (Pool.map p (fun _ -> Collect.incr coll name) (List.init n Fun.id)) in
+          let other =
+            Domain.spawn (fun () ->
+                bump p2 "shared";
+                bump p2 "only_p2")
+          in
+          bump p1 "shared";
+          bump p1 "only_p1";
+          Domain.join other;
+          let c = Collect.counters coll in
+          check_int "shared counter exact" (2 * n) (Counter.get c "shared");
+          check_int "p1 counter exact" n (Counter.get c "only_p1");
+          check_int "p2 counter exact" n (Counter.get c "only_p2")))
 
 (* ---------------- Harness determinism across pool widths ---------------- *)
 
@@ -174,6 +257,10 @@ let suites =
         Alcotest.test_case "jobs validation" `Quick pool_jobs_clamped;
         Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown_idempotent;
         Alcotest.test_case "run thunks" `Quick pool_run_thunks;
+        Alcotest.test_case "set_default_jobs refused in flight" `Quick
+          set_default_jobs_refused_in_flight;
+        Alcotest.test_case "dual-pool slots disjoint" `Quick dual_pool_slots_disjoint;
+        Alcotest.test_case "dual-pool collect exact" `Quick dual_pool_collect_exact;
       ] );
     ( "parallel.harness",
       [

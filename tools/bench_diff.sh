@@ -1,0 +1,21 @@
+#!/bin/sh
+# Cross-PR benchmark regression gate: compare the committed results of the
+# last two PRs row by row.  Micro rows (fixed data structures) gate hard —
+# any row more than 20% slower fails the script — while the experiment
+# kernel rows are printed for information only, since their workloads
+# legitimately grow as experiments are added.  Wraps the dune alias so CI
+# and humans share one entry point:
+#
+#   tools/bench_diff.sh             # == dune build @bench-diff
+#
+# To compare other files or thresholds, call the harness directly:
+#
+#   dune exec bench/main.exe -- --diff OLD.json NEW.json --diff-threshold 10
+#
+# The loose multicore sanity check lives in the same binary
+# (`dune exec bench/main.exe -- --scaling-check`); it skips, rather than
+# fails, on single-core hosts where a warm 2-domain sweep cannot beat a
+# sequential one.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @bench-diff "$@"
