@@ -14,6 +14,16 @@
    slot only once [bottom - top] wraps the capacity, and [grow] runs
    before that.  A stale value read under a lost race is discarded.
 
+   [grow] swaps the [buf] reference itself, so a thief must read [q.buf]
+   EXACTLY ONCE per attempt and derive both the mask and the element from
+   that one snapshot: reading the length from one array and the slot from
+   another would index the wrong slot (or out of bounds) with no CAS to
+   catch it.  Either snapshot is fine — the old array keeps valid values
+   for every index in [top, bottom) because [grow] copies that range and
+   the owner only ever writes the new array afterwards; if [top] has moved
+   past the snapshot index meanwhile, the CAS fails and the read is
+   discarded as usual.
+
    Vacated slots are overwritten with an immediate on the owner-exclusive
    pop path so the deque does not retain popped closures; stolen slots are
    cleared lazily on wrap (a thief may still be reading them). *)
@@ -89,7 +99,13 @@ let steal (type a) (q : a t) : a option =
     let b = Atomic.get q.bottom in
     if b <= t then None
     else begin
-      let v : a = Obj.obj q.buf.(t land (Array.length q.buf - 1)) in
+      (* single snapshot of the buffer reference: mask and element must
+         come from the same array, or a racing [grow] pairs a new array
+         with a stale mask (wrong slot — possibly a reclaimed immediate
+         Obj.obj'd to a closure) or a stale array with a new mask (out of
+         bounds).  See the header comment. *)
+      let a = q.buf in
+      let v : a = Obj.obj a.(t land (Array.length a - 1)) in
       if Atomic.compare_and_set q.top t (t + 1) then Some v
       else begin
         (* another thief (or the owner's last-element pop) advanced [top];

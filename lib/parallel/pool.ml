@@ -123,25 +123,33 @@ let push_current t task =
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* A worker may only exit once the pool is closed AND no [map] is in
+   flight: exiting on [closed] alone would strand the splits of a batch
+   that raced [shutdown] (its submitter, parked on the wake protocol,
+   would then wait forever on work nobody runs).  [shutdown] sets [closed]
+   first and then waits for [in_flight] to drain, so this condition is
+   eventually stable. *)
+let done_for_good t = Atomic.get t.closed && Atomic.get t.in_flight = 0
+
 let worker t local =
   let rec loop () =
-    if not (Atomic.get t.closed) then begin
-      (* Read the epoch before scanning: a push that lands mid-scan bumps
-         it, and the recheck under the lock then skips the wait — the
-         standard no-lost-wakeup dance without locking the push path. *)
-      let e = Atomic.get t.epoch in
-      match find_task t local with
-      | Some task ->
-        task ();
-        loop ()
-      | None ->
+    (* Read the epoch before scanning: a push that lands mid-scan bumps
+       it, and the recheck under the lock then skips the wait — the
+       standard no-lost-wakeup dance without locking the push path. *)
+    let e = Atomic.get t.epoch in
+    match find_task t local with
+    | Some task ->
+      task ();
+      loop ()
+    | None ->
+      if not (done_for_good t) then begin
         Mutex.lock t.lock;
         Atomic.incr t.sleepers;
-        if Atomic.get t.epoch = e && not (Atomic.get t.closed) then Condition.wait t.wake t.lock;
+        if Atomic.get t.epoch = e && not (done_for_good t) then Condition.wait t.wake t.lock;
         Atomic.decr t.sleepers;
         Mutex.unlock t.lock;
         loop ()
-    end
+      end
   in
   loop ()
 
@@ -191,7 +199,15 @@ let jobs t = t.jobs
 
 let shutdown t =
   if not (Atomic.exchange t.closed true) then begin
+    (* Drain before tearing down: a [map] that was admitted before the
+       [closed] flip (its [in_flight] increment and close-check are one
+       atomic protocol, see [enter]) must run to completion with the
+       workers still alive — the batch's final [leave] broadcasts [wake]
+       under the same lock, so the wait below cannot miss it. *)
     Mutex.lock t.lock;
+    while Atomic.get t.in_flight > 0 do
+      Condition.wait t.wake t.lock
+    done;
     Condition.broadcast t.wake;
     Mutex.unlock t.lock;
     List.iter Domain.join t.workers;
@@ -202,9 +218,39 @@ let shutdown t =
 (* Batch submission                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Admission, paired with [shutdown]'s drain.  The increment goes first
+   and the close-check second (the mirror image of shutdown's close-flip
+   then in-flight-read, both seq_cst), so the two can never miss each
+   other: either this map observes [closed] and backs out, or shutdown
+   observes [in_flight > 0] and waits for [leave].  A plain
+   check-then-increment was a TOCTOU hole — a map could slip in between
+   shutdown's (or [set_default_jobs]'s) check and the teardown. *)
+let leave t =
+  if Atomic.fetch_and_add t.in_flight (-1) = 1 && Atomic.get t.closed then begin
+    (* last in-flight map on a closing pool: wake shutdown's drain loop
+       (and any worker parked waiting for permission to exit) *)
+    Mutex.lock t.lock;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock
+  end
+
+let enter t =
+  Atomic.incr t.in_flight;
+  if Atomic.get t.closed && my_index t < 0 then begin
+    (* Refuse new top-level work on a closed pool — but a NESTED map
+       (issued from inside an already-admitted batch, so the calling
+       domain carries this pool's context) is still serviceable during
+       the shutdown drain: the workers stay alive while [in_flight > 0],
+       and the outer batch cannot settle until the nested one does, so
+       admitting it cannot outlive the drain.  Refusing it would turn the
+       outer batch's promised full result into an error. *)
+    leave t;
+    invalid_arg "Pool.map: pool has been shut down (use-after-shutdown)"
+  end
+
 let map (type b) t (f : _ -> b) xs =
-  if Atomic.get t.closed then
-    invalid_arg "Pool.map: pool has been shut down (use-after-shutdown)";
+  enter t;
+  Fun.protect ~finally:(fun () -> leave t) @@ fun () ->
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
@@ -213,15 +259,11 @@ let map (type b) t (f : _ -> b) xs =
        determinism oracle. *)
     List.map f xs
   | xs ->
-    Atomic.incr t.in_flight;
-    Fun.protect ~finally:(fun () -> Atomic.decr t.in_flight) @@ fun () ->
     let arr = Array.of_list xs in
     let n = Array.length arr in
     let results : b option array = Array.make n None in
     let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
     let remaining = Atomic.make n in
-    let bm = Mutex.create () in
-    let finished = Condition.create () in
     (* Batches of long simulation tasks want chunk = 1 (perfect balance);
        huge micro-task batches want larger leaves so the per-range
        bookkeeping amortizes. *)
@@ -246,10 +288,16 @@ let map (type b) t (f : _ -> b) xs =
         done;
         let len = hi - lo in
         if Atomic.fetch_and_add remaining (-len) = len then begin
-          (* this leaf settled the batch: wake the submitter if it sleeps *)
-          Mutex.lock bm;
-          Condition.broadcast finished;
-          Mutex.unlock bm
+          (* This leaf settled the batch: wake the (possibly parked)
+             submitter through the same epoch/sleepers protocol pushes
+             use — it parks on the pool-wide [wake], not a batch-local
+             condvar, so this is the only signal it needs. *)
+          Atomic.incr t.epoch;
+          if Atomic.get t.sleepers > 0 then begin
+            Mutex.lock t.lock;
+            Condition.broadcast t.wake;
+            Mutex.unlock t.lock
+          end
         end
       end
     in
@@ -262,10 +310,15 @@ let map (type b) t (f : _ -> b) xs =
       | i when i >= 0 -> (i, fun () -> ())
       | _ ->
         if Atomic.compare_and_set t.submitter_free true false then begin
+          (* Save and restore rather than erase: the caller may be a
+             worker of ANOTHER pool submitting here, and clobbering its
+             context would silently demote all its later pushes in its
+             own pool to the mutexed injection queue. *)
+          let saved = Domain.DLS.get ctx_key in
           Domain.DLS.set ctx_key (Some (t, 0));
           ( 0,
             fun () ->
-              Domain.DLS.set ctx_key None;
+              Domain.DLS.set ctx_key saved;
               Atomic.set t.submitter_free true )
         end
         else (-1, fun () -> ())
@@ -275,18 +328,29 @@ let map (type b) t (f : _ -> b) xs =
        the deque as it descends, and workers steal them from the top. *)
     range 0 n ();
     let rec help () =
-      if Atomic.get remaining > 0 then
+      if Atomic.get remaining > 0 then begin
+        let e = Atomic.get t.epoch in
         match find_task t my with
         | Some task ->
           task ();
           help ()
         | None ->
-          (* nothing stealable anywhere: every leftover leaf is running on
-             some worker — sleep until one of them settles the batch *)
-          Mutex.lock bm;
-          if Atomic.get remaining > 0 then Condition.wait finished bm;
-          Mutex.unlock bm;
+          (* Nothing stealable *at this instant* — but a range task still
+             running on a worker can push fresh splits at any moment, so
+             "empty scan" is not "every leftover leaf is already running".
+             Park on the pool-wide wake protocol (registered in
+             [sleepers], epoch recheck under the lock): a new push or the
+             settling leaf both bump the epoch and broadcast, so the
+             submitter rejoins the moment stealable work (or the finish
+             signal) appears instead of idling until settlement. *)
+          Mutex.lock t.lock;
+          Atomic.incr t.sleepers;
+          if Atomic.get t.epoch = e && Atomic.get remaining > 0 then
+            Condition.wait t.wake t.lock;
+          Atomic.decr t.sleepers;
+          Mutex.unlock t.lock;
           help ()
+      end
     in
     help ();
     Array.iter
@@ -312,6 +376,14 @@ let set_default_jobs j =
   let retired =
     match !default_state with
     | _, Some p ->
+      (* Best-effort misuse detection: a map that enters concurrently with
+         this check can still slip past it (the check and map's admission
+         are not one atomic step).  That race is SAFE, not just unlikely —
+         [shutdown] below drains every admitted map before joining the
+         workers, and any map that loses the admission race against the
+         close flip raises in [enter].  The refusal here exists to turn
+         the blatant case (caller visibly mid-sweep) into an error instead
+         of a silent blocking drain. *)
       if Atomic.get p.in_flight > 0 then begin
         Mutex.unlock default_mutex;
         invalid_arg

@@ -66,7 +66,10 @@ val run : t -> (unit -> 'a) list -> 'a list
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Subsequent [map]/[run]
-    calls raise [Invalid_argument]. *)
+    calls raise [Invalid_argument].  A [map] already in flight when
+    [shutdown] is called is drained first: the workers stay alive until it
+    settles and its submitter gets its full result — shutdown never
+    strands a batch mid-air. *)
 
 (** {1 Shared default pool}
 
@@ -76,9 +79,13 @@ val shutdown : t -> unit
 val set_default_jobs : int -> unit
 (** Replace the default pool with one of the given width (shutting down
     the previous one if it was started).  Raises [Invalid_argument] if
-    [jobs < 1], or if a [map] on the current default pool is still in
-    flight — swapping under a live sweep would tear the pool out from
-    under its submitter. *)
+    [jobs < 1], or if a [map] on the current default pool is observed
+    still in flight — swapping under a live sweep would tear the pool out
+    from under its submitter.  The in-flight refusal is best-effort
+    detection of that misuse, not the safety mechanism: a map racing this
+    call either completes in full (the retiring pool's {!shutdown} drains
+    admitted maps before joining its workers) or raises
+    [Invalid_argument] itself. *)
 
 val default : unit -> t
 (** The shared pool, created on first use with the default width. *)

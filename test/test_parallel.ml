@@ -3,6 +3,7 @@
    at any pool width. *)
 
 module Pool = Recflow_parallel.Pool
+module Deque = Recflow_parallel.Deque
 module Harness = Recflow_experiments.Harness
 module Report = Recflow_experiments.Report
 module Workload = Recflow_workload.Workload
@@ -22,6 +23,89 @@ let with_pool ~jobs f =
 let with_default_jobs jobs f =
   Pool.set_default_jobs jobs;
   Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+(* ---------------- Deque ---------------- *)
+
+let deque_sequential_grow () =
+  (* Push far past the initial ring capacity, then drain from both ends:
+     every element must come back exactly once. *)
+  let q = Deque.create () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Deque.push q i
+  done;
+  check_int "size after pushes" n (Deque.size q);
+  let seen = Array.make n 0 in
+  for _ = 1 to n / 2 do
+    match Deque.steal q with
+    | Some v -> seen.(v) <- seen.(v) + 1
+    | None -> Alcotest.fail "steal returned None on a non-empty deque"
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some v ->
+      seen.(v) <- seen.(v) + 1;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check "each element exactly once" true (Array.for_all (( = ) 1) seen)
+
+let deque_steal_grow_race () =
+  (* Regression for a memory-safety race: [steal] used to read [q.buf]
+     twice — once for the mask, once for the element — so a concurrent
+     [grow] (which swaps the buffer) could pair the new array with the old
+     mask (wrong slot, garbage value) or the old array with the new mask
+     (out of bounds).  Thief domains hammer [steal] while the owner pushes
+     enough to double the ring many times over; heap-allocated payloads
+     [(i, 2 * i + 1)] make a wrong-slot read detectable as a value-set
+     violation rather than only as a segfault. *)
+  let q : (int * int) Deque.t = Deque.create () in
+  let n = 100_000 in
+  let thieves = 2 in
+  let stop = Atomic.make false in
+  let stealers =
+    List.init thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec go () =
+              match Deque.steal q with
+              | Some v ->
+                acc := v :: !acc;
+                go ()
+              | None ->
+                if not (Atomic.get stop) then begin
+                  Domain.cpu_relax ();
+                  go ()
+                end
+            in
+            go ();
+            !acc))
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    (* bursts of pushes grow the ring under the thieves' feet; the
+       occasional pop keeps the owner's bottom end busy too *)
+    Deque.push q (i, (2 * i) + 1);
+    if i mod 7 = 0 then
+      match Deque.pop q with Some v -> popped := v :: !popped | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join stealers in
+  let all = List.rev_append !popped stolen in
+  check_int "no element lost or duplicated" n (List.length all);
+  check "every payload intact" true
+    (List.for_all (fun (i, w) -> i >= 0 && i < n && w = (2 * i) + 1) all);
+  let module S = Set.Make (Int) in
+  check_int "all distinct" n (S.cardinal (S.of_list (List.map fst all)))
 
 (* ---------------- Pool ---------------- *)
 
@@ -106,6 +190,70 @@ let pool_shutdown_idempotent () =
        ignore (Pool.map p (fun x -> x * x) [ 1; 2; 3 ]);
        false
      with Invalid_argument _ -> true)
+
+let pool_shutdown_drains_in_flight_map () =
+  (* Regression: workers used to exit the moment [closed] was set, without
+     draining — a shutdown racing an in-flight map could strand its queued
+     splits and deadlock the submitter.  Now shutdown must wait for the
+     admitted batch: the submitter gets its complete result and shutdown
+     returns only after.  Task 0 parks until the main domain has started
+     the shutdown, guaranteeing the close flip lands mid-batch. *)
+  let p = Pool.create ~jobs:3 () in
+  let started = Atomic.make false in
+  let release = Atomic.make false in
+  let n = 64 in
+  let submitter =
+    Domain.spawn (fun () ->
+        Pool.map p
+          (fun i ->
+            if i = 0 then begin
+              Atomic.set started true;
+              while not (Atomic.get release) do
+                Domain.cpu_relax ()
+              done
+            end;
+            i * i)
+          (List.init n Fun.id))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let closer = Domain.spawn (fun () -> Pool.shutdown p) in
+  (* give the shutdown a moment to flip [closed] while task 0 still parks *)
+  for _ = 1 to 10_000 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set release true;
+  Alcotest.(check (list int))
+    "racing map completed in full" (List.init n (fun i -> i * i)) (Domain.join submitter);
+  Domain.join closer;
+  check "map after the drained shutdown refused" true
+    (try
+       ignore (Pool.map p (fun x -> x) [ 1; 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let cross_pool_nested_map () =
+  (* A worker of pool A submitting a batch to pool B claims B's deque 0
+     and temporarily rebinds the domain's pool context; the release must
+     RESTORE the worker's original context, not erase it (a clobber
+     silently demoted all its later pushes in A to the mutexed injection
+     queue).  Exercised for correctness here: repeated rounds of A-tasks
+     each fanning out through B, with enough elements per round that the
+     outer tasks keep splitting after their inner maps return. *)
+  with_pool ~jobs:2 (fun a ->
+      with_pool ~jobs:2 (fun b ->
+          for _round = 1 to 3 do
+            let got =
+              Pool.map a
+                (fun i ->
+                  let inner = Pool.map b (fun j -> (100 * i) + j) [ 1; 2; 3 ] in
+                  List.fold_left ( + ) 0 inner)
+                (List.init 40 Fun.id)
+            in
+            let expect = List.init 40 (fun i -> (300 * i) + 6) in
+            Alcotest.(check (list int)) "cross-pool nested sums" expect got
+          done))
 
 let pool_run_thunks () =
   with_pool ~jobs:2 (fun p ->
@@ -246,6 +394,11 @@ let obs_hook_complete_under_parallel_runs () =
 
 let suites =
   [
+    ( "parallel.deque",
+      [
+        Alcotest.test_case "sequential grow" `Quick deque_sequential_grow;
+        Alcotest.test_case "steal vs grow race" `Quick deque_steal_grow_race;
+      ] );
     ( "parallel.pool",
       [
         Alcotest.test_case "map ordering" `Quick pool_map_ordering;
@@ -256,6 +409,9 @@ let suites =
         Alcotest.test_case "nested map" `Quick pool_nested_map;
         Alcotest.test_case "jobs validation" `Quick pool_jobs_clamped;
         Alcotest.test_case "shutdown idempotent" `Quick pool_shutdown_idempotent;
+        Alcotest.test_case "shutdown drains in-flight map" `Quick
+          pool_shutdown_drains_in_flight_map;
+        Alcotest.test_case "cross-pool nested map" `Quick cross_pool_nested_map;
         Alcotest.test_case "run thunks" `Quick pool_run_thunks;
         Alcotest.test_case "set_default_jobs refused in flight" `Quick
           set_default_jobs_refused_in_flight;
