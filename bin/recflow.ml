@@ -30,6 +30,8 @@ module Metrics = Recflow_obs.Metrics
 module Check = Recflow_analysis.Check
 module Diagnostic = Recflow_analysis.Diagnostic
 module Shape = Recflow_analysis.Shape
+module Service = Recflow_service.Service
+module Hdr = Recflow_stats.Hdr
 
 let parse_failure s =
   match String.split_on_char '@' s with
@@ -57,10 +59,60 @@ let recovery_of_string s =
     | _ -> Error (Printf.sprintf "bad replication factor in %S" s))
   | _ -> Error (Printf.sprintf "unknown recovery %S (none|rollback|splice|replicate:K)" s)
 
+(* --serve: a stream of independent requests into one persistent cluster
+   instead of a single batch program.  Restricted to built-in workloads —
+   the service layer checks every delivered answer against the serial
+   reference, which only workloads carry. *)
+let serve_main cfg ~workload_name ~size ~size_name ~requests ~arrival_mean ~service_replicas
+    ~max_inflight ~shed_frac ~failures ~service_json =
+  let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
+  let* w =
+    match Option.bind workload_name Workload.by_name with
+    | Some w -> Ok w
+    | None -> Error "--serve requires --workload (the per-request oracle needs the serial reference)"
+  in
+  let cfg =
+    {
+      cfg with
+      Config.service =
+        { Config.arrival_mean; replicas = service_replicas; max_inflight;
+          shed_suspect_frac = shed_frac };
+    }
+  in
+  let* () =
+    match Config.validate cfg with
+    | Ok () -> Ok ()
+    | Error msg -> Error ("invalid configuration: " ^ msg)
+  in
+  let o = Service.run ~failures ~config:cfg ~workload:w ~size ~requests () in
+  let c = o.Service.counts in
+  Format.printf "offered %d: completed %d, masked %d, recovered %d, shed %d (overload %d, suspects %d)@."
+    c.Service.offered c.Service.completed c.Service.masked c.Service.recovered (Service.shed c)
+    c.Service.shed_overload c.Service.shed_suspects;
+  let h = Cluster.latency o.Service.cluster "service.latency" in
+  if Hdr.count h > 0 then
+    Format.printf "latency: p50 %d, p99 %d, p999 %d (over %d finished)@." (Hdr.quantile h 50.0)
+      (Hdr.quantile h 99.0) (Hdr.quantile h 99.9) (Hdr.count h);
+  Format.printf "goodput: %.2f requests/kilotick over %d simulated ticks (%d events)@."
+    o.Service.goodput o.Service.sim_time o.Service.events;
+  Format.printf "all answers match the serial reference: %b@." o.Service.all_correct;
+  (match Episode.analyze (Cluster.journal o.Service.cluster) with
+  | [] -> ()
+  | episodes ->
+    Format.printf "@.recovery episodes:@.";
+    List.iter (fun e -> Format.printf "  %a@." Episode.pp e) episodes);
+  Option.iter
+    (fun path ->
+      Json.write_file ~path (Service.to_json ?workload:workload_name ~size:size_name o);
+      Format.printf "service metrics written to %s@." path)
+    service_json;
+  if o.Service.all_correct then 0 else 1
+
 let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
     detect_delay workload_name size_name program_file entry args failures show_journal
     show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl
-    trace_sample profile profile_json check_only check_json werror no_check =
+    trace_sample profile profile_json check_only check_json werror no_check serve requests
+    arrival_mean service_replicas max_inflight shed_frac service_json =
   let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
   let* topology =
     match topology with
@@ -162,6 +214,10 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
     | Ok () -> Ok ()
     | Error msg -> Error ("invalid configuration: " ^ msg)
   in
+  if serve then
+    serve_main cfg ~workload_name ~size ~size_name ~requests ~arrival_mean ~service_replicas
+      ~max_inflight ~shed_frac ~failures ~service_json
+  else begin
   let nodes_n = Recflow_net.Topology.size cfg.Config.topology in
   let profiling = profile || profile_json <> None in
   if profiling then begin
@@ -291,6 +347,7 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
   end
   else ignore wall_s;
   match outcome.Cluster.answer with Some _ -> 0 | None -> 1
+  end
 
 open Cmdliner
 
@@ -443,6 +500,58 @@ let no_check =
     & info [ "no-check" ]
         ~doc:"Skip the pre-run analysis gate (structural validity is still required).")
 
+let serve =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Service mode: feed an open-loop stream of independent requests into one persistent \
+           cluster instead of running a single batch program.  Requires $(b,--workload); \
+           $(b,--fail) kills strike mid-stream.  Exits 0 iff every delivered answer matches \
+           the serial reference.")
+
+let requests =
+  Arg.(
+    value & opt int 100
+    & info [ "requests" ] ~docv:"N" ~doc:"With $(b,--serve): number of requests to offer.")
+
+let arrival_mean =
+  Arg.(
+    value & opt float 400.0
+    & info [ "arrival-mean" ] ~docv:"T"
+        ~doc:"With $(b,--serve): mean inter-arrival gap in ticks (Poisson arrivals).")
+
+let service_replicas =
+  Arg.(
+    value & opt int 1
+    & info [ "service-replicas" ] ~docv:"K"
+        ~doc:
+          "With $(b,--serve): dispatch each request as $(docv) replica roots on distinct \
+           processors and take the first majority (§5.3 failure masking).")
+
+let max_inflight =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"With $(b,--serve): shed arrivals while $(docv) requests are already in flight.")
+
+let shed_frac =
+  Arg.(
+    value & opt float 1.0
+    & info [ "shed-frac" ] ~docv:"F"
+        ~doc:
+          "With $(b,--serve): shed arrivals while the dead + suspected processor fraction \
+           exceeds $(docv) (1.0 never sheds on suspicion).")
+
+let service_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "service-json" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--serve): write traffic counts, latency percentiles and episode metrics \
+           as a recflow.service/1 JSON document to $(docv).")
+
 let cmd =
   let doc = "run applicative programs on a simulated fault-tolerant multiprocessor" in
   Cmd.v (Cmd.info "recflow" ~doc)
@@ -451,6 +560,7 @@ let cmd =
       $ inline_depth $ seed $ detect_delay $ workload $ size $ program_file $ entry $ args
       $ failures $ show_journal $ show_trace $ trace_limit $ show_stats $ show_timeline $ drain
       $ emit_trace $ metrics_json $ trace_jsonl $ trace_sample $ profile $ profile_json
-      $ check_only $ check_json $ werror $ no_check)
+      $ check_only $ check_json $ werror $ no_check $ serve $ requests $ arrival_mean
+      $ service_replicas $ max_inflight $ shed_frac $ service_json)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,3 +75,16 @@ let lose t =
   | None ->
     t.lost <- t.lost + 1;
     settle t
+
+let give_up t =
+  match t.decision with
+  | Some v -> Some v
+  | None ->
+    (* Strict plurality only: a tie between distinct values carries no
+       information, so the caller must fall back to recovery. *)
+    let best = List.fold_left (fun acc (_, n) -> max acc n) 0 t.tallies in
+    if best = 0 then None
+    else
+      match List.filter (fun (_, n) -> n = best) t.tallies with
+      | [ (v, _) ] -> Some v
+      | _ -> None

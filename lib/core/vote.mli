@@ -47,3 +47,9 @@ val decision : 'a t -> 'a option
 
 val leader : 'a t -> ('a * int) option
 (** Current plurality value and its count. *)
+
+val give_up : 'a t -> 'a option
+(** Abandon the vote and accept what is on the table: the decision if one
+    was reached, otherwise the strict-plurality value.  [None] when the
+    tallies are empty or the top count is tied between distinct values —
+    in that case the caller must fail over to checkpoint-based recovery. *)

@@ -1,0 +1,16 @@
+(** X6 — Service: request streams surviving mid-stream failures.
+
+    A long open-loop request stream (Poisson arrivals) is fed into one
+    persistent cluster and two processors are killed mid-stream.  The
+    sweep over arrival rate × network weather × replication degree
+    measures what a *client* of the system sees: per-request latency
+    percentiles, goodput, and the honest outcome split
+    (completed / masked / recovered / shed).  The headline check is the
+    §5.3 claim read through SLO eyes — with k=3 replication the surviving
+    replicas outvote a killed one, so the p99 penalty a failure inflicts
+    is measurably smaller than under k=1, where disturbed requests pay
+    the full checkpoint-recovery latency.  Every request in every run is
+    verified against the serial reference and the per-request recovery
+    oracle. *)
+
+val run : ?quick:bool -> unit -> Report.t

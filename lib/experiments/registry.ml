@@ -32,6 +32,8 @@ let all =
     { id = "X4"; title = "Chaos: loss, duplication, reordering, partitions, suspicion";
       run = Exp_chaos.run };
     { id = "X5"; title = "Sharded execution of one run across domains"; run = Exp_shard.run };
+    { id = "X6"; title = "Service: request streams surviving mid-stream failures";
+      run = Exp_service.run };
   ]
 
 let find id =

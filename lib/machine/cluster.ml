@@ -25,6 +25,9 @@ type event =
   | Step of Ids.proc_id
   | Fail of Ids.proc_id
   | Gradient_tick of Ids.proc_id
+  | Callback of (unit -> unit)
+      (** service-mode hook: open-loop arrival generators run inside the
+          event loop so inter-arrival draws stay in simulated time *)
 
 (* One in-flight reliable send.  [p_settled] flips when the transport ack
    arrives or the destination is discovered dead; the next timer firing
@@ -46,13 +49,25 @@ type outcome = {
   error : string option;
 }
 
-type root_state = {
+(* One root request tracked by the super-root.  Batch mode has exactly one
+   (uid -1, the empty stamp); service mode keeps one per submitted request,
+   each rooted at a distinct depth-1 stamp so the checkpoint tables, orphan
+   relays and journals of concurrent requests can never alias. *)
+type request = {
+  uid : int;  (** -1 for the batch root *)
+  r_stamp : Stamp.t;  (** [Stamp.root] for batch, [child root uid] for service *)
+  avoid : Ids.proc_id list;  (** processors never chosen as this root's host *)
   mutable packet : Packet.t option;  (** the super-root's functional checkpoint *)
   mutable dest : Ids.proc_id;
   mutable task : Ids.task_id;
   mutable pending : (Stamp.t * Packet.link * Value.t) list;
       (** salvaged orphan results awaiting the twin, with the orphan's
           stamp and dead parent so depth is preserved on forwarding *)
+  mutable answers : Value.t list;  (** results for this request, newest first *)
+  mutable answer_time : int option;
+  mutable redispatches : int;
+  on_answer : (Value.t -> unit) option;  (** first answer only *)
+  on_disturbed : (string -> unit) option;  (** each root re-dispatch *)
 }
 
 type t = {
@@ -71,7 +86,12 @@ type t = {
   rng : Rng.t;
   policy : Policy.t;
   mutable next_task_id : Ids.task_id;
-  root : root_state;
+  root : request;
+  requests : (int, request) Hashtbl.t;  (** service requests, by uid >= 0 *)
+  mutable next_uid : int;
+  mutable service : bool;
+  mutable arrivals_open : bool;
+  mutable unanswered : int;  (** service requests still without an answer *)
   mutable answer : Value.t option;
   mutable answer_time : int option;
   mutable root_answers : Value.t list;
@@ -327,7 +347,26 @@ let create cfg program =
     rng = Rng.create cfg.Config.seed;
     policy = Policy.create ~seed:cfg.Config.seed cfg.Config.policy;
     next_task_id = 0;
-    root = { packet = None; dest = -2; task = Ids.no_task; pending = [] };
+    root =
+      {
+        uid = -1;
+        r_stamp = Stamp.root;
+        avoid = [];
+        packet = None;
+        dest = -2;
+        task = Ids.no_task;
+        pending = [];
+        answers = [];
+        answer_time = None;
+        redispatches = 0;
+        on_answer = None;
+        on_disturbed = None;
+      };
+    requests = Hashtbl.create 64;
+    next_uid = 0;
+    service = false;
+    arrivals_open = false;
+    unanswered = 0;
     answer = None;
     answer_time = None;
     root_answers = [];
@@ -355,10 +394,41 @@ let create cfg program =
 
 let root_super_slot = 0
 
-(* Dispatch (or re-dispatch) the root task from the super-root's retained
-   checkpoint. *)
-let dispatch_root t ~reason =
-  match t.root.packet with
+(* Which request a message landing on the super-root belongs to.  Batch
+   mode owns every stamp; a service stamp names its request in its first
+   digit (request roots sit at depth 1, so any descendant carries it). *)
+let request_of_stamp t stamp =
+  if not t.service then Some t.root
+  else if Stamp.depth stamp = 0 then None
+  else Hashtbl.find_opt t.requests (Stamp.digit stamp 0)
+
+(* Deterministic iteration in submission order (uid order), batch root
+   included — hash-table order must never leak into the event stream. *)
+let iter_requests t f =
+  if t.service then
+    for uid = 0 to t.next_uid - 1 do
+      match Hashtbl.find_opt t.requests uid with Some r -> f r | None -> ()
+    done
+  else f t.root
+
+(* [true] while some request hosted on [pid] still awaits its answer. *)
+let hosted_unanswered t pid =
+  let found = ref false in
+  iter_requests t (fun r -> if r.dest = pid && r.answers = [] then found := true);
+  !found
+
+(* The generalized "no answer yet" guard: in batch mode the single root
+   answer, in service mode any request still in flight. *)
+let unanswered_exists t = if t.service then t.unanswered > 0 else t.answer = None
+
+(* Gradient gossip keeps ticking while there is (or may yet be) work. *)
+let gradient_live t =
+  if t.service then t.arrivals_open || t.unanswered > 0 else t.answer = None
+
+(* Dispatch (or re-dispatch) a request's root task from the super-root's
+   retained checkpoint. *)
+let dispatch_request t req ~reason =
+  match req.packet with
   | None -> ()
   | Some packet -> (
     match Router.alive_nodes t.router with
@@ -370,43 +440,44 @@ let dispatch_root t ~reason =
       (* A suspected processor is router-alive, so placement can pick it —
          but the rest of the cluster has written it off and would never
          relay the twin's results home.  Re-home on an unsuspected
-         survivor whenever one exists. *)
+         survivor whenever one exists.  Replica siblings of the same
+         logical request ([avoid]) are rehomed the same way: co-locating
+         them would void the independence the vote relies on. *)
+      let clear p = not (Hashtbl.mem t.suspected p) && not (List.mem p req.avoid) in
       let dest =
-        if not (Hashtbl.mem t.suspected dest) then dest
+        if clear dest then dest
         else
-          match
-            List.filter
-              (fun p -> not (Hashtbl.mem t.suspected p))
-              (Router.alive_nodes t.router)
-          with
+          match List.filter clear (Router.alive_nodes t.router) with
           | [] -> dest (* every survivor is accused; any choice is a guess *)
-          | clear -> List.nth clear (key land max_int mod List.length clear)
+          | cs -> List.nth cs (key land max_int mod List.length cs)
       in
-      t.root.dest <- dest;
-      t.root.task <- task_id;
+      req.dest <- dest;
+      req.task <- task_id;
       send t ~src:Ids.super_root ~dst:dest
         (Message.Task_packet { packet; task_id; replica = 0; replicas = 1 });
       (match reason with
-      | None -> Journal.record t.journal ~time:(now t) ~stamp:Stamp.root
+      | None -> Journal.record t.journal ~time:(now t) ~stamp:req.r_stamp
           (Journal.Spawned { task = task_id; dest; replica = 0 })
       | Some reason ->
         Counter.incr t.counters "reissue.root";
-        Journal.record t.journal ~time:(now t) ~stamp:Stamp.root
-          (Journal.Respawned { task = task_id; dest; reason }));
+        req.redispatches <- req.redispatches + 1;
+        Journal.record t.journal ~time:(now t) ~stamp:req.r_stamp
+          (Journal.Respawned { task = task_id; dest; reason });
+        Option.iter (fun f -> f reason) req.on_disturbed);
       (* Forward any salvaged orphan results that were waiting for a twin.
-         A direct child of the root fills the twin's call slot; a deeper
-         orphan (reachable here because §5.2 ancestor links can skip past
-         a dead grandparent) must instead be driven down the chain of
+         A direct child of the request root fills the twin's call slot; a
+         deeper orphan (reachable here because §5.2 ancestor links can skip
+         past a dead grandparent) must instead be driven down the chain of
          twins, so it keeps its [To_grandparent] shape — filling the
          root's slot with a grandchild's partial value would silently
          drop the rest of that subtree. *)
-      let pending = t.root.pending in
-      t.root.pending <- [];
+      let pending = req.pending in
+      req.pending <- [];
       List.iter
         (fun (stamp, (dead_parent : Packet.link), value) ->
           let direct =
             match Stamp.parent stamp with
-            | Some p -> Stamp.equal p Stamp.root
+            | Some p -> Stamp.equal p req.r_stamp
             | None -> false
           in
           let relay, slot =
@@ -420,65 +491,82 @@ let dispatch_root t ~reason =
 
 let super_root_deliver t msg =
   match msg with
-  | Message.Result { value; relay = Message.To_parent; _ } ->
-    t.root_answers <- value :: t.root_answers;
-    if t.answer = None then begin
-      t.answer <- Some value;
-      t.answer_time <- Some (now t);
-      Trace.logf t.trace ~time:(now t) ~level:Trace.Info ~tag:"SR" "answer: %s"
-        (Value.to_string value);
-      if not t.drain then Engine.stop t.engine
-    end
+  | Message.Result { stamp; value; relay = Message.To_parent; _ } -> (
+    match request_of_stamp t stamp with
+    | None -> ()
+    | Some req ->
+      req.answers <- value :: req.answers;
+      t.root_answers <- value :: t.root_answers;
+      if req.answer_time = None then begin
+        req.answer_time <- Some (now t);
+        if t.service then begin
+          t.unanswered <- t.unanswered - 1;
+          Option.iter (fun f -> f value) req.on_answer
+        end
+      end;
+      if (not t.service) && t.answer = None then begin
+        t.answer <- Some value;
+        t.answer_time <- Some (now t);
+        Trace.logf t.trace ~time:(now t) ~level:Trace.Info ~tag:"SR" "answer: %s"
+          (Value.to_string value);
+        if not t.drain then Engine.stop t.engine
+      end)
   | Message.Result { stamp; value; target; relay = Message.To_grandparent { dead_parent }; _ }
-    ->
+    -> (
     (* An orphaned result salvages itself through the super-root acting
-       as an ancestor.  Only a *direct* child of the dead root fills a
-       root call slot; a deeper orphan (its parent and grandparent both
-       dead, escalated here via §5.2 ancestor links) keeps its
+       as an ancestor.  Only a *direct* child of the dead request root
+       fills a root call slot; a deeper orphan (its parent and grandparent
+       both dead, escalated here via §5.2 ancestor links) keeps its
        [To_grandparent] shape and is driven down the chain of twins by
        the root twin — its value is one subtree fragment, not the whole
        slot. *)
-    if t.answer = None && t.cfg.Config.recovery = Config.Splice then begin
-      let direct =
-        match Stamp.parent stamp with
-        | Some p -> Stamp.equal p Stamp.root
-        | None -> false
-      in
-      let root_alive = t.root.dest >= 0 && Router.alive t.router t.root.dest in
-      if root_alive && t.root.dest <> dead_parent.Packet.proc then begin
-        (* a twin already exists: forward straight to it *)
-        let relay, slot =
-          if direct then (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
-          else (Message.To_grandparent { dead_parent }, -1)
+    match request_of_stamp t stamp with
+    | None -> ()
+    | Some req ->
+      if req.answers = [] && t.cfg.Config.recovery = Config.Splice then begin
+        let direct =
+          match Stamp.parent stamp with
+          | Some p -> Stamp.equal p req.r_stamp
+          | None -> false
         in
-        send t ~src:Ids.super_root ~dst:t.root.dest
-          (Message.Result
-             {
-               stamp;
-               value;
-               target = { Packet.task = t.root.task; proc = t.root.dest; slot };
-               relay;
-             })
-      end
-      else begin
-        t.root.pending <- (stamp, dead_parent, value) :: t.root.pending;
-        dispatch_root t ~reason:(Some "orphan-result")
-      end;
-      ignore target
-    end
-  | Message.Orphan_alive { stamp; orphan; dead_parent; target = _ } ->
-    (* A child of the (dead) root announces itself: make sure the root has
-       a twin and let the twin inherit the orphan. *)
-    if t.answer = None && t.cfg.Config.recovery = Config.Splice then begin
-      let root_alive = t.root.dest >= 0 && Router.alive t.router t.root.dest in
-      if (not root_alive) || t.root.dest = dead_parent.Packet.proc then
-        dispatch_root t ~reason:(Some "orphan-alive");
-      if t.root.dest >= 0 && Router.alive t.router t.root.dest then
-        send t ~src:Ids.super_root ~dst:t.root.dest
-          (Message.Orphan_alive
-             { stamp; orphan; dead_parent;
-               target = { Packet.task = t.root.task; proc = t.root.dest; slot = -1 } })
-    end
+        let root_alive = req.dest >= 0 && Router.alive t.router req.dest in
+        if root_alive && req.dest <> dead_parent.Packet.proc then begin
+          (* a twin already exists: forward straight to it *)
+          let relay, slot =
+            if direct then (Message.To_step_parent { dead_parent }, dead_parent.Packet.slot)
+            else (Message.To_grandparent { dead_parent }, -1)
+          in
+          send t ~src:Ids.super_root ~dst:req.dest
+            (Message.Result
+               {
+                 stamp;
+                 value;
+                 target = { Packet.task = req.task; proc = req.dest; slot };
+                 relay;
+               })
+        end
+        else begin
+          req.pending <- (stamp, dead_parent, value) :: req.pending;
+          dispatch_request t req ~reason:(Some "orphan-result")
+        end;
+        ignore target
+      end)
+  | Message.Orphan_alive { stamp; orphan; dead_parent; target = _ } -> (
+    (* A child of a (dead) request root announces itself: make sure that
+       root has a twin and let the twin inherit the orphan. *)
+    match request_of_stamp t stamp with
+    | None -> ()
+    | Some req ->
+      if req.answers = [] && t.cfg.Config.recovery = Config.Splice then begin
+        let root_alive = req.dest >= 0 && Router.alive t.router req.dest in
+        if (not root_alive) || req.dest = dead_parent.Packet.proc then
+          dispatch_request t req ~reason:(Some "orphan-alive");
+        if req.dest >= 0 && Router.alive t.router req.dest then
+          send t ~src:Ids.super_root ~dst:req.dest
+            (Message.Orphan_alive
+               { stamp; orphan; dead_parent;
+                 target = { Packet.task = req.task; proc = req.dest; slot = -1 } })
+      end)
   | Message.Result { relay = Message.To_step_parent _; _ }
   | Message.Task_packet _ | Message.Reparent _ | Message.Gradient _ | Message.Ack _
   | Message.Abort _ | Message.Failure_notice _ ->
@@ -511,7 +599,7 @@ let broadcast_failure t pid =
                msg = Message.Failure_notice { failed = pid }; seq = -1 })
       end)
     t.node_arr;
-  if t.root.dest = pid && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+  if hosted_unanswered t pid && t.cfg.Config.recovery <> Config.No_recovery then
     Engine.schedule t.engine ~delay:t.cfg.Config.detect_delay
       (Deliver
          { src = Ids.super_root; dst = Ids.super_root;
@@ -586,8 +674,7 @@ let give_up t seq p =
           send_after t ~delay:t.cfg.Config.detect_delay ~src:p.p_src ~dst:pid
             (Message.Failure_notice { failed = p.p_dst }))
       t.node_arr;
-    if t.root.dest = p.p_dst && t.answer = None && t.cfg.Config.recovery <> Config.No_recovery
-    then
+    if hosted_unanswered t p.p_dst && t.cfg.Config.recovery <> Config.No_recovery then
       Engine.schedule t.engine ~delay:t.cfg.Config.detect_delay
         (Deliver
            { src = Ids.super_root; dst = Ids.super_root;
@@ -595,7 +682,7 @@ let give_up t seq p =
   end;
   if p.p_src = Ids.super_root then begin
     Counter.incr t.counters "msg.bounced";
-    if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+    if unanswered_exists t && t.cfg.Config.recovery <> Config.No_recovery then
       Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
         (Deliver
            { src = Ids.super_root; dst = Ids.super_root;
@@ -629,7 +716,9 @@ let handle_event t _at ev =
       if transport_accept t ~src ~dst ~seq then
         match msg with
         | Message.Failure_notice { failed } ->
-          if t.root.dest = failed && t.answer = None then dispatch_root t ~reason:(Some "notice")
+          iter_requests t (fun req ->
+              if req.dest = failed && req.answers = [] then
+                dispatch_request t req ~reason:(Some "notice"))
         | _ -> super_root_deliver t msg
     end
     else begin
@@ -665,7 +754,7 @@ let handle_event t _at ev =
           if src = Ids.super_root then begin
             (* the super-root's own send bounced: re-dispatch the root *)
             Counter.incr t.counters "msg.bounced";
-            if t.answer = None && t.cfg.Config.recovery <> Config.No_recovery then
+            if unanswered_exists t && t.cfg.Config.recovery <> Config.No_recovery then
               Engine.schedule t.engine ~delay:t.cfg.Config.bounce_delay
                 (Deliver
                    { src = Ids.super_root; dst = Ids.super_root;
@@ -725,33 +814,116 @@ let handle_event t _at ev =
   | Step pid -> Node.step t.node_arr.(pid) (ctx t)
   | Gradient_tick pid ->
     let n = t.node_arr.(pid) in
-    if Node.is_alive n && t.answer = None then begin
+    if Node.is_alive n && gradient_live t then begin
       Node.gradient_tick n (ctx t);
       Engine.schedule t.engine ~delay:t.cfg.Config.gradient_period (Gradient_tick pid)
     end
   | Fail pid -> handle_fail t pid
+  | Callback f -> f ()
 
-let start t ~fname ~args =
-  if t.started then invalid_arg "Cluster.start: already started";
-  (match Recflow_lang.Program.arity t.program fname with
-  | None -> invalid_arg ("Cluster.start: unknown function " ^ fname)
+let check_entry t ~who ~fname ~args =
+  match Recflow_lang.Program.arity t.program fname with
+  | None -> invalid_arg (Printf.sprintf "Cluster.%s: unknown function %s" who fname)
   | Some a when a <> List.length args ->
-    invalid_arg (Printf.sprintf "Cluster.start: %s expects %d arguments" fname a)
-  | Some _ -> ());
-  t.started <- true;
-  (* arm the distributed gradient exchange when that policy is selected;
-     ticks stop once the answer lands so the event queue can drain *)
-  (match t.cfg.Config.policy with
+    invalid_arg (Printf.sprintf "Cluster.%s: %s expects %d arguments" who fname a)
+  | Some _ -> ()
+
+(* arm the distributed gradient exchange when that policy is selected;
+   ticks stop once no work remains so the event queue can drain *)
+let arm_gradient t =
+  match t.cfg.Config.policy with
   | Policy.Gradient_distributed _ ->
     Array.iteri
       (fun pid _ ->
         Engine.schedule t.engine ~delay:(1 + (pid * 7 mod t.cfg.Config.gradient_period))
           (Gradient_tick pid))
       t.node_arr
-  | _ -> ());
+  | _ -> ()
+
+let start t ~fname ~args =
+  if t.started then invalid_arg "Cluster.start: already started";
+  check_entry t ~who:"start" ~fname ~args;
+  t.started <- true;
+  arm_gradient t;
   let packet = Packet.root ~fname ~args:(Array.of_list args) ~super_slot:root_super_slot in
   t.root.packet <- Some packet;  (* the pre-evaluation checkpoint *)
-  dispatch_root t ~reason:None
+  dispatch_request t t.root ~reason:None
+
+(* ------------------------------------------------------------------ *)
+(* Service mode: many concurrent roots                                 *)
+(* ------------------------------------------------------------------ *)
+
+let begin_service t =
+  if t.started then invalid_arg "Cluster.begin_service: already started";
+  t.started <- true;
+  t.service <- true;
+  t.arrivals_open <- true;
+  arm_gradient t
+
+let service_mode t = t.service
+
+let close_arrivals t = t.arrivals_open <- false
+
+let schedule_callback t ~delay f =
+  if not t.started then invalid_arg "Cluster.schedule_callback: call begin_service first";
+  Engine.schedule t.engine ~delay (Callback f)
+
+let submit t ?(avoid = []) ?on_answer ?on_disturbed ~fname ~args () =
+  if not t.service then invalid_arg "Cluster.submit: call begin_service first";
+  check_entry t ~who:"submit" ~fname ~args;
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let stamp = Stamp.child Stamp.root uid in
+  (* The depth-1 stamp is the request's whole identity: its checkpoint
+     entries, orphan relays and journal rows all live in a subtree no
+     other request can reach, so nothing leaks across requests.  The
+     super-root slot carries the uid for symmetry with the batch root. *)
+  let packet =
+    Packet.make ~stamp ~fname ~args:(Array.of_list args)
+      ~parent:{ Packet.task = Ids.no_task; proc = Ids.super_root; slot = uid }
+      ~grandparent:None ~ancestors:[]
+  in
+  let req =
+    {
+      uid;
+      r_stamp = stamp;
+      avoid;
+      packet = Some packet;
+      dest = -2;
+      task = Ids.no_task;
+      pending = [];
+      answers = [];
+      answer_time = None;
+      redispatches = 0;
+      on_answer;
+      on_disturbed;
+    }
+  in
+  Hashtbl.replace t.requests uid req;
+  t.unanswered <- t.unanswered + 1;
+  dispatch_request t req ~reason:None;
+  uid
+
+let submitted_requests t = t.next_uid
+
+let in_flight t = t.unanswered
+
+let find_request t uid =
+  match Hashtbl.find_opt t.requests uid with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Cluster: no request %d" uid)
+
+let request_answers t uid = List.rev (find_request t uid).answers
+
+let request_answer_time t uid = (find_request t uid).answer_time
+
+let request_dest t uid =
+  let r = find_request t uid in
+  if r.dest >= 0 then Some r.dest else None
+
+let request_stamp t uid = (find_request t uid).r_stamp
+
+let request_redispatches t uid = (find_request t uid).redispatches
 
 let run ?(drain = false) t =
   if not t.started then invalid_arg "Cluster.run: call start first";

@@ -35,6 +35,72 @@ val start : t -> fname:string -> args:Value.t list -> unit
 (** Super-root checkpoints the root packet and dispatches it at time 0.
     @raise Invalid_argument if called twice or [fname] is unknown. *)
 
+(** {2 Service mode}
+
+    A cluster normally runs one batch program ({!start}).  Service mode
+    instead keeps the machine open for a stream of independent root
+    requests: each {!submit} creates a fresh root task under its own
+    depth-1 level stamp ([Stamp.child Stamp.root uid]), so concurrent
+    requests occupy disjoint stamp subtrees — checkpoint tables, orphan
+    relays and journal rows can never alias across requests — while the
+    §4.3.1 super-root plays virtual parent to all of them, re-dispatching
+    any request whose host dies or is suspected. *)
+
+val begin_service : t -> unit
+(** Open the cluster for {!submit} instead of {!start}.
+    @raise Invalid_argument if the cluster was already started. *)
+
+val submit :
+  t ->
+  ?avoid:Ids.proc_id list ->
+  ?on_answer:(Value.t -> unit) ->
+  ?on_disturbed:(string -> unit) ->
+  fname:string ->
+  args:Value.t list ->
+  unit ->
+  int
+(** Dispatch one root request now (callable before {!run} or from a
+    {!schedule_callback} hook inside it); returns the request uid.
+    [avoid] lists processors never chosen as this root's host — replica
+    siblings of the same logical request pass each other's destinations so
+    the vote stays independent.  [on_answer] fires once, on the first
+    result reaching the super-root; [on_disturbed] fires on every root
+    re-dispatch (failure notice, suspicion, bounce or orphan salvage).
+    @raise Invalid_argument outside service mode or for a bad call. *)
+
+val schedule_callback : t -> delay:int -> (unit -> unit) -> unit
+(** Run [f] inside the event loop [delay] ticks from now — the hook an
+    open-loop arrival generator uses so inter-arrival draws happen in
+    simulated time.  @raise Invalid_argument before {!begin_service}. *)
+
+val close_arrivals : t -> unit
+(** Tell the cluster no further {!submit} is coming, so gradient gossip
+    (and anything else keyed on "work may still arrive") can wind down. *)
+
+val service_mode : t -> bool
+
+val submitted_requests : t -> int
+(** Requests submitted so far; uids are [0 .. submitted_requests - 1]. *)
+
+val in_flight : t -> int
+(** Submitted requests still without a first answer. *)
+
+val request_answers : t -> int -> Value.t list
+(** Results for one request in arrival order (more than one when a
+    falsely-suspected host coexists with its twin).
+    @raise Invalid_argument for an unknown uid (all request accessors). *)
+
+val request_answer_time : t -> int -> int option
+(** Tick the first answer landed, if it has. *)
+
+val request_dest : t -> int -> Ids.proc_id option
+(** Processor currently hosting the request's root task. *)
+
+val request_stamp : t -> int -> Recflow_recovery.Stamp.t
+
+val request_redispatches : t -> int -> int
+(** How many times the super-root re-dispatched this request's root. *)
+
 val fail_at : t -> time:int -> Ids.proc_id -> unit
 (** Schedule a fail-stop failure.  May be called repeatedly (multiple
     faults) and before or after {!start}, but before {!run}. *)

@@ -8,6 +8,13 @@ let recovery_to_string = function
 
 type retry = { rto : int; backoff : float; suspicion_after : int }
 
+type service = {
+  arrival_mean : float;
+  replicas : int;
+  max_inflight : int;
+  shed_suspect_frac : float;
+}
+
 type t = {
   topology : Recflow_net.Topology.t;
   latency : Recflow_net.Latency.t;
@@ -30,6 +37,7 @@ type t = {
   chaos : Recflow_net.Chaos.spec;
   reliable : bool;
   retry : retry;
+  service : service;
 }
 
 let default ~nodes =
@@ -55,6 +63,8 @@ let default ~nodes =
     chaos = Recflow_net.Chaos.none;
     reliable = false;
     retry = { rto = 150; backoff = 2.0; suspicion_after = 1500 };
+    service =
+      { arrival_mean = 400.0; replicas = 1; max_inflight = 64; shed_suspect_frac = 0.5 };
   }
 
 type meta_value = [ `Int of int | `Str of string | `Bool of bool ]
@@ -94,6 +104,10 @@ let metadata t : (string * meta_value) list =
     ("chaos_reorder_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.reorder_rate));
     ("chaos_spike_rate", `Str (Printf.sprintf "%g" t.chaos.Recflow_net.Chaos.spike_rate));
     ("chaos_partitions", `Int (List.length t.chaos.Recflow_net.Chaos.partitions));
+    ("service_arrival_mean", `Str (Printf.sprintf "%g" t.service.arrival_mean));
+    ("service_replicas", `Int t.service.replicas);
+    ("service_max_inflight", `Int t.service.max_inflight);
+    ("service_shed_suspect_frac", `Str (Printf.sprintf "%g" t.service.shed_suspect_frac));
   ]
 
 let validate t =
@@ -115,6 +129,13 @@ let validate t =
     err
       "suspicion_after must exceed detect_delay (timeout suspicion is the slow local fallback \
        to the failure-notice broadcast)"
+  else if not (t.service.arrival_mean > 0.0) then err "service arrival_mean must be > 0"
+  else if t.service.replicas < 1 then err "service replicas must be >= 1"
+  else if t.service.replicas > Recflow_net.Topology.size t.topology then
+    err "service replicas %d exceeds cluster size" t.service.replicas
+  else if t.service.max_inflight < 1 then err "service max_inflight must be >= 1"
+  else if t.service.shed_suspect_frac < 0.0 || t.service.shed_suspect_frac > 1.0 then
+    err "service shed_suspect_frac must be in [0,1]"
   else
     match Recflow_net.Chaos.validate t.chaos with
     | Error m -> err "%s" m

@@ -19,6 +19,25 @@ type retry = {
           normally announced before suspicion fires. *)
 }
 
+type service = {
+  arrival_mean : float;
+      (** mean inter-arrival time (ticks) of the open-loop request stream;
+          draws are exponential via [Rng.exponential], so the generator is
+          Poisson at rate 1/arrival_mean *)
+  replicas : int;
+      (** k-way replication per request (§5.3): each request is dispatched
+          as [k] independent root instances and the first majority among
+          their answers completes it, masking mid-stream failures without
+          waiting for checkpoint recovery.  1 = no replication. *)
+  max_inflight : int;
+      (** admission control: arrivals while this many requests are already
+          in flight are shed (counted, never executed) *)
+  shed_suspect_frac : float;
+      (** degradation threshold: arrivals are shed while the fraction of
+          dead or suspected processors exceeds this (in [0,1]; 1.0 never
+          sheds on suspicion) *)
+}
+
 type t = {
   topology : Recflow_net.Topology.t;
   latency : Recflow_net.Latency.t;
@@ -71,6 +90,9 @@ type t = {
           deduplicated at the receiver; required whenever [chaos] can
           destroy messages *)
   retry : retry;  (** retransmission timing (only used when [reliable]) *)
+  service : service;
+      (** open-loop traffic model (only used by [Recflow_service]; batch
+          runs ignore it) *)
 }
 
 val default : nodes:int -> t

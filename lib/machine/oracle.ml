@@ -41,10 +41,26 @@ let check cluster =
   in
   let violations = ref [] in
   let viol fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
-  if distinct > 1 then
-    viol "%d distinct root answers arrived (determinacy guarantees a unique value)" distinct;
-  if decidable && n_answers = 0 then
-    viol "no root answer arrived although the run drained with live processors";
+  if Cluster.service_mode cluster then begin
+    (* Per-request verdicts: different requests legitimately produce
+       different values, but each request's own answers must agree, and
+       every submitted request must have an answer once the run drained. *)
+    for uid = 0 to Cluster.submitted_requests cluster - 1 do
+      let req_answers = Cluster.request_answers cluster uid in
+      let d = List.length (distinct_values req_answers) in
+      if d > 1 then
+        viol "request %d produced %d distinct answers (determinacy guarantees a unique value)"
+          uid d;
+      if decidable && req_answers = [] then
+        viol "request %d got no answer although the run drained with live processors" uid
+    done
+  end
+  else begin
+    if distinct > 1 then
+      viol "%d distinct root answers arrived (determinacy guarantees a unique value)" distinct;
+    if decidable && n_answers = 0 then
+      viol "no root answer arrived although the run drained with live processors"
+  end;
   if decidable && n_answers > 0 && leaked > 0 then
     viol "%d task(s) leaked un-GC'd on trusted live processors at quiescence" leaked;
   if decidable && n_answers > 0 && stranded > 0 then

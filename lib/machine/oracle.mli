@@ -15,6 +15,11 @@
     occurred and at least one processor survived.  The divergence check
     (all root answers equal) is unconditional.
 
+    In service mode ({!Cluster.begin_service}) the answer checks are
+    per-request: each submitted request must end with exactly one distinct
+    value of its own, and — when decidable — at least one answer.  The
+    leak, strand and transport checks apply cluster-wide as in batch.
+
     {!assert_ok} is wired into [Harness.run] — every experiment and every
     harness-driven test runs under the oracle, never with it off. *)
 

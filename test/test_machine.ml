@@ -344,6 +344,22 @@ let config_validation () =
   check "lossy chaos needs reliable transport" true
     (bad_msg "a lossy chaos spec (drop_rate > 0 or partitions) requires reliable transport"
        (fun c -> { c with Config.chaos = { Chaos.none with Chaos.drop_rate = 0.1 } }));
+  (* service knobs: one negative per knob *)
+  check "bad arrival mean" true
+    (bad_msg "service arrival_mean must be > 0" (fun c ->
+         { c with Config.service = { c.Config.service with Config.arrival_mean = 0.0 } }));
+  check "bad service replicas" true
+    (bad_msg "service replicas must be >= 1" (fun c ->
+         { c with Config.service = { c.Config.service with Config.replicas = 0 } }));
+  check "service replicas over cluster" true
+    (bad_msg "service replicas 9 exceeds cluster size" (fun c ->
+         { c with Config.service = { c.Config.service with Config.replicas = 9 } }));
+  check "bad max inflight" true
+    (bad_msg "service max_inflight must be >= 1" (fun c ->
+         { c with Config.service = { c.Config.service with Config.max_inflight = 0 } }));
+  check "bad shed fraction" true
+    (bad_msg "service shed_suspect_frac must be in [0,1]" (fun c ->
+         { c with Config.service = { c.Config.service with Config.shed_suspect_frac = 1.5 } }));
   check "default valid" true (Config.validate (Config.default ~nodes:4) = Ok ())
 
 let horizon_stops () =

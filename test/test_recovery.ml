@@ -405,6 +405,29 @@ let vote_early_impossibility () =
   | Vote.Inconclusive -> ()
   | _ -> Alcotest.fail "three-way split must be inconclusive"
 
+let vote_give_up () =
+  (* decided: give_up just returns the decision *)
+  let v = Vote.create ~replicas:3 ~equal:Int.equal in
+  ignore (Vote.add v 7);
+  ignore (Vote.add v 7);
+  check "decided give_up" true (Vote.give_up v = Some 7);
+  (* strict plurality below majority *)
+  let v = Vote.create ~replicas:5 ~equal:Int.equal in
+  ignore (Vote.add v 1);
+  ignore (Vote.add v 2);
+  ignore (Vote.add v 2);
+  check "plurality give_up" true (Vote.give_up v = Some 2);
+  (* tie between distinct values carries no information *)
+  let v = Vote.create ~replicas:4 ~equal:Int.equal in
+  ignore (Vote.add v 1);
+  ignore (Vote.add v 2);
+  check "tied give_up" true (Vote.give_up v = None);
+  (* nothing on the table at all *)
+  let v = Vote.create ~replicas:2 ~equal:Int.equal in
+  ignore (Vote.lose v);
+  ignore (Vote.lose v);
+  check "empty give_up" true (Vote.give_up v = None)
+
 let vote_leader () =
   let v = Vote.create ~replicas:5 ~equal:Int.equal in
   ignore (Vote.add v 1);
@@ -467,5 +490,6 @@ let suites =
         Alcotest.test_case "split" `Quick vote_split_inconclusive;
         Alcotest.test_case "early impossibility" `Quick vote_early_impossibility;
         Alcotest.test_case "leader" `Quick vote_leader;
+        Alcotest.test_case "give up" `Quick vote_give_up;
       ] );
   ]

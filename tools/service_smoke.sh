@@ -1,0 +1,11 @@
+#!/bin/sh
+# Service-mode smoke test: one real --serve run with mid-stream failures
+# and k=3 replication, its recflow.service/1 export, and the jobs-1 vs
+# jobs-2 byte-identity gate for the X6 service experiment.  Backed by the
+# dune @service-smoke alias so results are cached and the same gate runs
+# inside `dune runtest`:
+#
+#   tools/service_smoke.sh        # == dune build @service-smoke
+set -eu
+cd "$(dirname "$0")/.."
+exec dune build @service-smoke "$@"
