@@ -256,7 +256,7 @@ let bench_q8 =
     (Staged.stage (fun () ->
          let cfg =
            { (quant_cfg Config.Rollback) with
-             Config.ckpt_mode = Recflow_recovery.Ckpt_table.Keep_all }
+             Config.ckpt_mode = Config.Fixed Recflow_recovery.Ckpt_table.Keep_all }
          in
          ignore (run_cluster cfg synthetic Workload.Small [ (3000, 2) ])))
 
@@ -274,6 +274,27 @@ let run_service ~k ~requests =
 let bench_x6 =
   Test.make ~name:"X6 40-request stream, k=3, two kills"
     (Staged.stage (fun () -> ignore (run_service ~k:3 ~requests:40)))
+
+let bench_x7 =
+  Test.make ~name:"X7 adaptive admission (depth 3) w/ failure"
+    (Staged.stage (fun () ->
+         let cfg =
+           { (quant_cfg Config.Rollback) with
+             Config.ckpt_mode = Config.Adaptive { max_depth = 3 }; ckpt_cost = 8 }
+         in
+         ignore (run_cluster cfg synthetic Workload.Small [ (3000, 2) ])))
+
+let bench_cost_pass =
+  (* the static cost/depth analyzer itself: the full check pipeline over
+     every named workload, the price `--policy auto` pays before a run *)
+  Test.make ~name:"RF3xx cost pass over all workloads"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (w : Workload.t) ->
+             ignore
+               (Recflow_analysis.Check.check_source ~entries:[ w.Workload.entry ]
+                  w.Workload.source))
+           Workload.all))
 
 (* ------------------------------------------------------------------ *)
 (* Sequential vs parallel sweep wall-clock                             *)
@@ -746,7 +767,7 @@ let diff_json ~threshold old_path new_path =
     exit 1
 
 let () =
-  let json_path = ref "BENCH_8.json" in
+  let json_path = ref "BENCH_9.json" in
   let quota = ref 0.25 in
   let micro_only = ref false in
   let obs_only = ref false in
@@ -757,7 +778,7 @@ let () =
   let scaling = ref false in
   let speclist =
     [
-      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_8.json)");
+      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_9.json)");
       ("--quota", Arg.Set_float quota, "SEC  per-benchmark sampling quota in seconds (default 0.25)");
       ("--micro-only", Arg.Set micro_only, "  run only the data-structure micro group (smoke mode)");
       ("--obs-only", Arg.Set obs_only, "  run only the observability-overhead A/B row and exit");
@@ -801,7 +822,8 @@ let () =
       let kernel_rows =
         run_group ~quota:!quota "experiments"
           [ bench_fig1; bench_fig3; bench_fig5; bench_fig6; bench_q1; bench_q2_rollback;
-            bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8; bench_x6 ]
+            bench_q2_splice; bench_q4; bench_q5; bench_q6; bench_q7; bench_q8; bench_x6;
+            bench_x7; bench_cost_pass ]
       in
       groups := !groups @ [ ("experiments", kernel_rows) ];
       obs_overhead := report_obs_overhead ();
@@ -814,7 +836,7 @@ let () =
       Json.Obj
         [
           ("schema", Json.Str bench_schema);
-          ("pr", Json.Int 8);
+          ("pr", Json.Int 9);
           ("quota_s", Json.Float !quota);
           ( "groups",
             Json.List

@@ -30,6 +30,7 @@ module Metrics = Recflow_obs.Metrics
 module Check = Recflow_analysis.Check
 module Diagnostic = Recflow_analysis.Diagnostic
 module Shape = Recflow_analysis.Shape
+module Cost = Recflow_analysis.Cost
 module Service = Recflow_service.Service
 module Hdr = Recflow_stats.Hdr
 
@@ -108,12 +109,32 @@ let serve_main cfg ~workload_name ~size ~size_name ~requests ~arrival_mean ~serv
     service_json;
   if o.Service.all_correct then 0 else 1
 
+(* --explain RF<code>: print the rule doc and exit without touching a
+   program (the only recflow invocation that needs neither --workload nor
+   --program). *)
+let explain_main code =
+  let code = String.uppercase_ascii (String.trim code) in
+  match Diagnostic.of_code_string code with
+  | Some c ->
+    Format.printf "%s (%s)@.%s@." code
+      (Diagnostic.severity_string (Diagnostic.severity_of_code c))
+      (Diagnostic.explain c);
+    0
+  | None ->
+    Format.eprintf "unknown rule code %S (known: %s)@." code
+      (String.concat ", " (List.map Diagnostic.code_string Diagnostic.all_codes));
+    1
+
 let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_depth seed
     detect_delay workload_name size_name program_file entry args failures show_journal
     show_trace trace_limit show_stats show_timeline drain emit_trace metrics_json trace_jsonl
     trace_sample profile profile_json check_only check_json werror no_check serve requests
-    arrival_mean service_replicas max_inflight shed_frac service_json =
+    arrival_mean service_replicas max_inflight shed_frac service_json explain_code loss_prior
+    ckpt_cost =
   let ( let* ) r f = match r with Ok v -> f v | Error msg -> (Format.eprintf "%s@." msg; 1) in
+  match explain_code with
+  | Some code -> explain_main code
+  | None ->
   let* topology =
     match topology with
     | Some t -> Recflow_net.Topology.of_string t
@@ -179,19 +200,66 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
         | Ok p -> Ok p
         | Error msg -> Error msg)
     in
+    let auto = policy = "auto" in
     let* policy =
-      if policy = "gradient:auto" then (
+      if auto || policy = "gradient:auto" then (
         match report.Check.shape with
         | Some shape ->
           let fanout =
             Shape.program_fanout_bound ~entries:report.Check.entries shape program
           in
           let weight = Recflow_balance.Policy.suggest_gradient_weight ~fanout in
-          Format.eprintf "gradient:auto: static fan-out bound %d, using gradient:%d@." fanout
-            weight;
+          Format.eprintf "%s: static fan-out bound %d, using gradient:%d@."
+            (if auto then "auto" else "gradient:auto")
+            fanout weight;
           Ok (Recflow_balance.Policy.Gradient { weight })
-        | None -> Error "gradient:auto: program did not analyse cleanly")
+        | None ->
+          Error ((if auto then "auto" else "gradient:auto") ^ ": program did not analyse cleanly"))
       else Recflow_balance.Policy.spec_of_string policy
+    in
+    (* --policy auto also drives checkpoint admission: the static work and
+       depth bounds of this entry call, times the operator's loss prior,
+       decide how deep checkpoints still pay for their recording cost. *)
+    let* ckpt_mode =
+      if auto then begin
+        if ckpt_keep_all then
+          Error
+            "--policy auto drives adaptive checkpoint admission and conflicts with \
+             --keep-all-checkpoints"
+        else
+          match report.Check.cost with
+          | None -> Error "auto: program did not analyse cleanly"
+          | Some cost -> (
+            let eb = Cost.entry_bounds cost ~entry ~args:argv in
+            let work =
+              match Cost.find cost entry with
+              | Some fc -> fc.Cost.work_per_activation
+              | None -> 1
+            in
+            (* spawns below --inline-depth are inlined and never reach the
+               checkpoint table; the static call-depth bound also counts
+               inlined frames, so cap it at the spawn horizon *)
+            let depth_bound =
+              match inline_depth with
+              | Some i -> Option.map (fun d -> min d i) eb.Cost.depth
+              | None -> eb.Cost.depth
+            in
+            match
+              Recflow_balance.Policy.suggest_ckpt_admission ~work_per_activation:work
+                ~fanout:eb.Cost.fanout ~depth_bound ~loss_rate:loss_prior ~ckpt_cost
+            with
+            | Some d ->
+              Format.eprintf "auto: adaptive checkpoint admission to stamp depth %d@." d;
+              Ok (Config.Adaptive { max_depth = d })
+            | None ->
+              Format.eprintf "auto: no admission cutoff, topmost checkpointing@.";
+              Ok (Config.Fixed Recflow_recovery.Ckpt_table.Topmost))
+      end
+      else
+        Ok
+          (Config.Fixed
+             (if ckpt_keep_all then Recflow_recovery.Ckpt_table.Keep_all
+              else Recflow_recovery.Ckpt_table.Topmost))
     in
     let expected = Option.map (fun f -> f ()) expected in
   let cfg =
@@ -200,9 +268,9 @@ let main nodes topology policy recovery ckpt_keep_all ancestor_depth inline_dept
       Config.topology;
       policy;
       recovery;
-      ckpt_mode =
-        (if ckpt_keep_all then Recflow_recovery.Ckpt_table.Keep_all
-         else Recflow_recovery.Ckpt_table.Topmost);
+      ckpt_mode;
+      ckpt_cost;
+      loss_prior;
       ancestor_depth;
       inline_depth = (match inline_depth with Some d -> d | None -> max_int);
       seed;
@@ -366,8 +434,9 @@ let policy =
     value & opt string "gradient"
     & info [ "policy" ] ~docv:"P"
         ~doc:
-          "gradient[:W], gradient:auto (weight from the static fan-out bound), random, \
-           round-robin, static, neighborhood[:R].")
+          "gradient[:W], gradient:auto (weight from the static fan-out bound), auto \
+           (gradient:auto plus adaptive checkpoint admission from the static cost bounds), \
+           random, round-robin, static, neighborhood[:R].")
 
 let recovery =
   Arg.(
@@ -376,6 +445,29 @@ let recovery =
 
 let ckpt_keep_all =
   Arg.(value & flag & info [ "keep-all-checkpoints" ] ~doc:"Disable topmost-only pruning (Q8).")
+
+let explain_code =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"CODE"
+        ~doc:"Print the one-paragraph rule doc for $(docv) (e.g. RF301) and exit.")
+
+let loss_prior =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss-prior" ] ~docv:"P"
+        ~doc:
+          "Prior probability in [0,1] that a spawned task is lost to a failure; with \
+           $(b,--policy auto) it scales the expected recovery saving of each checkpoint.")
+
+let ckpt_cost =
+  Arg.(
+    value & opt int 0
+    & info [ "ckpt-cost" ] ~docv:"T"
+        ~doc:
+          "Ticks charged at spawn per checkpoint actually stored (default 0: recording is \
+           free, as in the paper's base model).")
 
 let ancestor_depth =
   Arg.(
@@ -561,6 +653,7 @@ let cmd =
       $ failures $ show_journal $ show_trace $ trace_limit $ show_stats $ show_timeline $ drain
       $ emit_trace $ metrics_json $ trace_jsonl $ trace_sample $ profile $ profile_json
       $ check_only $ check_json $ werror $ no_check $ serve $ requests $ arrival_mean
-      $ service_replicas $ max_inflight $ shed_frac $ service_json)
+      $ service_replicas $ max_inflight $ shed_frac $ service_json $ explain_code $ loss_prior
+      $ ckpt_cost)
 
 let () = exit (Cmd.eval' cmd)

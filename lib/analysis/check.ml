@@ -4,9 +4,12 @@ type report = {
   diagnostics : Diagnostic.t list;  (** sorted by [Diagnostic.compare] *)
   program : Program.t option;  (** [None] when structurally invalid *)
   shape : Shape.t option;
+  cost : Cost.t option;
   schemes : (string * Infer.fn_scheme) list;
   entries : string list;  (** resolved entry points *)
 }
+
+let schema = "recflow.check/2"
 
 let errors r = List.filter (fun d -> Diagnostic.severity d = Diagnostic.Error) r.diagnostics
 
@@ -65,7 +68,14 @@ let attach_def_locs (spans : Parser.def_spans list) diags =
     diags
 
 let invalid_report diag =
-  { diagnostics = [ diag ]; program = None; shape = None; schemes = []; entries = [] }
+  {
+    diagnostics = [ diag ];
+    program = None;
+    shape = None;
+    cost = None;
+    schemes = [];
+    entries = [];
+  }
 
 let check_defs ?(spans : Parser.def_spans list = []) ?(entries = []) defs =
   match Program.of_defs defs with
@@ -76,14 +86,16 @@ let check_defs ?(spans : Parser.def_spans list = []) ?(entries = []) defs =
     let entries = resolve_entries ~requested:entries program in
     let inferred = Infer.infer_program ~spans program in
     let lint_diags = Lints.lint_program ~spans ~entries program in
+    let cost = Cost.of_program ~entries ~schemes:inferred.Infer.schemes program in
     let diagnostics =
-      attach_def_locs spans (inferred.Infer.diagnostics @ lint_diags)
+      attach_def_locs spans (inferred.Infer.diagnostics @ lint_diags @ Cost.lint cost)
       |> List.sort Diagnostic.compare
     in
     {
       diagnostics;
       program = Some program;
       shape = Some (Shape.of_program program);
+      cost = Some cost;
       schemes = inferred.Infer.schemes;
       entries;
     }
@@ -127,7 +139,25 @@ let render_human r =
                 (Shape.recursion_class_string s.Shape.recursion)
             | None -> ""
           in
-          Printf.sprintf "  %s : %s  [%s]" d.name ty shape_part)
+          let cost_part =
+            match Option.map (fun c -> Cost.find c d.name) r.cost |> Option.join with
+            | Some (fc : Cost.fn_cost) ->
+              let depth =
+                match fc.Cost.verdict with
+                | Cost.Not_recursive -> "depth 0"
+                | Cost.Bounded { measure; floor = Some fl } ->
+                  Printf.sprintf "depth ~ %s (floor %d)" measure fl.Cost.at_least
+                | Cost.Bounded { measure; floor = None } ->
+                  Printf.sprintf "decreasing %s, no floor" measure
+                | Cost.Quiet -> "depth ?"
+                | Cost.Divergent _ -> "depth unbounded"
+              in
+              Printf.sprintf "; %s, growth %s, work %d" depth
+                (Cost.growth_string fc.Cost.growth)
+                fc.Cost.work_per_activation
+            | None -> ""
+          in
+          Printf.sprintf "  %s : %s  [%s%s]" d.name ty shape_part cost_part)
         (Program.defs program)
     | _ -> []
   in
@@ -155,6 +185,35 @@ let render_json r =
                   (fun (s : Shape.fn_shape) ->
                     ("recursion", json_string (Shape.recursion_class_string s.Shape.recursion)))
                   (Shape.find shape d.name);
+                Option.map
+                  (fun (fc : Cost.fn_cost) ->
+                    let verdict, measure, floor =
+                      match fc.Cost.verdict with
+                      | Cost.Not_recursive -> ("not-recursive", None, None)
+                      | Cost.Bounded { measure; floor = Some fl } ->
+                        ("bounded", Some measure, Some fl.Cost.at_least)
+                      | Cost.Bounded { measure; floor = None } ->
+                        ("decreasing", Some measure, None)
+                      | Cost.Quiet -> ("unknown", None, None)
+                      | Cost.Divergent _ -> ("divergent", None, None)
+                    in
+                    let fields =
+                      [
+                        Some ("verdict", json_string verdict);
+                        Option.map (fun m -> ("measure", json_string m)) measure;
+                        Option.map (fun k -> ("floor", string_of_int k)) floor;
+                        Some ("rec_fanout", string_of_int fc.Cost.rec_fanout);
+                        Some ("growth", json_string (Cost.growth_string fc.Cost.growth));
+                        Some ("work", string_of_int fc.Cost.work_per_activation);
+                      ]
+                      |> List.filter_map Fun.id
+                    in
+                    ( "cost",
+                      "{"
+                      ^ String.concat ","
+                          (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+                      ^ "}" ))
+                  (Option.map (fun c -> Cost.find c d.name) r.cost |> Option.join);
               ]
               |> List.filter_map Fun.id
             in
@@ -167,7 +226,9 @@ let render_json r =
     | _ -> "[]"
   in
   let entries = "[" ^ String.concat "," (List.map json_string r.entries) ^ "]" in
-  Printf.sprintf {|{"errors":%d,"warnings":%d,"entries":%s,"diagnostics":%s,"functions":%s}|}
+  Printf.sprintf
+    {|{"schema":%s,"errors":%d,"warnings":%d,"entries":%s,"diagnostics":%s,"functions":%s}|}
+    (json_string schema)
     (List.length (errors r))
     (List.length (warnings r))
     entries diags functions

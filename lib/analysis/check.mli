@@ -11,9 +11,15 @@ type report = {
   diagnostics : Diagnostic.t list;  (** sorted by [Diagnostic.compare] *)
   program : Program.t option;  (** [None] when structurally invalid *)
   shape : Shape.t option;
+  cost : Cost.t option;  (** static cost/depth analysis (PR 9) *)
   schemes : (string * Infer.fn_scheme) list;
   entries : string list;  (** resolved entry points *)
 }
+
+val schema : string
+(** ["recflow.check/2"] — the [--check-json] document schema.  Version 2
+    adds the top-level [schema] field and the per-function [cost]
+    block. *)
 
 val check_source : ?entries:string list -> string -> report
 (** Check concrete syntax.  Parse errors become [RF001]. *)
@@ -43,8 +49,11 @@ val render_human : report -> string
 
 val render_json : report -> string
 (** One JSON object:
-    [{"errors":N,"warnings":N,"entries":[...],"diagnostics":[...],
-      "functions":[{"name":..,"type":..,"fanout_bound":..,"recursion":..}]}] *)
+    [{"schema":"recflow.check/2","errors":N,"warnings":N,"entries":[...],
+      "diagnostics":[...],
+      "functions":[{"name":..,"type":..,"fanout_bound":..,"recursion":..,
+                    "cost":{"verdict":..,"measure":..,"floor":..,
+                            "rec_fanout":..,"growth":..,"work":..}}]}] *)
 
 val assert_clean : ?entries:string list -> Ast.def list -> unit
 (** Runtime gate for workload/example construction.

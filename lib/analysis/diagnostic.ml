@@ -15,6 +15,9 @@ type code =
   | Non_productive_recursion
   | Shadowed_binding
   | Unused_let
+  | Unbounded_recursion
+  | Exponential_spawn
+  | Spawn_in_nondec_cycle
 
 let all_codes =
   [
@@ -32,9 +35,13 @@ let all_codes =
     Non_productive_recursion;
     Shadowed_binding;
     Unused_let;
+    Unbounded_recursion;
+    Exponential_spawn;
+    Spawn_in_nondec_cycle;
   ]
 
-(* Stable rule codes: RF0xx structural validity, RF1xx types, RF2xx lints.
+(* Stable rule codes: RF0xx structural validity, RF1xx types, RF2xx lints,
+   RF3xx cost/termination findings.
    Codes are part of the JSON output contract — never renumber. *)
 let code_string = function
   | Parse_error -> "RF001"
@@ -51,13 +58,18 @@ let code_string = function
   | Non_productive_recursion -> "RF203"
   | Shadowed_binding -> "RF204"
   | Unused_let -> "RF205"
+  | Unbounded_recursion -> "RF301"
+  | Exponential_spawn -> "RF302"
+  | Spawn_in_nondec_cycle -> "RF303"
+
+let of_code_string s = List.find_opt (fun c -> String.equal (code_string c) s) all_codes
 
 let severity_of_code = function
   | Parse_error | Duplicate_definition | Duplicate_parameter | Unbound_variable
   | Unknown_function | Arity_mismatch | Prim_arity | Type_mismatch | Infinite_type ->
     Error
   | Dead_function | Unused_parameter | Non_productive_recursion | Shadowed_binding | Unused_let
-    ->
+  | Unbounded_recursion | Exponential_spawn | Spawn_in_nondec_cycle ->
     Warning
 
 type t = { code : code; fn : string option; loc : Loc.t option; message : string }
@@ -124,6 +136,97 @@ let json_string s =
     s;
   Buffer.add_char buf '"';
   Buffer.contents buf
+
+(* One-paragraph rule docs, printed by [recflow --explain RF<code>].  Kept
+   here, next to the codes, so adding a code without its doc is a compile
+   error (the match is exhaustive). *)
+let explain = function
+  | Parse_error ->
+    "RF001 parse error: the source text is not a well-formed program. The \
+     parser stops at the first offending token and reports its position; \
+     nothing downstream (types, lints, cost) runs until the program parses."
+  | Duplicate_definition ->
+    "RF002 duplicate definition: two function definitions share one name. \
+     Calls are resolved by name, so a duplicate would make the program \
+     ambiguous; rename or delete one of the definitions."
+  | Duplicate_parameter ->
+    "RF003 duplicate parameter: a function declares the same parameter name \
+     twice. The later binding would silently shadow the earlier one at every \
+     use site, so the form is rejected outright."
+  | Unbound_variable ->
+    "RF004 unbound variable: an expression references a name that is neither \
+     a parameter of the enclosing function nor a visible let binding. The \
+     language has no globals, so every name must be bound locally."
+  | Unknown_function ->
+    "RF005 unknown function: a call site names a function the program never \
+     defines. There is no external linking — the program text is the whole \
+     world — so the call could never be dispatched."
+  | Arity_mismatch ->
+    "RF006 arity mismatch: a call passes a different number of arguments \
+     than the callee declares. The language is first-order with no currying \
+     or optional arguments, so call and definition arity must agree exactly."
+  | Prim_arity ->
+    "RF007 primitive arity: a built-in operator is applied to the wrong \
+     number of arguments. Each primitive has a fixed arity (e.g. + takes \
+     two, head takes one); the checker rejects any other shape."
+  | Type_mismatch ->
+    "RF101 type mismatch: whole-program unification found an expression \
+     used at two incompatible types (e.g. an int where a list is required). \
+     The evaluators would raise the same conflict at run time; the checker \
+     reports it statically with the two irreconcilable types."
+  | Infinite_type ->
+    "RF102 infinite type: solving the type constraints requires a type that \
+     contains itself (occurs-check failure), e.g. forcing 'a = list 'a. No \
+     finite type can satisfy the program, so it is rejected."
+  | Dead_function ->
+    "RF201 dead function: the function is unreachable from the entry points \
+     along the call graph. It can never run, so it is either leftover code \
+     or evidence that a call site names the wrong function."
+  | Unused_parameter ->
+    "RF202 unused parameter: a declared parameter is never referenced in \
+     the function body. Callers still pay to evaluate the argument (the \
+     language is strict), so an unused parameter is wasted work and often a \
+     sign the wrong variable is used inside the body."
+  | Non_productive_recursion ->
+    "RF203 non-productive recursion: a self-call passes every argument \
+     unchanged. In a pure, strict language the call re-enters the same \
+     state and can only diverge — there is no effect or laziness that could \
+     break the cycle."
+  | Shadowed_binding ->
+    "RF204 shadowed binding: a let rebinds a name that is already visible \
+     (a parameter or an enclosing let). The inner binding wins, which is \
+     legal but error-prone; rename the inner binding to keep every use \
+     unambiguous."
+  | Unused_let ->
+    "RF205 unused let: a let-bound value is never referenced afterwards. \
+     The bound expression is still evaluated (strict semantics), so the \
+     binding costs work and reads as if it mattered; delete it or use it."
+  | Unbounded_recursion ->
+    "RF301 statically unbounded recursion: a recursive cycle reachable from \
+     the entry point admits no decreasing measure — every candidate ranking \
+     function (an integer parameter, a list size, a pairwise difference or \
+     a sum of those) is provably non-decreasing around the cycle, or every \
+     path through the cycle unconditionally re-enters it. The cost analyzer \
+     can place no bound on recursion depth, and the recovery-cost model \
+     (paper \u{00a7}3.3) has no finite work estimate for the subtree. The rule \
+     stays quiet when a measure merely cannot be classified; it fires only \
+     on provable non-decrease."
+  | Exponential_spawn ->
+    "RF302 exponential task blow-up: a recursive cycle reachable from the \
+     entry point re-enters itself two or more times per activation while no \
+     candidate measure decreases, so the spawned task count grows without \
+     bound and exponentially in the recursion — the worst corner of the \
+     loss-rate \u{00d7} work-size plane for checkpoint admission. Bounded \
+     divide-and-conquer (fib-style, with a decreasing argument) does not \
+     trigger this; only provably non-decreasing cycles do."
+  | Spawn_in_nondec_cycle ->
+    "RF303 spawn inside a non-decreasing cycle: a recursive cycle with no \
+     decreasing measure spawns work outside its own strongly-connected \
+     component on every trip around the cycle. Each iteration enqueues \
+     fresh subtree work whose total is statically unbounded, so checkpoint \
+     admission cannot price the subtree and recovery may re-issue an \
+     arbitrary amount of it. Bound the cycle with a decreasing argument or \
+     hoist the spawn out of it."
 
 let to_json d =
   let fields =

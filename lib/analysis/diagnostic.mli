@@ -23,6 +23,15 @@ type code =
           strict language such a call can only diverge *)
   | Shadowed_binding  (** RF204: [let] rebinds a visible name *)
   | Unused_let  (** RF205: [let]-bound value never referenced *)
+  | Unbounded_recursion
+      (** RF301: an entry-reachable recursive cycle admits no decreasing
+          measure — recursion depth is statically unbounded *)
+  | Exponential_spawn
+      (** RF302: a non-decreasing cycle re-enters itself >= 2 times per
+          activation — task count blows up exponentially *)
+  | Spawn_in_nondec_cycle
+      (** RF303: a non-decreasing cycle spawns non-cycle work every trip
+          around — unbounded extra subtree work *)
 
 val all_codes : code list
 (** Every code, in code order — tests iterate this to prove fixture
@@ -30,7 +39,14 @@ val all_codes : code list
 
 val code_string : code -> string
 
+val of_code_string : string -> code option
+(** Inverse of {!code_string} ("RF203" -> [Some Non_productive_recursion]);
+    [None] for unknown codes. *)
+
 val severity_of_code : code -> severity
+
+val explain : code -> string
+(** One-paragraph rule doc, printed by [recflow --explain RF<code>]. *)
 
 type t = { code : code; fn : string option; loc : Loc.t option; message : string }
 

@@ -44,6 +44,36 @@ let spec_of_string s =
    to the weights that behave sensibly on the experiment topologies. *)
 let suggest_gradient_weight ~fanout = max 1 (min 4 fanout)
 
+(* Sodre-style checkpoint admission: a checkpoint stored at depth d costs
+   [ckpt_cost] for certain (on the spawn critical path), and insures
+   against losing the subtree below it — an expected
+   [loss_rate * work_per_activation * (activations below depth d)]
+   recomputation.  Admit checkpoints down to the deepest level where the
+   insurance still pays for itself; below that, skipping the record and
+   regenerating from the surviving parent is cheaper. *)
+let suggest_ckpt_admission ~work_per_activation ~fanout ~depth_bound ~loss_rate ~ckpt_cost =
+  match depth_bound with
+  | None -> None (* no static depth bound: nothing to reason from, admit all *)
+  | Some depth_bound ->
+    if ckpt_cost <= 0 then None (* recording is free: pruning buys nothing *)
+    else begin
+      let work = float_of_int (max 1 work_per_activation) in
+      let b = float_of_int (max 1 fanout) in
+      let subtree_work d =
+        let levels = max 0 (depth_bound - d) in
+        let rec go i acc pow =
+          if i > levels || acc > 1e15 then acc else go (i + 1) (acc +. pow) (pow *. b)
+        in
+        work *. go 0 0.0 1.0
+      in
+      let rec cutoff d =
+        if d >= depth_bound then depth_bound
+        else if loss_rate *. subtree_work (d + 1) < float_of_int ckpt_cost then d
+        else cutoff (d + 1)
+      in
+      Some (max 1 (cutoff 1))
+    end
+
 type view = { router : Router.t; pressure : int -> int }
 
 type t = { spec : spec; rng : Recflow_sim.Rng.t; mutable rr_next : int }

@@ -56,6 +56,24 @@ val suggest_gradient_weight : fanout:int -> int
     spreads in waves, narrow ones pay less so work still leaves the
     origin.  Pure arithmetic — no dependency on the analyser. *)
 
+val suggest_ckpt_admission :
+  work_per_activation:int ->
+  fanout:int ->
+  depth_bound:int option ->
+  loss_rate:float ->
+  ckpt_cost:int ->
+  int option
+(** The adaptive checkpoint admission cutoff for
+    [Config.ckpt_mode = Adaptive]: the deepest stamp depth at which a
+    checkpoint's expected insurance value — [loss_rate] times the static
+    work bound of the subtree below it ([work_per_activation] per task,
+    fan-out [fanout], depth capped by [depth_bound]) — still covers its
+    certain [ckpt_cost] on the spawn critical path.  [None] means "admit
+    everything" (no static depth bound to reason from, or recording is
+    free); [Some d] is always >= 1, so the root's children stay covered.
+    Pure arithmetic — the caller feeds it numbers from
+    {!Recflow_analysis.Cost.entry_bounds}. *)
+
 type view = { router : Recflow_net.Router.t; pressure : int -> int }
 
 type t

@@ -54,7 +54,10 @@ let run ?(quick = false) () =
           delta = faulty.Harness.makespan - probe.Harness.makespan;
           correct = faulty.Harness.correct;
         })
-      [ ("topmost (paper §3.2)", Ckpt_table.Topmost); ("keep-all", Ckpt_table.Keep_all) ]
+      [
+        ("topmost (paper §3.2)", Config.Fixed Ckpt_table.Topmost);
+        ("keep-all", Config.Fixed Ckpt_table.Keep_all);
+      ]
   in
   let table =
     Table.create ~title:"Checkpoint table discipline under one mid-run failure (rollback)"

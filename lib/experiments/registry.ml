@@ -34,6 +34,8 @@ let all =
     { id = "X5"; title = "Sharded execution of one run across domains"; run = Exp_shard.run };
     { id = "X6"; title = "Service: request streams surviving mid-stream failures";
       run = Exp_service.run };
+    { id = "X7"; title = "Adaptive checkpoint admission driven by static cost bounds";
+      run = Exp_adaptive.run };
   ]
 
 let find id =

@@ -6,6 +6,19 @@ let recovery_to_string = function
   | Splice -> "splice"
   | Replicate k -> Printf.sprintf "replicate:%d" k
 
+type ckpt_mode =
+  | Fixed of Recflow_recovery.Ckpt_table.mode
+  | Adaptive of { max_depth : int }
+
+let ckpt_mode_string = function
+  | Fixed Recflow_recovery.Ckpt_table.Topmost -> "topmost"
+  | Fixed Recflow_recovery.Ckpt_table.Keep_all -> "keep-all"
+  | Adaptive { max_depth } -> Printf.sprintf "adaptive:%d" max_depth
+
+let table_mode = function
+  | Fixed m -> m
+  | Adaptive _ -> Recflow_recovery.Ckpt_table.Topmost
+
 type retry = { rto : int; backoff : float; suspicion_after : int }
 
 type service = {
@@ -20,7 +33,9 @@ type t = {
   latency : Recflow_net.Latency.t;
   policy : Recflow_balance.Policy.spec;
   recovery : recovery;
-  ckpt_mode : Recflow_recovery.Ckpt_table.mode;
+  ckpt_mode : ckpt_mode;
+  ckpt_cost : int;
+  loss_prior : float;
   ancestor_depth : int;
   replicate_depth : int;
   inline_depth : int;
@@ -46,7 +61,9 @@ let default ~nodes =
     latency = Recflow_net.Latency.default;
     policy = Recflow_balance.Policy.Gradient { weight = 2 };
     recovery = Splice;
-    ckpt_mode = Recflow_recovery.Ckpt_table.Topmost;
+    ckpt_mode = Fixed Recflow_recovery.Ckpt_table.Topmost;
+    ckpt_cost = 0;
+    loss_prior = 0.0;
     ancestor_depth = 1;
     replicate_depth = 2;
     inline_depth = max_int;
@@ -75,11 +92,9 @@ let metadata t : (string * meta_value) list =
     ("topology", `Str (Recflow_net.Topology.to_string t.topology));
     ("policy", `Str (Recflow_balance.Policy.spec_to_string t.policy));
     ("recovery", `Str (recovery_to_string t.recovery));
-    ( "ckpt_mode",
-      `Str
-        (match t.ckpt_mode with
-        | Recflow_recovery.Ckpt_table.Topmost -> "topmost"
-        | Recflow_recovery.Ckpt_table.Keep_all -> "keep-all") );
+    ("ckpt_mode", `Str (ckpt_mode_string t.ckpt_mode));
+    ("ckpt_cost", `Int t.ckpt_cost);
+    ("loss_prior", `Str (Printf.sprintf "%g" t.loss_prior));
     ("ancestor_depth", `Int t.ancestor_depth);
     ("replicate_depth", `Int t.replicate_depth);
     ("inline_depth", if t.inline_depth = max_int then `Str "unbounded" else `Int t.inline_depth);
@@ -117,7 +132,12 @@ let validate t =
   else if t.replicate_depth < 0 then err "replicate_depth must be >= 0"
   else if t.inline_depth < 1 then err "inline_depth must be >= 1 (the root task is never inline)"
   else if t.work_tick < 1 then err "work_tick must be >= 1"
-  else if t.spawn_cost < 0 || t.ctx_switch < 0 then err "costs must be non-negative"
+  else if t.spawn_cost < 0 || t.ctx_switch < 0 || t.ckpt_cost < 0 then
+    err "costs must be non-negative"
+  else if t.loss_prior < 0.0 || t.loss_prior > 1.0 || Float.is_nan t.loss_prior then
+    err "loss_prior must be in [0,1]"
+  else if (match t.ckpt_mode with Adaptive { max_depth } -> max_depth < 1 | Fixed _ -> false)
+  then err "adaptive ckpt_mode max_depth must be >= 1 (the root's children must be covered)"
   else if t.detect_delay < 1 then err "detect_delay must be >= 1"
   else if t.adoption_grace < 0 then err "adoption_grace must be >= 0"
   else if t.gradient_period < 1 then err "gradient_period must be >= 1"
@@ -144,6 +164,10 @@ let validate t =
         err "a lossy chaos spec (drop_rate > 0 or partitions) requires reliable transport"
       else (
         match t.recovery with
+        | Replicate _ when (match t.ckpt_mode with Adaptive _ -> true | Fixed _ -> false) ->
+          err
+            "adaptive checkpoint admission cannot be combined with replication (lost replicas \
+             are governed by the voter, not the checkpoint table)"
         | Replicate k when k < 1 -> err "replication factor must be >= 1"
         | Replicate k when k > Recflow_net.Topology.size t.topology ->
           err "replication factor %d exceeds cluster size" k

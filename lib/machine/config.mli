@@ -8,6 +8,24 @@ type recovery =
 
 val recovery_to_string : recovery -> string
 
+type ckpt_mode =
+  | Fixed of Recflow_recovery.Ckpt_table.mode
+      (** every spawn is offered to the table under the given discipline
+          ([Topmost] = paper §3.2, [Keep_all] = the Q8 ablation) *)
+  | Adaptive of { max_depth : int }
+      (** Sodre-style admission: spawns at stamp depth > [max_depth] are
+          not checkpointed at all (their loss is repaired by the surviving
+          parent's local regeneration); shallower spawns use the topmost
+          discipline.  Seeded from the static cost analysis via
+          [--policy auto] / {!Recflow_balance.Policy.suggest_ckpt_admission}. *)
+
+val ckpt_mode_string : ckpt_mode -> string
+(** ["topmost"], ["keep-all"], ["adaptive:3"]. *)
+
+val table_mode : ckpt_mode -> Recflow_recovery.Ckpt_table.mode
+(** The table discipline actually instantiated per node: [Adaptive]
+    admission gates *entry* to a [Topmost] table. *)
+
 type retry = {
   rto : int;  (** ticks before the first retransmission of an unacked send *)
   backoff : float;  (** exponential backoff base: attempt n waits rto·backoffⁿ *)
@@ -43,7 +61,14 @@ type t = {
   latency : Recflow_net.Latency.t;
   policy : Recflow_balance.Policy.spec;
   recovery : recovery;
-  ckpt_mode : Recflow_recovery.Ckpt_table.mode;
+  ckpt_mode : ckpt_mode;
+  ckpt_cost : int;
+      (** extra ticks charged at spawn per checkpoint actually stored
+          (0 = the pre-PR-9 cost model, where recording is free) *)
+  loss_prior : float;
+      (** prior probability (in [0,1]) that any given spawned task is lost
+          to a failure — the operator's loss-rate estimate consumed by
+          [Policy.suggest_ckpt_admission] when seeding [Adaptive] *)
   ancestor_depth : int;
       (** how many ancestor links a packet carries beyond its parent:
           1 = grandparent (standard splice), n ≥ 2 adds great-grandparents

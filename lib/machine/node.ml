@@ -102,7 +102,7 @@ let create nid (config : Config.t) =
     tasks = Hashtbl.create 64;
     run_queue = Queue.create ();
     current = None;
-    ckpts = Ckpt_table.create ~mode:config.ckpt_mode ();
+    ckpts = Ckpt_table.create ~mode:(Config.table_mode config.ckpt_mode) ();
     known_dead = Hashtbl.create 4;
     stepping = false;
     work_ticks = 0;
@@ -285,10 +285,27 @@ let choose_dest t ctx ~key =
     | None -> dest (* no live node: send anyway; the bounce path cleans up *)
   end
 
+(* Returns whether a checkpoint was actually stored, so the spawn path can
+   charge [ckpt_cost] only for real records.  Under [Adaptive] admission,
+   spawns deeper than [max_depth] skip the table entirely: their recovery
+   cost is bounded (the static analysis bounds the subtree), so the
+   surviving parent's local regeneration is cheaper than carrying a
+   checkpoint per deep task (§3.3's recovery-cost/storage trade). *)
 let record_checkpoint t ctx ~dest packet =
-  match Profile.time_probe ckpt_record_probe (fun () -> Ckpt_table.record t.ckpts ~dest packet) with
-  | `Recorded -> Counter.incr ctx.counters "ckpt.recorded"
-  | `Covered -> Counter.incr ctx.counters "ckpt.covered"
+  match ctx.config.Config.ckpt_mode with
+  | Config.Adaptive { max_depth } when Stamp.depth packet.Packet.stamp > max_depth ->
+    Counter.incr ctx.counters "ckpt.skipped_deep";
+    false
+  | Config.Fixed _ | Config.Adaptive _ -> (
+    match
+      Profile.time_probe ckpt_record_probe (fun () -> Ckpt_table.record t.ckpts ~dest packet)
+    with
+    | `Recorded ->
+      Counter.incr ctx.counters "ckpt.recorded";
+      true
+    | `Covered ->
+      Counter.incr ctx.counters "ckpt.covered";
+      false)
 
 let send_activation t ctx packet ~task_id ~dest ~replica ~replicas =
   ctx.send ~src:t.nid ~dst:dest
@@ -388,11 +405,11 @@ let spawn_child t ctx task ~slot ~fname ~args =
   let stamp = packet.Packet.stamp in
   let replicas = replication_factor ctx task in
   let base_key = Stamp.hash stamp in
-  let dests = ref [] and ctasks = ref [] in
+  let dests = ref [] and ctasks = ref [] and recorded = ref 0 in
   for replica = 0 to replicas - 1 do
     let task_id = ctx.fresh_task_id () in
     let dest = choose_dest t ctx ~key:(base_key + (replica * 7919)) in
-    record_checkpoint t ctx ~dest packet;
+    if record_checkpoint t ctx ~dest packet then incr recorded;
     send_activation t ctx packet ~task_id ~dest ~replica ~replicas;
     dests := (replica, dest) :: !dests;
     ctasks := (replica, task_id) :: !ctasks
@@ -407,7 +424,8 @@ let spawn_child t ctx task ~slot ~fname ~args =
   Hashtbl.replace task.children slot child;
   Counter.add ctx.counters "spawn.remote" replicas;
   flush_gc_pending t ctx task child;
-  flush_adopt_pending t ctx task child
+  flush_adopt_pending t ctx task child;
+  !recorded
 
 (* Re-issue a child from its functional checkpoint (rollback §3.2 /
    splice twin creation §4.1).  The packet is byte-identical — same stamp,
@@ -425,7 +443,7 @@ let respawn_child t ctx _task (child : child) ~reason =
   for replica = 0 to replicas - 1 do
     let task_id = ctx.fresh_task_id () in
     let dest = choose_dest t ctx ~key:(base_key + 104729 + (replica * 7919)) in
-    record_checkpoint t ctx ~dest child.c_packet;
+    ignore (record_checkpoint t ctx ~dest child.c_packet);
     (* Under splice, hold the twin back briefly so adoption reports from
        living orphans can overtake it (§4.1 offspring inheritance). *)
     let grace =
@@ -660,7 +678,16 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
          twin can inherit it rather than spawn a duplicate clone (§4.1:
          "this twin task inherits all offspring of the faulty task"). *)
       match ctx.config.recovery with
-      | Config.Rollback -> abort_orphans t ctx ~failed
+      | Config.Rollback ->
+        abort_orphans t ctx ~failed;
+        (* Under adaptive admission, deep children were never offered to
+           the table, so the drained topmost set cannot cover them: each
+           surviving parent regenerates its own unrecorded lost children
+           (the admission rule's whole bet is that this recomputation is
+           cheaper than having checkpointed them). *)
+        (match ctx.config.ckpt_mode with
+        | Config.Adaptive _ -> local_regen ()
+        | Config.Fixed _ -> ())
       | Config.Replicate _ ->
         abort_orphans t ctx ~failed;
         local_regen ()
@@ -1200,7 +1227,7 @@ let step t ctx =
                    grandparent relay. *)
                 Hashtbl.remove task.adopted (Stamp.digits next_stamp);
                 let packet = build_child_packet t ctx task ~slot ~fname ~args in
-                record_checkpoint t ctx ~dest:orphan.Packet.proc packet;
+                ignore (record_checkpoint t ctx ~dest:orphan.Packet.proc packet);
                 let child =
                   { slot; c_stamp = packet.Packet.stamp; c_packet = packet;
                     dests = [ (0, orphan.Packet.proc) ];
@@ -1239,9 +1266,10 @@ let step t ctx =
                 | Error msg -> ctx.program_error msg
               end
               else begin
-                spawn_child t ctx task ~slot ~fname ~args;
-                charge t task ctx.config.spawn_cost;
-                ctx.wake t.nid ~delay:(max 1 ctx.config.spawn_cost)
+                let recorded = spawn_child t ctx task ~slot ~fname ~args in
+                let cost = ctx.config.spawn_cost + (recorded * ctx.config.ckpt_cost) in
+                charge t task cost;
+                ctx.wake t.nid ~delay:(max 1 cost)
               end))
           | Instance.Blocked ->
             task.state <- Blocked;

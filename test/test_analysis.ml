@@ -12,6 +12,7 @@ module Cluster = Recflow_machine.Cluster
 module Config = Recflow_machine.Config
 module Journal = Recflow_machine.Journal
 module Stamp = Recflow_recovery.Stamp
+module Json = Recflow_obs_core.Json
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -46,6 +47,9 @@ let source_fixtures =
     ("RF203", "def main(x) = main(x)");
     ("RF204", "def main(x) = let y = x in let y = y + 1 in y");
     ("RF205", "def main(x) = let unused = x + 1 in x");
+    ("RF301", "def main(n) = if n > 0 then main(n + 1) else 0");
+    ("RF302", "def main(n) = if n > 0 then main(n + 1) + main(n + 2) else 0");
+    ("RF303", "def helper(x) = x * x\ndef main(n) = if n > 0 then helper(n) + main(n + 1) else 0");
   ]
 
 let fixtures_trigger_exactly () =
@@ -72,9 +76,33 @@ let severities_by_band () =
   List.iter
     (fun c ->
       let cs = Diagnostic.code_string c in
-      let expected = if String.length cs = 5 && cs.[2] = '2' then Diagnostic.Warning else Diagnostic.Error in
+      let expected =
+        if String.length cs = 5 && (cs.[2] = '2' || cs.[2] = '3') then Diagnostic.Warning
+        else Diagnostic.Error
+      in
       check cs true (Diagnostic.severity_of_code c = expected))
     Diagnostic.all_codes
+
+let rf3xx_roundtrip () =
+  (* the RF3xx fixtures survive pretty -> parse -> re-check unchanged *)
+  List.iter
+    (fun (code, src) ->
+      let printed = Recflow_lang.Pretty.program_to_string (program_exn src) in
+      let r = Check.check_source ~entries:[ "main" ] printed in
+      check_strs (code ^ " roundtrip") [ code ] (codes_of r))
+    (List.filter
+       (fun (c, _) -> String.length c = 5 && c.[2] = '3')
+       source_fixtures)
+
+let explain_all_codes () =
+  List.iter
+    (fun c ->
+      let cs = Diagnostic.code_string c in
+      check (cs ^ " explained") true (String.length (Diagnostic.explain c) > 40);
+      check (cs ^ " of_code_string") true (Diagnostic.of_code_string cs = Some c))
+    Diagnostic.all_codes;
+  check "unknown code" true (Diagnostic.of_code_string "RF999" = None);
+  check "garbage" true (Diagnostic.of_code_string "nonsense" = None)
 
 let diagnostics_carry_locations () =
   (* function-level findings get the def's position, call-site findings
@@ -209,6 +237,122 @@ let gradient_auto_weight () =
   check_int "fib-like" 2 (Recflow_balance.Policy.suggest_gradient_weight ~fanout:2);
   check_int "clamped" 4 (Recflow_balance.Policy.suggest_gradient_weight ~fanout:9)
 
+let ckpt_admission_suggestion () =
+  let suggest ?(work = 5) ?(fanout = 2) ?(depth = Some 12) ?(loss = 0.1) ?(cost = 3) () =
+    Recflow_balance.Policy.suggest_ckpt_admission ~work_per_activation:work ~fanout
+      ~depth_bound:depth ~loss_rate:loss ~ckpt_cost:cost
+  in
+  check "free recording admits all" true (suggest ~cost:0 () = None);
+  check "negative cost admits all" true (suggest ~cost:(-2) () = None);
+  check "no depth bound admits all" true (suggest ~depth:None () = None);
+  check "zero loss keeps only the root's children" true (suggest ~loss:0.0 () = Some 1);
+  check "certain loss admits to the full bound" true (suggest ~loss:1.0 () = Some 12);
+  (* monotone: more risk, or cheaper records, never raises the cutoff *)
+  let d x = match x with Some d -> d | None -> Alcotest.fail "expected Some cutoff" in
+  check "higher loss admits deeper" true (d (suggest ~loss:0.01 ()) <= d (suggest ~loss:0.3 ()));
+  check "dearer records admit shallower" true
+    (d (suggest ~cost:50 ()) <= d (suggest ~cost:2 ()));
+  check "cutoff at least 1" true (d (suggest ~loss:1e-9 ~cost:1000 ()) >= 1);
+  check "cutoff within bound" true (d (suggest ~loss:0.9 ~depth:(Some 4) ()) <= 4)
+
+(* The check-smoke-<workload>.json dune targets: written by the real CLI
+   (`recflow --check-json`), re-read here with the in-tree strict parser.
+   Every built-in workload must be clean and carry a cost block per
+   function. *)
+let check_smoke_roundtrip () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let path = Printf.sprintf "check-smoke-%s.json" w.Workload.name in
+      let doc = In_channel.with_open_text path In_channel.input_all in
+      match Json.parse doc with
+      | Error msg -> Alcotest.failf "%s: %s" path msg
+      | Ok j ->
+        check (w.Workload.name ^ ": schema") true
+          (Json.member "schema" j = Some (Json.Str "recflow.check/2"));
+        check (w.Workload.name ^ ": clean") true
+          (Json.member "errors" j = Some (Json.Int 0)
+          && Json.member "warnings" j = Some (Json.Int 0));
+        let fns = Json.to_list (Option.value ~default:Json.Null (Json.member "functions" j)) in
+        check (w.Workload.name ^ ": has functions") true (fns <> []);
+        List.iter
+          (fun f ->
+            check (w.Workload.name ^ ": function has a cost block") true
+              (Json.member "cost" f <> None))
+          fns)
+    Workload.all
+
+(* ---------------- Cost analysis precision pins ---------------- *)
+
+let cost_of (w : Workload.t) =
+  Option.get (Check.check_source ~entries:[ w.Workload.entry ] w.Workload.source).Check.cost
+
+let fn_cost c fn = match Cost.find c fn with Some fc -> fc | None -> Alcotest.failf "no cost for %s" fn
+
+let cost_verdicts () =
+  (* pins: these are precision guarantees, not just soundness — a change
+     that degrades any of them is a regression *)
+  let fib = fn_cost (cost_of Workload.fib) "fib" in
+  (match fib.Cost.verdict with
+  | Cost.Bounded { measure = "n"; floor = Some { Cost.at_least = 2; requires_start_ge = None } } -> ()
+  | _ -> Alcotest.failf "fib verdict: %s" (Cost.fn_cost_to_string fib));
+  check "fib growth" true (fib.Cost.growth = Cost.Exponential);
+  check_int "fib rec fan-out" 2 fib.Cost.rec_fanout;
+  let tsum = fn_cost (cost_of Workload.tree_sum) "tsum" in
+  (match tsum.Cost.verdict with
+  | Cost.Bounded { floor = Some { Cost.at_least = 1; _ }; _ } -> ()
+  | _ -> Alcotest.failf "tsum verdict: %s" (Cost.fn_cost_to_string tsum));
+  let qsort = fn_cost (cost_of Workload.quicksort) "qsort" in
+  (match qsort.Cost.verdict with
+  | Cost.Bounded { measure = "size(xs)"; floor = Some { Cost.at_least = 1; _ } } -> ()
+  | _ -> Alcotest.failf "qsort verdict: %s" (Cost.fn_cost_to_string qsort));
+  (* no false divergence warnings: interval halving and merge sort are
+     beyond the measure family, so they must stay quiet *)
+  let msort = fn_cost (cost_of Workload.mergesort) "msort" in
+  check "msort quiet" true (msort.Cost.verdict = Cost.Quiet);
+  let sumsq = fn_cost (cost_of Workload.map_reduce) "sumsq" in
+  check "sumsq quiet" true (sumsq.Cost.verdict = Cost.Quiet);
+  let tak = fn_cost (cost_of Workload.tak) "tak" in
+  check "tak quiet" true (tak.Cost.verdict = Cost.Quiet);
+  let merge = fn_cost (cost_of Workload.mergesort) "merge" in
+  (match merge.Cost.verdict with
+  | Cost.Bounded { measure = "sum(list sizes)"; floor = Some { Cost.at_least = 2; _ } } -> ()
+  | _ -> Alcotest.failf "merge verdict: %s" (Cost.fn_cost_to_string merge))
+
+let cost_entry_bounds_exact () =
+  (* fib tiny = fib(8): chain 8 -> 7 -> ... -> 2 -> leaf is 7 edges *)
+  let c = cost_of Workload.fib in
+  let eb = Cost.entry_bounds c ~entry:"fib" ~args:(Workload.fib.Workload.args Workload.Tiny) in
+  check "fib depth" true (eb.Cost.depth = Some 7);
+  check_int "fib fanout" 2 eb.Cost.fanout;
+  check "fib activations" true (Cost.activation_bound eb = Some 255);
+  check "fib subtree at 5" true (Cost.subtree_bound eb ~depth:5 = Some 7);
+  check "fib subtree below floor" true (Cost.subtree_bound eb ~depth:7 = Some 1);
+  let c = cost_of Workload.tree_sum in
+  let eb = Cost.entry_bounds c ~entry:"tsum" ~args:(Workload.tree_sum.Workload.args Workload.Tiny) in
+  check "tsum depth finite" true (Option.is_some eb.Cost.depth)
+
+let cost_divergent_entry_bounds () =
+  let r = Check.check_source ~entries:[ "main" ] "def main(n) = if n > 0 then main(n + 1) else 0" in
+  let c = Option.get r.Check.cost in
+  let eb = Cost.entry_bounds c ~entry:"main" ~args:[ Value.Int 5 ] in
+  check "divergent depth" true (eb.Cost.depth = None);
+  check "divergent activations" true (Cost.activation_bound eb = None)
+
+let cost_increasing_counter_bounded () =
+  (* an increasing counter climbing to a guard ceiling is depth-bounded
+     via the negated measure *)
+  let r = Check.check_source ~entries:[ "main" ] "def main(n) = if n < 5 then main(n + 1) else n" in
+  let c = Option.get r.Check.cost in
+  check "no warnings" true (Check.ok ~werror:true r);
+  let fc = fn_cost c "main" in
+  (match fc.Cost.verdict with
+  | Cost.Bounded { floor = Some _; _ } -> ()
+  | _ -> Alcotest.failf "ceiling verdict: %s" (Cost.fn_cost_to_string fc));
+  let eb = Cost.entry_bounds c ~entry:"main" ~args:[ Value.Int 0 ] in
+  check "ceiling depth finite" true (Option.is_some eb.Cost.depth);
+  (* -n starts at 0, floor is -4: at most 5 more levels *)
+  check "ceiling depth tight" true (eb.Cost.depth = Some 5)
+
 (* ---------------- Corpus: everything we ship is clean ---------------- *)
 
 let corpus_is_clean () =
@@ -248,7 +392,12 @@ let workload_program_gate () =
    - the distributed answer equals the serial reference;
    - every digit of every spawned stamp is < the program's static fan-out
      bound (digits are per-activation spawn-counter values);
-   - no parent stamp has more distinct spawned children than the bound. *)
+   - no parent stamp has more distinct spawned children than the bound;
+   - when the cost analysis bounds the entry's recursion depth, no
+     observed stamp exceeds it, and no subtree holds more spawned tasks
+     than [Cost.subtree_bound] allows at its root's depth.  There are no
+     per-workload opt-outs: the depth checks are vacuous exactly when the
+     analysis itself returned "unbounded". *)
 let gauntlet () =
   let sizes = [ Workload.Tiny; Workload.Small; Workload.Medium; Workload.Large ] in
   let size_tag = function
@@ -262,6 +411,7 @@ let gauntlet () =
       let program = Workload.program w in
       let shape = Shape.of_program program in
       let bound = Shape.program_fanout_bound ~entries:[ w.Workload.entry ] shape program in
+      let cost = cost_of w in
       List.iter
         (fun size ->
           let tag = Printf.sprintf "%s/%s" w.Workload.name (size_tag size) in
@@ -303,7 +453,34 @@ let gauntlet () =
               if List.length cs > bound then
                 Alcotest.failf "%s: activation %s spawned %d children > bound %d" tag
                   (Stamp.to_string p) (List.length cs) bound)
-            children)
+            children;
+          let eb = Cost.entry_bounds cost ~entry:w.Workload.entry ~args:(w.Workload.args size) in
+          match eb.Cost.depth with
+          | None -> ()
+          | Some dbound ->
+            List.iter
+              (fun s ->
+                if Stamp.depth s > dbound then
+                  Alcotest.failf "%s: stamp %s at depth %d > static bound %d" tag
+                    (Stamp.to_string s) (Stamp.depth s) dbound)
+              spawned;
+            (* counts.(s) = spawned tasks inside s's subtree (s included);
+               that undercounts activations (inlined calls don't stamp),
+               so <= the static subtree bound is required of it too *)
+            let counts = Hashtbl.create 256 in
+            let rec bump st =
+              Hashtbl.replace counts st (1 + Option.value ~default:0 (Hashtbl.find_opt counts st));
+              match Stamp.parent st with Some p -> bump p | None -> ()
+            in
+            List.iter bump spawned;
+            Hashtbl.iter
+              (fun s n ->
+                match Cost.subtree_bound eb ~depth:(Stamp.depth s) with
+                | Some b when n > b ->
+                  Alcotest.failf "%s: subtree at %s holds %d tasks > static bound %d" tag
+                    (Stamp.to_string s) n b
+                | _ -> ())
+              counts)
         sizes)
     Workload.all
 
@@ -315,8 +492,18 @@ let suites =
         Alcotest.test_case "RF007 via raw AST" `Quick rf007_fixture;
         Alcotest.test_case "every code has a fixture" `Quick all_codes_have_fixtures;
         Alcotest.test_case "severity follows the band" `Quick severities_by_band;
+        Alcotest.test_case "RF3xx pretty/parse roundtrip" `Quick rf3xx_roundtrip;
+        Alcotest.test_case "explain covers every code" `Quick explain_all_codes;
         Alcotest.test_case "locations" `Quick diagnostics_carry_locations;
         Alcotest.test_case "json shape" `Quick json_report_shape;
+        Alcotest.test_case "check-json CLI smoke round-trip" `Quick check_smoke_roundtrip;
+      ] );
+    ( "analysis.cost",
+      [
+        Alcotest.test_case "workload verdicts" `Quick cost_verdicts;
+        Alcotest.test_case "entry bounds exact" `Quick cost_entry_bounds_exact;
+        Alcotest.test_case "divergent entry bounds" `Quick cost_divergent_entry_bounds;
+        Alcotest.test_case "increasing counter bounded" `Quick cost_increasing_counter_bounded;
       ] );
     ( "analysis.infer",
       [
@@ -337,6 +524,7 @@ let suites =
         Alcotest.test_case "recursion classes" `Quick shape_recursion_classes;
         Alcotest.test_case "entries restrict the bound" `Quick shape_program_bound_respects_entries;
         Alcotest.test_case "gradient:auto weight" `Quick gradient_auto_weight;
+        Alcotest.test_case "adaptive ckpt admission cutoff" `Quick ckpt_admission_suggestion;
       ] );
     ( "analysis.corpus",
       [

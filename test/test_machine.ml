@@ -360,6 +360,34 @@ let config_validation () =
   check "bad shed fraction" true
     (bad_msg "service shed_suspect_frac must be in [0,1]" (fun c ->
          { c with Config.service = { c.Config.service with Config.shed_suspect_frac = 1.5 } }));
+  (* adaptive checkpoint-admission knobs (PR 9) *)
+  check "negative ckpt_cost" true
+    (bad_msg "costs must be non-negative" (fun c -> { c with Config.ckpt_cost = -1 }));
+  check "loss_prior above 1" true
+    (bad_msg "loss_prior must be in [0,1]" (fun c -> { c with Config.loss_prior = 1.5 }));
+  check "loss_prior negative" true
+    (bad_msg "loss_prior must be in [0,1]" (fun c -> { c with Config.loss_prior = -0.1 }));
+  check "loss_prior nan" true
+    (bad_msg "loss_prior must be in [0,1]" (fun c -> { c with Config.loss_prior = Float.nan }));
+  check "adaptive max_depth zero" true
+    (bad_msg "adaptive ckpt_mode max_depth must be >= 1 (the root's children must be covered)"
+       (fun c -> { c with Config.ckpt_mode = Config.Adaptive { max_depth = 0 } }));
+  check "adaptive + replicate" true
+    (bad_msg
+       "adaptive checkpoint admission cannot be combined with replication (lost replicas are \
+        governed by the voter, not the checkpoint table)"
+       (fun c ->
+         { c with
+           Config.ckpt_mode = Config.Adaptive { max_depth = 3 };
+           recovery = Config.Replicate 2 }));
+  check "valid adaptive config" true
+    (Config.validate
+       { (Config.default ~nodes:4) with
+         Config.ckpt_mode = Config.Adaptive { max_depth = 3 };
+         ckpt_cost = 2;
+         loss_prior = 0.25;
+         recovery = Config.Rollback }
+    = Ok ());
   check "default valid" true (Config.validate (Config.default ~nodes:4) = Ok ())
 
 let horizon_stops () =

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Analyzer smoke gate: emit the machine-readable --check-json report for
+# every built-in workload via the real CLI, re-read each one with the
+# in-tree strict JSON parser (test_analysis check.smoke), and exercise
+# --explain for one code per diagnostic band.  Backed by the dune
+# @check-smoke alias so results are cached and the same gate runs inside
+# `dune runtest`.
+set -e
+cd "$(dirname "$0")/.."
+exec dune build @check-smoke
