@@ -580,6 +580,111 @@ let report_service () =
   Json.Obj [ ("rows", Json.List [ row 1; row 3 ]) ]
 
 (* ------------------------------------------------------------------ *)
+(* X8 scale kernels and the memory probe                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap a run with a Gc probe: peak heap words (sampled at every major
+   slice — an upper bound on peak live words that avoids per-sample heap
+   walks) and total allocated words.  Memory regressions — a reverted
+   arena, a journal that retains again — show up here even when wall
+   time hides them. *)
+let mem_probe f =
+  Gc.compact ();
+  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
+  let alarm =
+    Gc.create_alarm (fun () ->
+        let h = (Gc.quick_stat ()).Gc.heap_words in
+        if h > !peak then peak := h)
+  in
+  let a0 = Gc.allocated_bytes () in
+  let r = f () in
+  let allocated_words = int_of_float ((Gc.allocated_bytes () -. a0) /. 8.0) in
+  Gc.delete_alarm alarm;
+  let h = (Gc.quick_stat ()).Gc.heap_words in
+  if h > !peak then peak := h;
+  (r, !peak, allocated_words)
+
+(* The X8 grid at full size, hand-timed: Bechamel would re-run the
+   million-task row for its whole quota.  Fault-free, static placement,
+   the scale machinery on (arena + batched delivery + non-retaining
+   journal).  The row value entering the --diff gate is ns per engine
+   event, which stays comparable if the grid ever grows. *)
+let xscale_grid = [ (64, 14); (256, 17); (1024, 20) ]
+
+let report_xscale () =
+  Format.printf
+    "@.--- X8 scale kernels (arena + batched delivery, hand-timed, full size) ---@.";
+  let rows =
+    List.map
+      (fun (procs, depth) ->
+        let grain = 20 in
+        let w = Workload.synthetic ~branching:2 ~depth ~grain in
+        let cfg =
+          {
+            (Config.default ~nodes:procs) with
+            Config.policy = Recflow_balance.Policy.Static_hash;
+            inline_depth = depth;
+            batched_delivery = true;
+            journal_retain = false;
+          }
+        in
+        let ((c, o), wall), peak_heap_words, allocated_words =
+          mem_probe (fun () -> timed (fun () -> run_cluster_full cfg w Workload.Medium []))
+        in
+        (* 2^depth leaves of [grain] each — checked in closed form; the
+           serial evaluator has no fuel for the million-call tree. *)
+        if o.Cluster.answer <> Some (Value.Int (grain * (1 lsl depth))) then
+          failwith "xscale row returned a wrong answer";
+        let tasks =
+          1 + Recflow_stats.Counter.get (Cluster.counters c) "spawn.remote"
+        in
+        let ev_s = float_of_int o.Cluster.events /. wall in
+        Format.printf
+          "  p=%-5d d=%-2d tasks %8d  wall %6.2f s  events %9d  (%.0f ev/s)  peak heap %5.1f Mw@."
+          procs depth tasks wall o.Cluster.events ev_s
+          (float_of_int peak_heap_words /. 1e6);
+        let name = Printf.sprintf "xscale/p%d_d%d" procs depth in
+        let group_row = (name, Some (1e9 *. wall /. float_of_int o.Cluster.events)) in
+        let detail =
+          Json.Obj
+            [
+              ("name", Json.Str name);
+              ("processors", Json.Int procs);
+              ("depth", Json.Int depth);
+              ("tasks", Json.Int tasks);
+              ("events", Json.Int o.Cluster.events);
+              ("makespan", Json.Int o.Cluster.sim_time);
+              ("wall_s", Json.Float wall);
+              ("events_per_s", Json.Float ev_s);
+              ("peak_heap_words", Json.Int peak_heap_words);
+              ("allocated_words", Json.Int allocated_words);
+            ]
+        in
+        (group_row, detail))
+      xscale_grid
+  in
+  (List.map fst rows, Json.Obj [ ("rows", Json.List (List.map snd rows)) ])
+
+(* The standing memory row: the Q2 splice kernel under the probe, so the
+   bench artefact tracks the footprint of the *default* (retaining,
+   unbatched) configuration too, not just the scale path. *)
+let report_mem () =
+  let (_, _), peak_heap_words, allocated_words =
+    mem_probe (fun () ->
+        timed (fun () -> run_cluster (quant_cfg Config.Splice) synthetic Workload.Small [ (3000, 2) ]))
+  in
+  Format.printf "@.--- memory probe (Q2 splice kernel) ---@.";
+  Format.printf "  peak heap %.1f Mw   allocated %.1f Mw@."
+    (float_of_int peak_heap_words /. 1e6)
+    (float_of_int allocated_words /. 1e6);
+  Json.Obj
+    [
+      ("kernel", Json.Str "Q2 splice, synthetic small, 1 failure");
+      ("peak_heap_words", Json.Int peak_heap_words);
+      ("allocated_words", Json.Int allocated_words);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -604,6 +709,41 @@ let run_group ~quota name tests =
          | Some est -> Format.printf "  %-45s %14.1f ns/run@." name est
          | None -> Format.printf "  %-45s (no estimate)@." name);
          (name, est))
+
+(* The gated micro rows include sub-100ns structures (stamp ops, the
+   voter) that sit at the measurement noise floor of a virtualised host:
+   a single OLS estimate of an *identical* binary can swing ±30–90%
+   between recordings, which is exactly the phantom regression the diff
+   gate exists to reject.  Interference (steal time, timer jitter, GC
+   pacing) only ever adds time, so the per-row minimum across several
+   independent estimates is the statistic closest to the code's true
+   cost — record that. *)
+let run_group_min ~quota ~trials name tests =
+  let runs =
+    List.init trials (fun i ->
+        Format.printf "  [trial %d/%d]@." (i + 1) trials;
+        run_group ~quota name tests)
+  in
+  match runs with
+  | [] -> []
+  | first :: rest ->
+    Format.printf "  [min of %d trials]@." trials;
+    List.map
+      (fun (name, est) ->
+        let best =
+          List.fold_left
+            (fun acc trial ->
+              match List.assoc_opt name trial with
+              | Some (Some e) -> (
+                match acc with Some a -> Some (min a e) | None -> Some e)
+              | _ -> acc)
+            est rest
+        in
+        (match best with
+        | Some e -> Format.printf "  %-45s %14.1f ns/run@." name e
+        | None -> Format.printf "  %-45s (no estimate)@." name);
+        (name, best))
+      first
 
 let json_of_rows rows =
   Json.List
@@ -755,6 +895,9 @@ let diff_json ~threshold old_path new_path =
   in
   diff_group ~gate:true "micro";
   diff_group ~gate:false "experiments";
+  (* ns-per-event of the full-size X8 rows: host-normalized like micro,
+     but informational until two trajectory points carry the group. *)
+  diff_group ~gate:false "xscale";
   match !regressions with
   | [] ->
     Format.printf "@.no micro row regressed past +%.0f%% (host-normalized)@." threshold;
@@ -767,7 +910,7 @@ let diff_json ~threshold old_path new_path =
     exit 1
 
 let () =
-  let json_path = ref "BENCH_9.json" in
+  let json_path = ref "BENCH_10.json" in
   let quota = ref 0.25 in
   let micro_only = ref false in
   let obs_only = ref false in
@@ -778,7 +921,7 @@ let () =
   let scaling = ref false in
   let speclist =
     [
-      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_9.json)");
+      ("--json", Arg.Set_string json_path, "FILE  write the machine-readable results (default BENCH_10.json)");
       ("--quota", Arg.Set_float quota, "SEC  per-benchmark sampling quota in seconds (default 0.25)");
       ("--micro-only", Arg.Set micro_only, "  run only the data-structure micro group (smoke mode)");
       ("--obs-only", Arg.Set obs_only, "  run only the observability-overhead A/B row and exit");
@@ -807,7 +950,7 @@ let () =
     Format.printf "=== recflow benchmarks (Bechamel, monotonic clock) ===@.@.";
     Format.printf "--- data-structure micro-benchmarks ---@.";
     let micro_rows =
-      run_group ~quota:!quota "micro"
+      run_group_min ~quota:!quota ~trials:3 "micro"
         [ bench_stamp_ancestor; bench_stamp_hash; bench_ckpt_record; bench_engine; bench_rng;
           bench_serial_eval; bench_graph_eval; bench_vote ]
     in
@@ -817,6 +960,8 @@ let () =
     let obs_overhead = ref Json.Null in
     let latency = ref Json.Null in
     let service = ref Json.Null in
+    let xscale = ref Json.Null in
+    let mem = ref Json.Null in
     if not !micro_only then begin
       Format.printf "@.--- experiment kernels (one per reproduced figure/table) ---@.";
       let kernel_rows =
@@ -830,13 +975,17 @@ let () =
       latency := report_latency_percentiles ();
       service := report_service ();
       sweep := report_sweep_scaling ();
-      shard_run := report_shard_run ()
+      shard_run := report_shard_run ();
+      mem := report_mem ();
+      let xscale_rows, xscale_detail = report_xscale () in
+      groups := !groups @ [ ("xscale", xscale_rows) ];
+      xscale := xscale_detail
     end;
     let doc =
       Json.Obj
         [
           ("schema", Json.Str bench_schema);
-          ("pr", Json.Int 9);
+          ("pr", Json.Int 10);
           ("quota_s", Json.Float !quota);
           ( "groups",
             Json.List
@@ -849,6 +998,8 @@ let () =
           ("service", !service);
           ("sweep", !sweep);
           ("shard_run", !shard_run);
+          ("mem", !mem);
+          ("xscale", !xscale);
         ]
     in
     Json.write_file ~path:!json_path doc;

@@ -82,25 +82,26 @@ let create ?(seed = 0x5eed) spec = { spec; rng = Recflow_sim.Rng.create seed; rr
 
 let spec t = t.spec
 
-let require_alive view =
-  match Router.alive_nodes view.router with
-  | [] -> invalid_arg "Policy.choose: no live node"
-  | nodes -> nodes
-
 let choose t view ~origin ~key =
-  let alive = require_alive view in
+  (* O(1) existence check; only the policies that really enumerate the
+     live set pay for the O(P) list below. *)
+  if Router.alive_count view.router = 0 then invalid_arg "Policy.choose: no live node";
+  let alive () = Router.alive_nodes view.router in
   match t.spec with
   | Random ->
-    let arr = Array.of_list alive in
+    let arr = Array.of_list (alive ()) in
     Recflow_sim.Rng.pick t.rng arr
   | Round_robin ->
+    let alive = alive () in
     let n = List.length alive in
     let idx = t.rr_next mod n in
     t.rr_next <- t.rr_next + 1;
     List.nth alive idx
   | Static_hash ->
     (* Deterministic placement over the *configured* node set, ignoring
-       liveness: exactly what a static allocator does. *)
+       liveness: exactly what a static allocator does.  No live-set
+       enumeration at all — this is the O(1) fast path the scale runs
+       lean on. *)
     let n = Recflow_net.Topology.size (Router.topology view.router) in
     (* Knuth multiplicative scrambling keeps consecutive stamps apart. *)
     abs (key * 2654435761) mod n
@@ -125,13 +126,14 @@ let choose t view ~origin ~key =
           match acc with
           | Some (_, best_s) when best_s <= s -> acc
           | _ -> Some (node, s))
-        None alive
+        None (alive ())
     in
     (match best with Some (node, _) -> node | None -> assert false)
   | Neighborhood { radius } ->
     (* Restrict the gradient surface to the origin's r-hop ball; if the
        whole ball is dead, take the nearest live node anyway (the task
        must go somewhere). *)
+    let alive = alive () in
     let dist node = Router.distance view.router origin node in
     let in_ball = List.filter (fun n -> match dist n with Some d -> d <= radius | None -> false) alive in
     let candidates = if in_ball = [] then alive else in_ball in
@@ -156,7 +158,7 @@ let choose t view ~origin ~key =
           match acc with
           | Some (_, best_s) when best_s <= s -> acc
           | _ -> Some (node, s))
-        None alive
+        None (alive ())
     in
     (match best with Some (node, _) -> node | None -> assert false)
 

@@ -36,6 +36,7 @@ let all =
       run = Exp_service.run };
     { id = "X7"; title = "Adaptive checkpoint admission driven by static cost bounds";
       run = Exp_adaptive.run };
+    { id = "X8"; title = "Scale: 1024 processors, a million-task tree"; run = Exp_xscale.run };
   ]
 
 let find id =

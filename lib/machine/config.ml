@@ -53,6 +53,8 @@ type t = {
   reliable : bool;
   retry : retry;
   service : service;
+  batched_delivery : bool;
+  journal_retain : bool;
 }
 
 let default ~nodes =
@@ -82,6 +84,8 @@ let default ~nodes =
     retry = { rto = 150; backoff = 2.0; suspicion_after = 1500 };
     service =
       { arrival_mean = 400.0; replicas = 1; max_inflight = 64; shed_suspect_frac = 0.5 };
+    batched_delivery = false;
+    journal_retain = true;
   }
 
 type meta_value = [ `Int of int | `Str of string | `Bool of bool ]
@@ -123,6 +127,8 @@ let metadata t : (string * meta_value) list =
     ("service_replicas", `Int t.service.replicas);
     ("service_max_inflight", `Int t.service.max_inflight);
     ("service_shed_suspect_frac", `Str (Printf.sprintf "%g" t.service.shed_suspect_frac));
+    ("batched_delivery", `Bool t.batched_delivery);
+    ("journal_retain", `Bool t.journal_retain);
   ]
 
 let validate t =

@@ -25,7 +25,13 @@ type key = int list
 let key_of_stamp s : key = Stamp.digits s
 
 type t = {
+  retain : bool;
+      (* scale runs record millions of entries: with [retain = false] the
+         list and per-stamp index stay empty (sinks still see everything)
+         so journal memory is O(1) instead of O(run length) *)
   mutable rev_entries : entry list;
+  mutable n_entries : int;
+  mutable last_time : int option;
   by_stamp : (key, entry list ref) Hashtbl.t;  (* reverse chronological *)
   mutable extra : entry Recflow_obs_core.Sink.t option;
       (* streaming consumers (Perfetto.Stream, JSONL) see every entry as
@@ -33,7 +39,15 @@ type t = {
          retained list *)
 }
 
-let create () = { rev_entries = []; by_stamp = Hashtbl.create 256; extra = None }
+let create ?(retain = true) () =
+  {
+    retain;
+    rev_entries = [];
+    n_entries = 0;
+    last_time = None;
+    by_stamp = Hashtbl.create 256;
+    extra = None;
+  }
 
 let attach_sink t sink =
   t.extra <-
@@ -43,18 +57,22 @@ let attach_sink t sink =
 
 let record t ~time ~stamp event =
   let e = { time; stamp; event } in
-  t.rev_entries <- e :: t.rev_entries;
+  t.n_entries <- t.n_entries + 1;
+  t.last_time <- Some time;
   (match t.extra with Some s -> Recflow_obs_core.Sink.emit s e | None -> ());
-  let k = key_of_stamp stamp in
-  match Hashtbl.find_opt t.by_stamp k with
-  | Some r -> r := e :: !r
-  | None -> Hashtbl.add t.by_stamp k (ref [ e ])
+  if t.retain then begin
+    t.rev_entries <- e :: t.rev_entries;
+    let k = key_of_stamp stamp in
+    match Hashtbl.find_opt t.by_stamp k with
+    | Some r -> r := e :: !r
+    | None -> Hashtbl.add t.by_stamp k (ref [ e ])
+  end
 
 let entries t = List.rev t.rev_entries
 
-let length t = List.length t.rev_entries
+let length t = t.n_entries
 
-let last_entry_time t = match t.rev_entries with [] -> None | e :: _ -> Some e.time
+let last_entry_time t = t.last_time
 
 let failures t =
   List.rev

@@ -39,7 +39,13 @@ type entry = { time : int; stamp : Stamp.t; event : event }
 
 type t
 
-val create : unit -> t
+val create : ?retain:bool -> unit -> t
+(** [retain] (default [true]) keeps every entry in memory for {!entries},
+    {!for_stamp} and friends.  With [retain:false] — the scale-run mode,
+    selected through [Config.journal_retain] — attached sinks still see
+    every entry and {!length}/{!last_entry_time} stay exact, but the
+    retained list and per-stamp index remain empty, so journal memory is
+    O(1) in the run length. *)
 
 val attach_sink : t -> entry Recflow_obs_core.Sink.t -> unit
 (** Every subsequent entry is also pushed into the sink as it is recorded

@@ -58,15 +58,19 @@ type task = {
   born : int;  (* activation tick, for the sojourn-time histogram *)
   mutable state : task_state;
   mutable child_seq : int;
-  children : (int, child) Hashtbl.t;  (* keyed by call slot *)
-  pending : (int, Value.t) Hashtbl.t;  (* results that arrived before the slot was reached *)
+  mutable children : (int, child) Hashtbl.t option;
+      (* keyed by call slot; allocated on the first spawn so the (large)
+         population of leaf tasks never pays for an empty table *)
+  mutable pending : (int * Value.t) list;
+      (* results that arrived before the slot was reached (tiny: one entry
+         per outrun call slot, usually zero) *)
   mutable work : int;  (* busy ticks attributed to this task *)
   mutable result_dropped : bool;
   mutable gc_pending : (Stamp.t * Packet.link * Value.t) list;
       (* salvaged orphan results that arrived before this (twin) task
          spawned the chain link they travel through: (orphan stamp, dead
          parent link, value) *)
-  adopted : (int list, Packet.link * Packet.link) Hashtbl.t;
+  mutable adopted : (int list * (Packet.link * Packet.link)) list;
       (* orphan stamp (digits) -> (orphan link, dead parent link): live
          orphans this step-parent must inherit instead of cloning *)
   mutable adopt_pending : (Stamp.t * Packet.link * Packet.link) list;
@@ -75,10 +79,54 @@ type task = {
       (* this task, as an orphan, already announced itself upward *)
 }
 
+(* A finished task's full record (instance, children, pending tables) is
+   dead weight: once [Done] or [Aborted] the only observable behaviours
+   left are the tombstone ones — answer an Ack, absorb a duplicate
+   activation, ignore a late result, apply a Reparent (possibly re-sending
+   the completed value), and serve as the producer in the bounce path.
+   The task is therefore *retired* to this slim record immediately, and
+   its arena slot is recycled.
+
+   Note on §3.3's never-reused-uid assumption: only arena *slots* are
+   recycled.  Task uids stay monotone ([ctx.fresh_task_id]) and the
+   uid-keyed index below keeps a tombstone cell per uid forever, so a late
+   message addressed to a dead uid can never be confused with a newer task
+   that happens to occupy the same arena slot. *)
+type retired = {
+  r_tid : Ids.task_id;
+  mutable r_packet : Packet.t;  (* mutable for post-mortem reparenting *)
+  r_state : task_state;  (* [Done] or [Aborted] *)
+  r_result : Value.t option;  (* the instance's answer at retirement *)
+  r_work : int;
+  mutable r_dropped : bool;
+}
+
+type entry = Live of int  (* arena slot *) | Retired of retired
+
+type cell = { mutable entry : entry }
+
 type t = {
   nid : Ids.proc_id;
   mutable alive : bool;
-  tasks : (Ids.task_id, task) Hashtbl.t;
+  (* uid -> cell index.  Keys are only ever inserted (activation) and
+     cells mutate in place on retirement, so the table's iteration order
+     is a pure function of the uid insertion sequence — the protocol scans
+     below that walk it (abort cascades, vote accounting, producer lookup,
+     adoption reports) observe the same order as the pre-arena
+     representation, keeping runs bit-identical. *)
+  tasks : (Ids.task_id, cell) Hashtbl.t;
+  (* flat growable arena of the resident (live) task records, free-list
+     recycled; the dense int slots keep the live set compact no matter how
+     many tasks the run has retired *)
+  mutable arena : task option array;
+  mutable arena_n : int;  (* high-water mark *)
+  mutable free : int list;
+  (* incremental load accounting: maintained on every state transition so
+     the balancer/oracle queries are O(1) instead of a fold over every
+     task that ever lived *)
+  mutable n_live : int;
+  mutable n_blocked : int;
+  mutable n_wasted : int;  (* busy ticks of aborted / result-dropped tasks *)
   run_queue : Ids.task_id Queue.t;
   mutable current : Ids.task_id option;
   ckpts : Ckpt_table.t;
@@ -90,9 +138,14 @@ type t = {
   early_results : (Ids.task_id, Message.result_payload list) Hashtbl.t;
   early_adoptions : (Ids.task_id, (Stamp.t * Packet.link * Packet.link) list) Hashtbl.t;
   (* distributed gradient model: last value heard from each neighbour and
-     this node's own value (0 = a demand sink) *)
+     this node's own value (0 = a demand sink).  [heard_min] caches the
+     fold over [gradient_heard]; [heard_dirty] marks it stale when a
+     possible minimum-holder raised its value or died. *)
   gradient_heard : (Ids.proc_id, int) Hashtbl.t;
   mutable gradient_value : int;
+  mutable heard_min : int;
+  mutable heard_dirty : bool;
+  mutable neighbor_cache : Ids.proc_id list option;
 }
 
 let create nid (config : Config.t) =
@@ -100,6 +153,12 @@ let create nid (config : Config.t) =
     nid;
     alive = true;
     tasks = Hashtbl.create 64;
+    arena = [||];
+    arena_n = 0;
+    free = [];
+    n_live = 0;
+    n_blocked = 0;
+    n_wasted = 0;
     run_queue = Queue.create ();
     current = None;
     ckpts = Ckpt_table.create ~mode:(Config.table_mode config.ckpt_mode) ();
@@ -110,6 +169,9 @@ let create nid (config : Config.t) =
     early_adoptions = Hashtbl.create 4;
     gradient_heard = Hashtbl.create 8;
     gradient_value = 0;
+    heard_min = max_int / 2;
+    heard_dirty = false;
+    neighbor_cache = None;
   }
 
 let id t = t.nid
@@ -120,26 +182,132 @@ let checkpoints t = t.ckpts
 
 let knows_dead t p = Hashtbl.mem t.known_dead p
 
-let mark_dead t p = if not (Hashtbl.mem t.known_dead p) then Hashtbl.add t.known_dead p ()
+let mark_dead t p =
+  if not (Hashtbl.mem t.known_dead p) then begin
+    Hashtbl.add t.known_dead p ();
+    if Hashtbl.mem t.gradient_heard p then t.heard_dirty <- true
+  end
 
 let work_done t = t.work_ticks
 
 let task_live task = match task.state with Done | Aborted -> false | _ -> true
 
-let live_tasks t =
-  Hashtbl.fold (fun _ task acc -> if task_live task then acc + 1 else acc) t.tasks 0
+let live_tasks t = t.n_live
 
-let blocked_tasks t =
-  Hashtbl.fold (fun _ task acc -> if task.state = Blocked then acc + 1 else acc) t.tasks 0
+let blocked_tasks t = t.n_blocked
 
 let runnable_tasks t =
   Queue.length t.run_queue + (match t.current with Some _ -> 1 | None -> 0)
 
-let wasted_work t =
-  Hashtbl.fold
-    (fun _ task acc ->
-      if task.state = Aborted || task.result_dropped then acc + task.work else acc)
-    t.tasks 0
+let wasted_work t = t.n_wasted
+
+(* ------------------------------------------------------------------ *)
+(* Arena and index plumbing                                            *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_slot t task =
+  match t.free with
+  | s :: rest ->
+    t.free <- rest;
+    t.arena.(s) <- Some task;
+    s
+  | [] ->
+    let cap = Array.length t.arena in
+    if t.arena_n = cap then begin
+      let narena = Array.make (max 64 (cap * 2)) None in
+      Array.blit t.arena 0 narena 0 cap;
+      t.arena <- narena
+    end;
+    let s = t.arena_n in
+    t.arena_n <- s + 1;
+    t.arena.(s) <- Some task;
+    s
+
+let retire_cell t cell task =
+  match cell.entry with
+  | Retired _ -> ()
+  | Live s ->
+    t.arena.(s) <- None;
+    t.free <- s :: t.free;
+    cell.entry <-
+      Retired
+        {
+          r_tid = task.tid;
+          r_packet = task.packet;
+          r_state = task.state;
+          r_result = Instance.result task.inst;
+          r_work = task.work;
+          r_dropped = task.result_dropped;
+        }
+
+let retire t task =
+  match Hashtbl.find_opt t.tasks task.tid with
+  | Some cell -> retire_cell t cell task
+  | None -> ()
+
+type lookup = Absent | Alive of task | Gone of retired
+
+let lookup t tid =
+  match Hashtbl.find_opt t.tasks tid with
+  | None -> Absent
+  | Some cell -> (
+    match cell.entry with
+    | Live s -> ( match t.arena.(s) with Some task -> Alive task | None -> Absent)
+    | Retired r -> Gone r)
+
+(* Walk the resident live tasks in the index's (legacy) iteration order;
+   retiring the visited task in place is safe — cells mutate, the table's
+   structure does not. *)
+let iter_live t f =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell.entry with
+      | Live s -> ( match t.arena.(s) with Some task -> f task | None -> ())
+      | Retired _ -> ())
+    t.tasks
+
+let set_state t task st =
+  if task.state <> st then begin
+    (match task.state with Blocked -> t.n_blocked <- t.n_blocked - 1 | _ -> ());
+    (match st with Blocked -> t.n_blocked <- t.n_blocked + 1 | _ -> ());
+    (match st with
+    | Done | Aborted -> (
+      match task.state with Done | Aborted -> () | _ -> t.n_live <- t.n_live - 1)
+    | Queued | Running | Blocked -> (
+      match task.state with Done | Aborted -> t.n_live <- t.n_live + 1 | _ -> ()));
+    task.state <- st
+  end
+
+(* A live task is never dropped (dropping happens at completion), and an
+   aborted task's work is already in [n_wasted], so the guard keeps the
+   counter equal to the old fold over both populations. *)
+let mark_dropped t task =
+  if not task.result_dropped then begin
+    task.result_dropped <- true;
+    if task.state <> Aborted then t.n_wasted <- t.n_wasted + task.work
+  end
+
+let mark_retired_dropped t (p : retired) =
+  if not p.r_dropped then begin
+    p.r_dropped <- true;
+    if p.r_state <> Aborted then t.n_wasted <- t.n_wasted + p.r_work
+  end
+
+let children_tbl task =
+  match task.children with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    task.children <- Some h;
+    h
+
+let child_find task slot =
+  match task.children with None -> None | Some h -> Hashtbl.find_opt h slot
+
+let child_iter f task = match task.children with None -> () | Some h -> Hashtbl.iter f h
+
+let child_fold f task init =
+  match task.children with None -> init | Some h -> Hashtbl.fold f h init
 
 type task_view = {
   v_stamp : Stamp.t;
@@ -155,25 +323,48 @@ let state_label = function
   | Done -> "done"
   | Aborted -> "aborted"
 
+let task_view_of task =
+  let waiting =
+    child_fold
+      (fun _ child acc ->
+        if child.filled then acc else (child.c_stamp, List.map snd child.dests) :: acc)
+      task []
+  in
+  {
+    v_stamp = task.packet.Packet.stamp;
+    v_task = task.tid;
+    v_state = state_label task.state;
+    v_waiting_on = waiting;
+  }
+
+let iter_task_views t f = iter_live t (fun task -> f (task_view_of task))
+
 let snapshot t =
-  Hashtbl.fold
-    (fun _ task acc ->
-      let waiting =
-        Hashtbl.fold
-          (fun _ child acc ->
-            if child.filled then acc
-            else (child.c_stamp, List.map snd child.dests) :: acc)
-          task.children []
-      in
-      {
-        v_stamp = task.packet.Packet.stamp;
-        v_task = task.tid;
-        v_state = state_label task.state;
-        v_waiting_on = waiting;
-      }
-      :: acc)
-    t.tasks []
-  |> List.sort (fun a b -> Stamp.compare a.v_stamp b.v_stamp)
+  let acc = ref [] in
+  iter_task_views t (fun v -> acc := v :: !acc);
+  List.sort (fun a b -> Stamp.compare a.v_stamp b.v_stamp) !acc
+
+(* Brute-force recount of the incremental counters over every resident and
+   retired task — the invariant oracle for the property tests, never used
+   on a hot path. *)
+let recount t =
+  let live = ref 0 and blocked = ref 0 and wasted = ref 0 in
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell.entry with
+      | Live s -> (
+        match t.arena.(s) with
+        | Some task ->
+          if task_live task then incr live;
+          if task.state = Blocked then incr blocked;
+          if task.state = Aborted || task.result_dropped then wasted := !wasted + task.work
+        | None -> ())
+      | Retired r ->
+        if r.r_state = Aborted || r.r_dropped then wasted := !wasted + r.r_work)
+    t.tasks;
+  (!live, !blocked, !wasted)
+
+let resident_tasks t = t.arena_n - List.length t.free
 
 let tracef t ctx fmt =
   Trace.logf ctx.trace ~time:(ctx.now ()) ~level:Trace.Debug
@@ -190,7 +381,7 @@ let ensure_stepping t ctx =
   end
 
 let enqueue_task t ctx task =
-  task.state <- Queued;
+  set_state t task Queued;
   Queue.add task.tid t.run_queue;
   ensure_stepping t ctx
 
@@ -215,14 +406,27 @@ let gradient_threshold ctx =
   | Recflow_balance.Policy.Gradient_distributed { threshold } -> threshold
   | _ -> 1
 
+let neighbors_of t ctx =
+  match t.neighbor_cache with
+  | Some l -> l
+  | None ->
+    let l = ctx.neighbors t.nid in
+    t.neighbor_cache <- Some l;
+    l
+
+let heard_nearest t =
+  if t.heard_dirty then begin
+    t.heard_dirty <- false;
+    t.heard_min <-
+      Hashtbl.fold
+        (fun peer v acc -> if Hashtbl.mem t.known_dead peer then acc else min acc v)
+        t.gradient_heard (max_int / 2)
+  end;
+  t.heard_min
+
 let recompute_gradient t ctx =
-  let nearest =
-    Hashtbl.fold
-      (fun peer v acc -> if Hashtbl.mem t.known_dead peer then acc else min acc v)
-      t.gradient_heard (max_int / 2)
-  in
   t.gradient_value <-
-    (if runnable_tasks t <= gradient_threshold ctx then 0 else 1 + nearest)
+    (if runnable_tasks t <= gradient_threshold ctx then 0 else 1 + heard_nearest t)
 
 (* Node-local gradient placement: stay local while under-loaded, else flow
    one hop toward the lowest-valued live neighbour. *)
@@ -237,7 +441,7 @@ let gradient_place t ctx =
             let v = Option.value ~default:(max_int / 2) (Hashtbl.find_opt t.gradient_heard peer) in
             match acc with Some (_, bv) when bv <= v -> acc | _ -> Some (peer, v)
           end)
-        None (ctx.neighbors t.nid)
+        None (neighbors_of t ctx)
     in
     match best with
     | Some (peer, v) when v < t.gradient_value -> peer
@@ -253,7 +457,7 @@ let gradient_tick t ctx =
         if not (Hashtbl.mem t.known_dead peer) then
           ctx.send ~src:t.nid ~dst:peer
             (Message.Gradient { from = t.nid; value = t.gradient_value }))
-      (ctx.neighbors t.nid)
+      (neighbors_of t ctx)
   end
 
 (* Pick a destination; static placement may nominate a dead node, in which
@@ -421,7 +625,7 @@ let spawn_child t ctx task ~slot ~fname ~args =
     { slot; c_stamp = stamp; c_packet = packet; dests = !dests; ctasks = !ctasks; vote;
       filled = false }
   in
-  Hashtbl.replace task.children slot child;
+  Hashtbl.replace (children_tbl task) slot child;
   Counter.add ctx.counters "spawn.remote" replicas;
   flush_gc_pending t ctx task child;
   flush_adopt_pending t ctx task child;
@@ -485,9 +689,12 @@ let fill_slot t ctx task (child : child) value =
   if task.state = Blocked then enqueue_task t ctx task
 
 (* §4.2: "Send the result to the parent.  If the parent is dead, notify
-   the grandparent and send the result to the grandparent." *)
-let return_result t ctx task value =
-  let packet = task.packet in
+   the grandparent and send the result to the grandparent."
+
+   Parameterized over the producer's packet and drop bookkeeping so it
+   serves both a live task completing ([complete_task]) and a retired
+   producer whose earlier return bounced ([handle_bounce]). *)
+let return_result_from t ctx ~(packet : Packet.t) ~tid ~mark_dropped value =
   let parent = packet.Packet.parent in
   let payload relay target =
     Message.Result { stamp = packet.Packet.stamp; value; target; relay }
@@ -514,37 +721,44 @@ let return_result t ctx task value =
         ctx.send ~src:t.nid ~dst:live_ancestor.Packet.proc
           (payload (Message.To_grandparent { dead_parent = parent }) live_ancestor)
       | None ->
-        task.result_dropped <- true;
+        mark_dropped ();
         Counter.incr ctx.counters "relay.stranded";
         Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
           (Journal.Relay_dropped { at = t.nid; reason = "grandparent dead or absent" }))
     | Config.No_recovery | Config.Rollback | Config.Splice | Config.Replicate _ ->
-      task.result_dropped <- true;
+      mark_dropped ();
       Counter.incr ctx.counters "result.orphan_dropped";
       Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
-        (Journal.Orphan_dropped { task = task.tid })
+        (Journal.Orphan_dropped { task = tid })
   end
 
+let return_result t ctx task value =
+  return_result_from t ctx ~packet:task.packet ~tid:task.tid
+    ~mark_dropped:(fun () -> mark_dropped t task)
+    value
+
 let complete_task t ctx task value =
-  task.state <- Done;
+  set_state t task Done;
   ctx.record_latency "task.sojourn" (ctx.now () - task.born);
   Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
     (Journal.Completed { task = task.tid; proc = t.nid; work = task.work });
-  return_result t ctx task value
+  return_result t ctx task value;
+  retire t task
 
 (* ------------------------------------------------------------------ *)
 (* Aborts (rollback garbage collection, §3.2/§3.4)                     *)
 (* ------------------------------------------------------------------ *)
 
-let rec abort_task t ctx task =
+let abort_task t ctx task =
   if task_live task then begin
-    task.state <- Aborted;
+    set_state t task Aborted;
+    t.n_wasted <- t.n_wasted + task.work;
     Counter.incr ctx.counters "task.aborted";
     Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
       (Journal.Aborted { task = task.tid; proc = t.nid; work = task.work });
     (* Cascade to outstanding children so their processors can reclaim
        them; checkpoints for this doomed subtree are dropped. *)
-    Hashtbl.iter
+    child_iter
       (fun _ child ->
         if not child.filled then begin
           discharge_child t child;
@@ -556,15 +770,13 @@ let rec abort_task t ctx task =
                 | None -> ())
             child.dests
         end)
-      task.children
+      task;
+    retire t task
   end
 
-and abort_orphans t ctx ~failed =
-  Hashtbl.iter
-    (fun _ task ->
-      if task_live task && task.packet.Packet.parent.Packet.proc = failed then
-        abort_task t ctx task)
-    t.tasks
+let abort_orphans t ctx ~failed =
+  iter_live t (fun task ->
+      if task.packet.Packet.parent.Packet.proc = failed then abort_task t ctx task)
 
 (* ------------------------------------------------------------------ *)
 (* Failure handling (error-detection branch of the protocol LOOP)      *)
@@ -591,50 +803,44 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
       List.iter
         (fun (packet : Packet.t) ->
           let parent = packet.Packet.parent in
-          match Hashtbl.find_opt t.tasks parent.Packet.task with
-          | None -> Counter.incr ctx.counters "reissue.stale"
-          | Some task ->
-            if not (task_live task) then Counter.incr ctx.counters "reissue.stale"
-            else begin
-              match Hashtbl.find_opt task.children parent.Packet.slot with
-              | None -> Counter.incr ctx.counters "reissue.stale"
-              | Some child ->
-                if child.filled || child.vote <> None then ()
-                else if not (Stamp.equal child.c_stamp packet.Packet.stamp) then
-                  (* The slot has moved on (covered descendant drained
-                     alongside its ancestor in Keep_all mode). *)
-                  Counter.incr ctx.counters "reissue.stale"
-                else if List.exists (fun (_, d) -> d <> failed) child.dests then
-                  (* already re-homed by the orphan-result path *)
-                  ()
-                else respawn_child t ctx task child ~reason
-            end)
+          match lookup t parent.Packet.task with
+          | Absent | Gone _ -> Counter.incr ctx.counters "reissue.stale"
+          | Alive task -> (
+            match child_find task parent.Packet.slot with
+            | None -> Counter.incr ctx.counters "reissue.stale"
+            | Some child ->
+              if child.filled || child.vote <> None then ()
+              else if not (Stamp.equal child.c_stamp packet.Packet.stamp) then
+                (* The slot has moved on (covered descendant drained
+                   alongside its ancestor in Keep_all mode). *)
+                Counter.incr ctx.counters "reissue.stale"
+              else if List.exists (fun (_, d) -> d <> failed) child.dests then
+                (* already re-homed by the orphan-result path *)
+                ()
+              else respawn_child t ctx task child ~reason))
         drained;
       (* Replicated slots: account the lost replicas with the voter. *)
       (match ctx.config.recovery with
       | Config.Replicate _ ->
-        Hashtbl.iter
-          (fun _ task ->
-            if task_live task then
-              Hashtbl.iter
-                (fun _ child ->
-                  match child.vote with
-                  | Some vote when not child.filled ->
-                    let lost_here =
-                      List.filter (fun (_, dest) -> dest = failed) child.dests
-                    in
-                    List.iter
-                      (fun _ ->
-                        match Vote.lose vote with
-                        | Vote.Decided v -> if not child.filled then fill_slot t ctx task child v
-                        | Vote.Inconclusive ->
-                          Counter.incr ctx.counters "vote.inconclusive";
-                          respawn_child t ctx task child ~reason:"vote-inconclusive"
-                        | Vote.Undecided -> ())
-                      lost_here
-                  | Some _ | None -> ())
-                task.children)
-          t.tasks
+        iter_live t (fun task ->
+            child_iter
+              (fun _ child ->
+                match child.vote with
+                | Some vote when not child.filled ->
+                  let lost_here =
+                    List.filter (fun (_, dest) -> dest = failed) child.dests
+                  in
+                  List.iter
+                    (fun _ ->
+                      match Vote.lose vote with
+                      | Vote.Decided v -> if not child.filled then fill_slot t ctx task child v
+                      | Vote.Inconclusive ->
+                        Counter.incr ctx.counters "vote.inconclusive";
+                        respawn_child t ctx task child ~reason:"vote-inconclusive"
+                      | Vote.Undecided -> ())
+                    lost_here
+                | Some _ | None -> ())
+              task)
       | Config.No_recovery | Config.Rollback | Config.Splice -> ());
       (* Surviving tasks regenerate their own lost children.  The table's
          topmost discipline suppressed proactive re-issue of covered
@@ -646,32 +852,30 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
          bookkeeping is re-issued here (the C4/B5 situation of §3 once
          B2's piece is salvaged).  Replicated slots stay with the voter. *)
       let local_regen () =
-        Hashtbl.iter
-          (fun _ task ->
-            if task_live task then begin
-              (* pending adoptions of orphans that just died are stale *)
-              let stale =
-                Hashtbl.fold
-                  (fun key ((orphan : Packet.link), _) acc ->
-                    if Hashtbl.mem t.known_dead orphan.Packet.proc then key :: acc else acc)
-                  task.adopted []
+        iter_live t (fun task ->
+            (* pending adoptions of orphans that just died are stale *)
+            (match task.adopted with
+            | [] -> ()
+            | l ->
+              let stale, keep =
+                List.partition
+                  (fun (_, ((orphan : Packet.link), _)) ->
+                    Hashtbl.mem t.known_dead orphan.Packet.proc)
+                  l
               in
-              List.iter
-                (fun key ->
-                  Hashtbl.remove task.adopted key;
-                  Counter.incr ctx.counters "adopt.stale")
-                stale;
-              Hashtbl.iter
-                (fun _ child ->
-                  if
-                    (not child.filled)
-                    && child.vote = None
-                    && child.dests <> []
-                    && List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests
-                  then respawn_child t ctx task child ~reason:"local-regen")
-                task.children
-            end)
-          t.tasks
+              if stale <> [] then begin
+                task.adopted <- keep;
+                List.iter (fun _ -> Counter.incr ctx.counters "adopt.stale") stale
+              end);
+            child_iter
+              (fun _ child ->
+                if
+                  (not child.filled)
+                  && child.vote = None
+                  && child.dests <> []
+                  && List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests
+                then respawn_child t ctx task child ~reason:"local-regen")
+              task)
       in
       (* Rollback discards orphans; splice keeps them alive, and every
          still-running orphan announces itself upward so its step-parent
@@ -695,11 +899,9 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
         let adoption_on = ctx.config.adoption_grace > 0 in
         local_regen ();
         if adoption_on then
-        Hashtbl.iter
-          (fun _ task ->
+        iter_live t (fun task ->
             if
-              task_live task
-              && task.packet.Packet.parent.Packet.proc = failed
+              task.packet.Packet.parent.Packet.proc = failed
               && not task.adoption_reported
             then begin
               task.adoption_reported <- true;
@@ -726,7 +928,6 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
                      })
               | None -> Counter.incr ctx.counters "adopt.stranded"
             end)
-          t.tasks
       | Config.No_recovery -> ())
   end
 
@@ -736,18 +937,18 @@ let handle_failure ?(reason = "notice") t ctx ~failed =
 
 (* A result (normal or spliced) reaches the task that owns the call slot. *)
 let deliver_result_into t ctx task ~slot ~stamp value =
-  match Hashtbl.find_opt task.children slot with
+  match child_find task slot with
   | None ->
     (* The slot has not been reached yet (a salvaged result outran the
        step-parent's own evaluation, §4.1 cases 4–5): hold it so the spawn
        is skipped when the call node fires. *)
-    if Hashtbl.mem task.pending slot then begin
+    if List.mem_assoc slot task.pending then begin
       Counter.incr ctx.counters "dup.ignored";
       Journal.record ctx.journal ~time:(ctx.now ()) ~stamp
         (Journal.Duplicate_ignored { task = task.tid })
     end
     else begin
-      Hashtbl.replace task.pending slot value;
+      task.pending <- (slot, value) :: task.pending;
       Counter.incr ctx.counters "result.preheld"
     end
   | Some child ->
@@ -799,7 +1000,7 @@ let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stam
     (* Locate the chain child: by slot when the stamps agree (the direct
        grandparent case), otherwise by stamp ancestry. *)
     let by_slot =
-      match Hashtbl.find_opt task.children slot with
+      match child_find task slot with
       | Some child
         when Stamp.equal child.c_stamp parent_stamp
              || Stamp.is_ancestor child.c_stamp parent_stamp ->
@@ -810,7 +1011,7 @@ let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stam
       match by_slot with
       | Some _ -> by_slot
       | None ->
-        Hashtbl.fold
+        child_fold
           (fun _ child acc ->
             match acc with
             | Some _ -> acc
@@ -820,7 +1021,7 @@ let handle_grandchild_result t ctx task ~(dead_parent : Packet.link) ~slot ~stam
                 || Stamp.is_ancestor child.c_stamp parent_stamp
               then Some child
               else None)
-          task.children None
+          task None
     in
     match chain_child with
     | None ->
@@ -869,19 +1070,18 @@ let handle_orphan_alive t ctx task ~ostamp ~(orphan : Packet.link)
       (* This task is the step-parent.  If the clone for that stamp is
          already out, adoption lost the race (duplicates, §4.1 case 6). *)
       let clone_exists =
-        Hashtbl.fold
-          (fun _ child acc -> acc || Stamp.equal child.c_stamp ostamp)
-          task.children false
+        child_fold (fun _ child acc -> acc || Stamp.equal child.c_stamp ostamp) task false
       in
       if clone_exists then Counter.incr ctx.counters "adopt.late"
       else begin
-        Hashtbl.replace task.adopted (Stamp.digits ostamp) (orphan, dead_parent);
+        let key = Stamp.digits ostamp in
+        task.adopted <- (key, (orphan, dead_parent)) :: List.remove_assoc key task.adopted;
         Counter.incr ctx.counters "adopt.recorded"
       end
     end
     else begin
       let chain_child =
-        Hashtbl.fold
+        child_fold
           (fun _ child acc ->
             match acc with
             | Some _ -> acc
@@ -891,7 +1091,7 @@ let handle_orphan_alive t ctx task ~ostamp ~(orphan : Packet.link)
                 || Stamp.is_ancestor child.c_stamp parent_stamp
               then Some child
               else None)
-          task.children None
+          task None
       in
       match chain_child with
       | None ->
@@ -921,17 +1121,19 @@ let activate_task t ctx packet ~task_id =
       born = ctx.now ();
       state = Queued;
       child_seq = 0;
-      children = Hashtbl.create 8;
-      pending = Hashtbl.create 4;
+      children = None;
+      pending = [];
       work = 0;
       result_dropped = false;
       gc_pending = [];
-      adopted = Hashtbl.create 2;
+      adopted = [];
       adopt_pending = [];
       adoption_reported = false;
     }
   in
-  Hashtbl.replace t.tasks task_id task;
+  let slot = alloc_slot t task in
+  Hashtbl.replace t.tasks task_id { entry = Live slot };
+  t.n_live <- t.n_live + 1;
   Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
     (Journal.Activated { task = task_id; proc = t.nid });
   (* Positive acknowledgement: moves the spawn out of transient state b/d
@@ -1002,11 +1204,10 @@ let deliver t ctx msg =
           (List.rev rs)
       | None -> ())
     | Message.Orphan_alive { stamp; orphan; dead_parent; target } -> (
-      match Hashtbl.find_opt t.tasks target.Packet.task with
-      | Some task when task_live task ->
-        handle_orphan_alive t ctx task ~ostamp:stamp ~orphan ~dead_parent
-      | Some _ -> Counter.incr ctx.counters "adopt.ignored"
-      | None ->
+      match lookup t target.Packet.task with
+      | Alive task -> handle_orphan_alive t ctx task ~ostamp:stamp ~orphan ~dead_parent
+      | Gone _ -> Counter.incr ctx.counters "adopt.ignored"
+      | Absent ->
         (* the twin's own packet is still in flight: hold the report *)
         let prev =
           Option.value ~default:[] (Hashtbl.find_opt t.early_adoptions target.Packet.task)
@@ -1023,8 +1224,8 @@ let deliver t ctx msg =
           (Ids.proc_to_string child_proc)
       | None -> Counter.incr ctx.counters "ack.ignored")
     | Message.Result { stamp; value; target; relay } -> (
-      match Hashtbl.find_opt t.tasks target.Packet.task with
-      | None -> (
+      match lookup t target.Packet.task with
+      | Absent -> (
         match relay with
         | Message.To_step_parent _ | Message.To_grandparent _ ->
           (* salvage addressed to a twin whose packet is still in flight *)
@@ -1038,41 +1239,61 @@ let deliver t ctx msg =
              rule to handle it, the processor simply ignores the
              message." *)
           Counter.incr ctx.counters "result.ignored")
-      | Some task ->
-        if not (task_live task) then Counter.incr ctx.counters "result.ignored"
-        else (
-          match relay with
-          | Message.To_parent | Message.To_step_parent _ ->
-            deliver_result_into t ctx task ~slot:target.Packet.slot ~stamp value
-          | Message.To_grandparent { dead_parent } -> (
-            match ctx.config.recovery with
-            | Config.Splice ->
-              handle_grandchild_result t ctx task ~dead_parent ~slot:target.Packet.slot ~stamp
-                value
-            | Config.No_recovery | Config.Rollback | Config.Replicate _ ->
-              Counter.incr ctx.counters "relay.dropped")))
+      | Gone _ -> Counter.incr ctx.counters "result.ignored"
+      | Alive task -> (
+        match relay with
+        | Message.To_parent | Message.To_step_parent _ ->
+          deliver_result_into t ctx task ~slot:target.Packet.slot ~stamp value
+        | Message.To_grandparent { dead_parent } -> (
+          match ctx.config.recovery with
+          | Config.Splice ->
+            handle_grandchild_result t ctx task ~dead_parent ~slot:target.Packet.slot ~stamp
+              value
+          | Config.No_recovery | Config.Rollback | Config.Replicate _ ->
+            Counter.incr ctx.counters "relay.dropped")))
     | Message.Reparent { orphan_task; new_parent; new_grandparent } -> (
-      match Hashtbl.find_opt t.tasks orphan_task with
-      | None -> Counter.incr ctx.counters "reparent.ignored"
-      | Some task -> (
+      match lookup t orphan_task with
+      | Absent -> Counter.incr ctx.counters "reparent.ignored"
+      | Alive task ->
+        (* a live orphan has no answer yet; its eventual return follows
+           the rewritten links *)
         task.packet <-
           Packet.reparent task.packet ~parent:new_parent ~grandparent:new_grandparent;
+        Counter.incr ctx.counters "reparent.applied"
+      | Gone p -> (
+        p.r_packet <-
+          Packet.reparent p.r_packet ~parent:new_parent ~grandparent:new_grandparent;
         Counter.incr ctx.counters "reparent.applied";
-        match (task.state, Instance.result task.inst) with
+        match (p.r_state, p.r_result) with
         | Done, Some v ->
           (* completed before learning the address: deliver now (a
              duplicate of an earlier successful relay is absorbed) *)
-          task.result_dropped <- false;
+          if p.r_dropped then begin
+            p.r_dropped <- false;
+            t.n_wasted <- t.n_wasted - p.r_work
+          end;
           ctx.send ~src:t.nid ~dst:new_parent.Packet.proc
             (Message.Result
-               { stamp = task.packet.Packet.stamp; value = v; target = new_parent;
+               { stamp = p.r_packet.Packet.stamp; value = v; target = new_parent;
                  relay = Message.To_parent })
         | _ -> ()))
-    | Message.Gradient { from; value } -> Hashtbl.replace t.gradient_heard from value
+    | Message.Gradient { from; value } ->
+      let prev = Hashtbl.find_opt t.gradient_heard from in
+      Hashtbl.replace t.gradient_heard from value;
+      (* keep the cached minimum exact without a fold: a lower value from
+         a live peer tightens it directly; raising the (possible) holder
+         of the minimum forces a recount *)
+      if (not (Hashtbl.mem t.known_dead from)) && value < t.heard_min then
+        t.heard_min <- value
+      else (
+        match prev with
+        | Some p when p <= t.heard_min -> t.heard_dirty <- true
+        | Some _ | None -> ())
     | Message.Abort { task } -> (
-      match Hashtbl.find_opt t.tasks task with
-      | Some task -> abort_task t ctx task
-      | None -> Counter.incr ctx.counters "abort.ignored")
+      match lookup t task with
+      | Alive task -> abort_task t ctx task
+      | Gone _ -> () (* already finished or aborted: nothing to reclaim *)
+      | Absent -> Counter.incr ctx.counters "abort.ignored")
     | Message.Failure_notice { failed } -> handle_failure t ctx ~failed
   end
 
@@ -1092,11 +1313,12 @@ let handle_bounce t ctx ~dead msg =
     | Message.Task_packet { packet; task_id = _; replica = _; replicas = _ } -> (
       (* The packet never arrived (transient state b/d): the retained
          checkpoint regenerates it, exactly like a failure notice would. *)
-      match Hashtbl.find_opt t.tasks packet.Packet.parent.Packet.task with
-      | None -> Counter.incr ctx.counters "reissue.stale"
-      | Some task -> (
-        match Hashtbl.find_opt task.children packet.Packet.parent.Packet.slot with
-        | Some child when (not child.filled) && task_live task ->
+      match lookup t packet.Packet.parent.Packet.task with
+      | Absent -> Counter.incr ctx.counters "reissue.stale"
+      | Gone _ -> ()
+      | Alive task -> (
+        match child_find task packet.Packet.parent.Packet.slot with
+        | Some child when not child.filled ->
           if List.for_all (fun (_, d) -> Hashtbl.mem t.known_dead d) child.dests then
             respawn_child t ctx task child ~reason:"bounced-packet"
         | Some _ | None -> ()))
@@ -1105,17 +1327,24 @@ let handle_bounce t ctx ~dead msg =
       match ctx.config.recovery with
       | Config.Splice ->
         (* Identify the producing task so its packet supplies the
-           grandparent link; re-route through [return_result]. *)
+           grandparent link; re-route through the relay logic.  Producers
+           are [Done], hence retired — scan the tombstones in the index's
+           legacy order (last match wins, as before). *)
         let producer =
           Hashtbl.fold
-            (fun _ task acc ->
-              if Stamp.equal task.packet.Packet.stamp r.stamp && task.state = Done then
-                Some task
-              else acc)
+            (fun _ cell acc ->
+              match cell.entry with
+              | Retired p
+                when p.r_state = Done && Stamp.equal p.r_packet.Packet.stamp r.stamp ->
+                Some p
+              | _ -> acc)
             t.tasks None
         in
         (match producer with
-        | Some task -> return_result t ctx task r.value
+        | Some p ->
+          return_result_from t ctx ~packet:p.r_packet ~tid:p.r_tid
+            ~mark_dropped:(fun () -> mark_retired_dropped t p)
+            r.value
         | None ->
           Counter.incr ctx.counters "relay.dropped";
           Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:r.stamp
@@ -1157,43 +1386,38 @@ let rec pick_next t ctx =
   match Queue.take_opt t.run_queue with
   | None -> t.stepping <- false
   | Some tid -> (
-    match Hashtbl.find_opt t.tasks tid with
-    | Some task when task_live task ->
-      task.state <- Running;
+    match lookup t tid with
+    | Alive task ->
+      set_state t task Running;
       t.current <- Some tid;
       ctx.wake t.nid ~delay:ctx.config.ctx_switch
-    | Some _ | None -> pick_next t ctx)
+    | Gone _ | Absent -> pick_next t ctx)
 
 let step t ctx =
   if t.alive then begin
     match t.current with
     | None -> pick_next t ctx
     | Some tid -> (
-      match Hashtbl.find_opt t.tasks tid with
-      | None ->
+      match lookup t tid with
+      | Absent | Gone _ ->
         t.current <- None;
         pick_next t ctx
-      | Some task ->
-        if not (task_live task) then begin
-          t.current <- None;
-          pick_next t ctx
-        end
-        else begin
+      | Alive task -> (
           match Instance.step task.inst with
           | Instance.Work { cost } ->
             let ticks = cost * ctx.config.work_tick in
             charge t task ticks;
             ctx.wake t.nid ~delay:(max 1 ticks)
           | Instance.Spawn { slot; fname; args } -> (
-            match Hashtbl.find_opt task.pending slot with
+            match List.assoc_opt slot task.pending with
             | Some v ->
               (* A salvaged result beat us to this call: adopt it instead
                  of spawning (§4.1 cases 4–5: "P' will not spawn C'
                  because the answer is already there"). *)
-              Hashtbl.remove task.pending slot;
+              task.pending <- List.remove_assoc slot task.pending;
               let c_stamp = Stamp.child task.packet.Packet.stamp task.child_seq in
               task.child_seq <- task.child_seq + 1;
-              Hashtbl.replace task.children slot
+              Hashtbl.replace (children_tbl task) slot
                 {
                   slot;
                   c_stamp;
@@ -1210,12 +1434,13 @@ let step t ctx =
               ctx.wake t.nid ~delay:1
             | None ->
               let next_stamp = Stamp.child task.packet.Packet.stamp task.child_seq in
+              let next_key = Stamp.digits next_stamp in
               let adoption =
-                match Hashtbl.find_opt task.adopted (Stamp.digits next_stamp) with
+                match List.assoc_opt next_key task.adopted with
                 | Some (orphan, _) when Hashtbl.mem t.known_dead orphan.Packet.proc ->
                   (* the orphan died since it reported: the adoption is
                      stale; spawn a fresh child instead *)
-                  Hashtbl.remove task.adopted (Stamp.digits next_stamp);
+                  task.adopted <- List.remove_assoc next_key task.adopted;
                   Counter.incr ctx.counters "adopt.stale";
                   None
                 | other -> other
@@ -1225,7 +1450,7 @@ let step t ctx =
                 (* Inherit the living orphan: bind the slot to it instead
                    of spawning a clone; its result arrives via the
                    grandparent relay. *)
-                Hashtbl.remove task.adopted (Stamp.digits next_stamp);
+                task.adopted <- List.remove_assoc next_key task.adopted;
                 let packet = build_child_packet t ctx task ~slot ~fname ~args in
                 ignore (record_checkpoint t ctx ~dest:orphan.Packet.proc packet);
                 let child =
@@ -1233,7 +1458,7 @@ let step t ctx =
                     dests = [ (0, orphan.Packet.proc) ];
                     ctasks = [ (0, orphan.Packet.task) ]; vote = None; filled = false }
                 in
-                Hashtbl.replace task.children slot child;
+                Hashtbl.replace (children_tbl task) slot child;
                 Counter.incr ctx.counters "spawn.inherited";
                 Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:packet.Packet.stamp
                   (Journal.Inherited
@@ -1272,15 +1497,14 @@ let step t ctx =
                 ctx.wake t.nid ~delay:(max 1 cost)
               end))
           | Instance.Blocked ->
-            task.state <- Blocked;
+            set_state t task Blocked;
             t.current <- None;
             pick_next t ctx
           | Instance.Finished v ->
             complete_task t ctx task v;
             t.current <- None;
             pick_next t ctx
-          | Instance.Failed msg -> ctx.program_error msg
-        end)
+          | Instance.Failed msg -> ctx.program_error msg))
   end
 
 let gradient_value t = t.gradient_value
@@ -1291,18 +1515,24 @@ let kill t ctx =
     t.stepping <- false;
     t.current <- None;
     Queue.clear t.run_queue;
-    Counter.add ctx.counters "task.lost_in_failure" (live_tasks t);
+    Counter.add ctx.counters "task.lost_in_failure" t.n_live;
     (* Tasks die with the node; mark them so queries do not mistake them
        for survivors.  Their packets live on in peers' checkpoint tables.
        A [Lost] entry (distinct from [Aborted], which means rollback
        garbage collection) preserves the destroyed work for the
        observability layer. *)
     Hashtbl.iter
-      (fun _ task ->
-        if task_live task then begin
-          Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
-            (Journal.Lost { task = task.tid; proc = t.nid; work = task.work });
-          task.state <- Aborted
-        end)
+      (fun _ cell ->
+        match cell.entry with
+        | Live s -> (
+          match t.arena.(s) with
+          | Some task when task_live task ->
+            Journal.record ctx.journal ~time:(ctx.now ()) ~stamp:task.packet.Packet.stamp
+              (Journal.Lost { task = task.tid; proc = t.nid; work = task.work });
+            set_state t task Aborted;
+            t.n_wasted <- t.n_wasted + task.work;
+            retire_cell t cell task
+          | Some _ | None -> ())
+        | Retired _ -> ())
       t.tasks
   end

@@ -110,8 +110,25 @@ type task_view = {
 }
 
 val snapshot : t -> task_view list
-(** Diagnostic view of resident tasks (tests, experiments, debugging). *)
+(** Diagnostic view of the resident *live* tasks, sorted by stamp (tests,
+    experiments, debugging).  Finished tasks are retired to slim
+    tombstones and no longer appear here. *)
+
+val iter_task_views : t -> (task_view -> unit) -> unit
+(** Iterate the resident live tasks' views without materialising the
+    sorted list (or its per-view waiting lists all at once) — the
+    allocation-free form of {!snapshot} for large nodes. *)
 
 val wasted_work : t -> int
 (** Busy ticks attributable to tasks that were later aborted or whose
     results were dropped. *)
+
+val resident_tasks : t -> int
+(** Live task records currently held in the arena (= {!live_tasks} at
+    quiescence; the arena recycles slots of finished tasks). *)
+
+val recount : t -> int * int * int
+(** [(live, blocked, wasted)] recomputed by brute force over every
+    resident and retired task — the oracle the property tests check the
+    O(1) incremental counters ({!live_tasks}, {!blocked_tasks},
+    {!wasted_work}) against.  Not for hot paths. *)

@@ -1,10 +1,20 @@
 type t = {
   topology : Topology.t;
   dead : bool array;
-  mutable dist : int array array option;  (* cache; rebuilt after a death/revival *)
+  mutable n_dead : int;
+  full : bool;  (* [Full] topology: every live pair is 1 hop, no BFS needed *)
+  rows : int array option array;  (* per-source distance rows, filled lazily *)
 }
 
-let create topology = { topology; dead = Array.make (Topology.size topology) false; dist = None }
+let create topology =
+  let n = Topology.size topology in
+  {
+    topology;
+    dead = Array.make n false;
+    n_dead = 0;
+    full = (match topology with Topology.Full _ -> true | _ -> false);
+    rows = Array.make n None;
+  }
 
 let topology t = t.topology
 
@@ -12,23 +22,31 @@ let check t node =
   if node < 0 || node >= Array.length t.dead then
     invalid_arg (Printf.sprintf "Router: node %d out of range" node)
 
+(* Any death or revival can reroute any pair: drop every cached row.
+   O(P) per liveness change, against the old all-pairs rebuild. *)
+let invalidate t = Array.fill t.rows 0 (Array.length t.rows) None
+
 let kill t node =
   check t node;
   if not t.dead.(node) then begin
     t.dead.(node) <- true;
-    t.dist <- None
+    t.n_dead <- t.n_dead + 1;
+    invalidate t
   end
 
 let revive t node =
   check t node;
   if t.dead.(node) then begin
     t.dead.(node) <- false;
-    t.dist <- None
+    t.n_dead <- t.n_dead - 1;
+    invalidate t
   end
 
 let alive t node =
   check t node;
   not t.dead.(node)
+
+let alive_count t = Array.length t.dead - t.n_dead
 
 let alive_nodes t =
   let n = Array.length t.dead in
@@ -56,21 +74,21 @@ let bfs t src =
   end;
   dist
 
-let table t =
-  match t.dist with
-  | Some d -> d
+let row t src =
+  match t.rows.(src) with
+  | Some r -> r
   | None ->
-    let n = Array.length t.dead in
-    let d = Array.init n (fun src -> bfs t src) in
-    t.dist <- Some d;
-    d
+    let r = bfs t src in
+    t.rows.(src) <- Some r;
+    r
 
 let distance t a b =
   check t a;
   check t b;
   if t.dead.(a) || t.dead.(b) then None
+  else if t.full then Some (if a = b then 0 else 1)
   else begin
-    let d = (table t).(a).(b) in
+    let d = (row t a).(b) in
     if d = unreachable then None else Some d
   end
 

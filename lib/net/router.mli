@@ -1,8 +1,11 @@
 (** Hop-distance routing that accounts for dead nodes.
 
     Messages between live nodes are store-and-forward routed through live
-    intermediate nodes only.  When a node dies the router recomputes
-    all-pairs distances (BFS per node — clusters are small).  A destination
+    intermediate nodes only.  Distances come from per-source BFS rows
+    computed on demand and dropped when a node dies or revives, and a
+    [Full] topology needs no BFS at all (every live pair is one hop) —
+    so a 1k-processor crossbar never pays the old all-pairs rebuild.  A
+    destination
     that is unreachable — dead, or cut off because every route crosses dead
     nodes — is reported as such; per §1 of the paper the sender must then
     treat it as faulty. *)
@@ -22,7 +25,11 @@ val revive : t -> int -> unit
 val alive : t -> int -> bool
 
 val alive_nodes : t -> int list
-(** Sorted ids of live nodes. *)
+(** Sorted ids of live nodes.  Allocates O(P); hot paths that only need
+    existence or cardinality should use {!alive_count}. *)
+
+val alive_count : t -> int
+(** Number of live nodes, maintained incrementally — O(1). *)
 
 val distance : t -> int -> int -> int option
 (** [distance t a b] is the hop count of the shortest live route, [None]

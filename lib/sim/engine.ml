@@ -9,9 +9,10 @@
    Packing preserves the dispatch order exactly: keys compare first by
    timestamp and then by scheduling sequence (FIFO among same-instant
    events), because [seq] occupies the low [seq_bits] bits and is strictly
-   monotone.  The packable ranges — times up to 2^36 ticks (about 19 hours
-   of simulated microseconds) and 2^26 events per engine — are orders of
-   magnitude above anything the experiments reach and are enforced with
+   monotone.  The packable ranges — times up to 2^34 ticks (hours of
+   simulated microseconds) and 2^28 events per engine (the X8 scale sweep
+   pushes past 2^26 even with batched delivery) — are orders of magnitude
+   above anything else the experiments reach and are enforced with
    [invalid_arg] rather than silent wraparound.
 
    The payload store is an [Obj.t array] for the same reason as {!Heap}:
@@ -23,7 +24,7 @@ type time = int
 
 module Profile = Recflow_obs_core.Profile
 
-let seq_bits = 26
+let seq_bits = 28
 
 let seq_limit = 1 lsl seq_bits
 
